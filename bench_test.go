@@ -1,0 +1,167 @@
+// Package ctrlsched_bench holds the top-level benchmark harness: one
+// testing.B benchmark per table and figure of the reproduced paper
+// (Aminifar & Bini, DATE 2017), plus ablation benches for the design
+// choices called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// The benchmarks exercise reduced-size campaigns so a full -bench pass
+// stays in CPU-minutes; the CLI (cmd/ctrlsched) runs the paper-scale
+// versions.
+package ctrlsched_bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"ctrlsched/internal/assign"
+	"ctrlsched/internal/experiments"
+	"ctrlsched/internal/jitter"
+	"ctrlsched/internal/lqg"
+	"ctrlsched/internal/plant"
+	"ctrlsched/internal/taskgen"
+)
+
+// sharedGen reuses one jitter-margin coefficient cache across benches.
+var sharedGen = taskgen.NewGenerator(taskgen.Config{})
+
+// BenchmarkFig2 regenerates the Fig. 2 sweep (LQG cost vs sampling
+// period with pathological spikes) at reduced resolution.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig2(plant.HarmonicOscillator(10), 0.05, 1.0, 100)
+		if res.FiniteSamples == 0 {
+			b.Fatal("no finite samples")
+		}
+	}
+}
+
+// BenchmarkFig2Point measures a single cost evaluation, the kernel of the
+// sweep.
+func BenchmarkFig2Point(b *testing.B) {
+	p := plant.DCServo()
+	for i := 0; i < b.N; i++ {
+		lqg.Cost(p, 0.006)
+	}
+}
+
+// BenchmarkFig4 regenerates the stability curves and linear bounds.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Margin measures one jitter-margin analysis (the Fig. 4
+// kernel and the dominant cost of benchmark generation).
+func BenchmarkFig4Margin(b *testing.B) {
+	d, err := lqg.Synthesize(plant.DCServo(), 0.006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jitter.Analyze(d, jitter.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 runs a reduced Table I campaign (200 benchmarks per
+// size at n ∈ {4, 12, 20}).
+func BenchmarkTable1(b *testing.B) {
+	sharedGen.Warm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(experiments.Table1Config{
+			Benchmarks: 200,
+			Sizes:      []int{4, 12, 20},
+			Seed:       int64(i + 1),
+			Gen:        sharedGen,
+		})
+	}
+}
+
+// BenchmarkFig5 runs a reduced Fig. 5 campaign (the runtime comparison
+// itself; its absolute numbers are what Fig. 5 plots).
+func BenchmarkFig5(b *testing.B) {
+	sharedGen.Warm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig5(experiments.Fig5Config{
+			Benchmarks: 100,
+			Sizes:      []int{4, 12, 20},
+			Seed:       int64(i + 1),
+			Gen:        sharedGen,
+		})
+		if len(rows) != 3 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkAssignBacktracking20 measures Algorithm 1 on paper-maximum
+// task sets (n = 20) — the paper's "less than 2 seconds" claim is about
+// this operation over a campaign.
+func BenchmarkAssignBacktracking20(b *testing.B) {
+	sharedGen.Warm()
+	rng := rand.New(rand.NewSource(9))
+	tasks20 := sharedGen.TaskSet(rng, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign.Backtracking(tasks20)
+	}
+}
+
+// BenchmarkAssignUnsafeQuadratic20 is the baseline counterpart.
+func BenchmarkAssignUnsafeQuadratic20(b *testing.B) {
+	sharedGen.Warm()
+	rng := rand.New(rand.NewSource(9))
+	tasks20 := sharedGen.TaskSet(rng, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign.UnsafeQuadratic(tasks20)
+	}
+}
+
+// Ablation: memoization of the backtracking search (DESIGN.md calls this
+// out; the paper's Algorithm 1 does not memoize).
+func BenchmarkAblationBacktrackingMemoized(b *testing.B) {
+	sharedGen.Warm()
+	rng := rand.New(rand.NewSource(10))
+	tasks := sharedGen.TaskSet(rng, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign.BacktrackingOpts(tasks, assign.Options{Memoize: true})
+	}
+}
+
+// Ablation: slack-ordered candidate exploration.
+func BenchmarkAblationBacktrackingSlackOrder(b *testing.B) {
+	sharedGen.Warm()
+	rng := rand.New(rand.NewSource(10))
+	tasks := sharedGen.TaskSet(rng, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign.BacktrackingOpts(tasks, assign.Options{OrderBySlack: true})
+	}
+}
+
+// BenchmarkAnomalySearch measures the anomaly-frequency experiment.
+func BenchmarkAnomalySearch(b *testing.B) {
+	sharedGen.Warm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Anomalies(experiments.AnomalyConfig{
+			Trials: 500,
+			Sizes:  []int{8},
+			Seed:   int64(i + 1),
+			Gen:    sharedGen,
+		})
+		if len(rows) != 1 {
+			b.Fatal("missing row")
+		}
+	}
+}

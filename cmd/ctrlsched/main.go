@@ -1,0 +1,223 @@
+// Command ctrlsched regenerates the tables and figures of "Anomalies in
+// Scheduling Control Applications and Design Complexity" (Aminifar & Bini,
+// DATE 2017) from the ctrlsched reproduction library.
+//
+// Usage:
+//
+//	ctrlsched fig2     [-points N] [-csv]
+//	ctrlsched fig4     [-csv]
+//	ctrlsched table1   [-benchmarks N] [-sizes 4,8,12,16,20] [-seed S] [-diagnose] [-csv]
+//	ctrlsched fig5     [-benchmarks N] [-sizes 4,6,...,20] [-seed S] [-csv]
+//	ctrlsched anomalies [-trials N] [-sizes ...] [-seed S] [-csv]
+//	ctrlsched all      (quick versions of everything)
+//
+// All experiments print human-readable tables/ASCII plots by default and
+// machine-readable CSV with -csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ctrlsched/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "fig2":
+		runFig2(args)
+	case "fig4":
+		runFig4(args)
+	case "table1":
+		runTable1(args)
+	case "fig5":
+		runFig5(args)
+	case "anomalies":
+		runAnomalies(args)
+	case "compare":
+		runCompare(args)
+	case "all":
+		runAll()
+	default:
+		fmt.Fprintf(os.Stderr, "ctrlsched: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `ctrlsched — reproduction harness for Aminifar & Bini, DATE 2017
+
+commands:
+  fig2       LQG cost vs sampling period (pathological spikes, rising trend)
+  fig4       jitter-margin stability curves + linear lower bounds (Eq. 5)
+  table1     %% invalid assignments of the Unsafe Quadratic baseline
+  fig5       campaign runtime: Unsafe Quadratic vs backtracking Algorithm 1
+  anomalies  frequency of jitter/priority anomalies on random benchmarks
+  compare    valid-assignment rate: RM vs slack-monotonic vs unsafe vs Alg. 1
+  all        quick versions of all of the above`)
+}
+
+func parseSizes(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "ctrlsched: bad size %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func runFig2(args []string) {
+	fs := flag.NewFlagSet("fig2", flag.ExitOnError)
+	points := fs.Int("points", 400, "samples per period sweep")
+	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
+	fs.Parse(args)
+	for _, res := range experiments.Fig2Default(*points) {
+		if *csv {
+			res.WriteCSV(os.Stdout)
+		} else {
+			res.Render(os.Stdout)
+		}
+	}
+}
+
+func runFig4(args []string) {
+	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
+	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
+	fs.Parse(args)
+	curves, err := experiments.Fig4()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched:", err)
+		os.Exit(1)
+	}
+	for _, c := range curves {
+		if *csv {
+			c.WriteCSV(os.Stdout)
+		} else {
+			c.Render(os.Stdout)
+		}
+	}
+}
+
+func runTable1(args []string) {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	benchmarks := fs.Int("benchmarks", 10000, "benchmarks per task-set size")
+	sizes := fs.String("sizes", "4,8,12,16,20", "comma-separated task-set sizes")
+	seed := fs.Int64("seed", 1, "random seed")
+	diagnose := fs.Bool("diagnose", true, "split invalid outputs into infeasible vs rescued")
+	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
+	fs.Parse(args)
+	rows := experiments.Table1(experiments.Table1Config{
+		Benchmarks:      *benchmarks,
+		Sizes:           parseSizes(*sizes),
+		Seed:            *seed,
+		DiagnoseRescues: *diagnose,
+	})
+	if *csv {
+		experiments.WriteCSVTable1(os.Stdout, rows)
+	} else {
+		experiments.RenderTable1(os.Stdout, rows, *diagnose)
+	}
+}
+
+func runFig5(args []string) {
+	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+	benchmarks := fs.Int("benchmarks", 10000, "benchmarks per task-set size")
+	sizes := fs.String("sizes", "4,6,8,10,12,14,16,18,20", "comma-separated task-set sizes")
+	seed := fs.Int64("seed", 1, "random seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
+	fs.Parse(args)
+	rows := experiments.Fig5(experiments.Fig5Config{
+		Benchmarks: *benchmarks,
+		Sizes:      parseSizes(*sizes),
+		Seed:       *seed,
+	})
+	if *csv {
+		experiments.WriteCSVFig5(os.Stdout, rows)
+	} else {
+		experiments.RenderFig5(os.Stdout, rows)
+	}
+}
+
+func runAnomalies(args []string) {
+	fs := flag.NewFlagSet("anomalies", flag.ExitOnError)
+	trials := fs.Int("trials", 10000, "priority-raise trials per size")
+	sizes := fs.String("sizes", "4,8,12,16,20", "comma-separated task-set sizes")
+	seed := fs.Int64("seed", 1, "random seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
+	fs.Parse(args)
+	rows := experiments.Anomalies(experiments.AnomalyConfig{
+		Trials: *trials,
+		Sizes:  parseSizes(*sizes),
+		Seed:   *seed,
+	})
+	if *csv {
+		experiments.WriteCSVAnomalies(os.Stdout, rows)
+	} else {
+		experiments.RenderAnomalies(os.Stdout, rows)
+	}
+}
+
+func runCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	benchmarks := fs.Int("benchmarks", 2000, "benchmarks per task-set size")
+	sizes := fs.String("sizes", "4,8,12,16,20", "comma-separated task-set sizes")
+	seed := fs.Int64("seed", 1, "random seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
+	fs.Parse(args)
+	rows := experiments.Compare(experiments.CompareConfig{
+		Benchmarks: *benchmarks,
+		Sizes:      parseSizes(*sizes),
+		Seed:       *seed,
+	})
+	if *csv {
+		experiments.WriteCSVCompare(os.Stdout, rows)
+	} else {
+		experiments.RenderCompare(os.Stdout, rows)
+	}
+}
+
+func runAll() {
+	fmt.Println("== Fig. 2 ==")
+	for _, res := range experiments.Fig2Default(200) {
+		res.Render(os.Stdout)
+	}
+	fmt.Println("== Fig. 4 ==")
+	curves, err := experiments.Fig4()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched:", err)
+		os.Exit(1)
+	}
+	for _, c := range curves {
+		c.Render(os.Stdout)
+	}
+	fmt.Println("== Table I (1000 benchmarks/size) ==")
+	experiments.RenderTable1(os.Stdout,
+		experiments.Table1(experiments.Table1Config{Benchmarks: 1000, DiagnoseRescues: true}), true)
+	fmt.Println()
+	fmt.Println("== Fig. 5 (1000 benchmarks/size) ==")
+	experiments.RenderFig5(os.Stdout, experiments.Fig5(experiments.Fig5Config{Benchmarks: 1000}))
+	fmt.Println()
+	fmt.Println("== Anomaly frequency (2000 trials/size) ==")
+	experiments.RenderAnomalies(os.Stdout,
+		experiments.Anomalies(experiments.AnomalyConfig{Trials: 2000}))
+	fmt.Println()
+	fmt.Println("== Method comparison (500 benchmarks/size) ==")
+	experiments.RenderCompare(os.Stdout,
+		experiments.Compare(experiments.CompareConfig{Benchmarks: 500}))
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got := parseSizes("4, 8,12")
+	want := []int{4, 8, 12}
+	if len(got) != len(want) {
+		t.Fatalf("parseSizes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseSizes = %v, want %v", got, want)
+		}
+	}
+	if parseSizes("") != nil {
+		t.Fatal("empty string should give nil (defaults)")
+	}
+}

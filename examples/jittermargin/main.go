@@ -1,0 +1,68 @@
+// Jitter-margin explorer: print the stability curve J_max(L) and the
+// fitted linear bound for every plant in the benchmark library at its
+// recommended mid-range sampling period — the per-plant view behind the
+// paper's Fig. 4 and the (a_i, b_i) constraints of its benchmarks.
+//
+// Run with: go run ./examples/jittermargin
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ctrlsched/internal/jitter"
+	"ctrlsched/internal/lqg"
+	"ctrlsched/internal/plant"
+)
+
+func main() {
+	for _, p := range plant.Library() {
+		h := (p.HMin + p.HMax) / 2
+		d, err := lqg.Synthesize(p, h)
+		if err != nil {
+			log.Printf("%s: no design at h=%v: %v", p.Name, h, err)
+			continue
+		}
+		m, err := jitter.Analyze(d, jitter.Options{LatencyPoints: 17})
+		if err != nil {
+			log.Printf("%s: %v", p.Name, err)
+			continue
+		}
+		fmt.Printf("%s  (h = %.1f ms, LQG cost %.3g)\n", p.Name, h*1000, d.Cost)
+		fmt.Printf("  constraint: %v   [b = %.2f periods of latency tolerance]\n",
+			m.Constraint(), m.B/h)
+
+		// Render the curve as a horizontal bar per latency point.
+		maxJ := 0.0
+		for _, j := range m.JMax {
+			if j > maxJ {
+				maxJ = j
+			}
+		}
+		for i, l := range m.Latency {
+			bars := 0
+			if maxJ > 0 {
+				bars = int(m.JMax[i] / maxJ * 48)
+			}
+			bound := (m.B - l) / m.A
+			boundMark := ""
+			if bound > 0 {
+				pos := int(bound / maxJ * 48)
+				if pos >= 0 && pos < 60 {
+					boundMark = strings.Repeat(" ", max(0, pos-bars)) + "|"
+				}
+			}
+			fmt.Printf("  L=%7.2fms  J_max=%7.2fms  %s%s\n",
+				l*1000, m.JMax[i]*1000, strings.Repeat("█", bars), boundMark)
+		}
+		fmt.Println()
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ctrlsched/internal/rta"
+)
+
+func TestPriorityAnomalyExampleVerifies(t *testing.T) {
+	tasks, victim := PriorityAnomalyExample()
+	// Raising x above b (removing b from its interferers).
+	w, ok := CheckPriorityAnomaly(tasks, victim, 1)
+	if !ok {
+		t.Fatal("shipped example does not exhibit the anomaly")
+	}
+	if w.JHigh <= w.JLow {
+		t.Fatalf("witness inconsistent: JHigh=%v JLow=%v", w.JHigh, w.JLow)
+	}
+	// The shipped example is calibrated so the anomaly also destabilizes
+	// (constraint a=4, b=31 accepts the low-priority point and rejects
+	// the high-priority one).
+	if !w.Destabilizes {
+		t.Fatal("shipped example should destabilize the victim")
+	}
+}
+
+func TestCheckPriorityAnomalyNegativeCase(t *testing.T) {
+	// Constant execution times and a lone interferer: raising priority
+	// strictly reduces jitter; no anomaly.
+	tasks := []rta.Task{
+		{Name: "i", BCET: 1, WCET: 1, Period: 4, ConA: 1, ConB: 10},
+		{Name: "v", BCET: 1, WCET: 2, Period: 10, ConA: 1, ConB: 10},
+	}
+	if _, ok := CheckPriorityAnomaly(tasks, 1, 0); ok {
+		t.Fatal("anomaly reported where none exists")
+	}
+}
+
+func TestCheckPeriodAnomalyFindsInstance(t *testing.T) {
+	// Randomized search for a period anomaly; must find at least one in a
+	// generous budget (they are rare but not vanishingly so at this
+	// scale).
+	rng := rand.New(rand.NewSource(201))
+	found := false
+	for trial := 0; trial < 300000 && !found; trial++ {
+		n := 3
+		tasks := make([]rta.Task, n)
+		for i := range tasks {
+			h := math.Round((1+9*rng.Float64())*10) / 10
+			cw := math.Round((0.1+0.3*rng.Float64())*h*100) / 100
+			cb := math.Round(cw*(0.2+0.8*rng.Float64())*100) / 100
+			if cb <= 0 {
+				cb = 0.01
+			}
+			tasks[i] = rta.Task{Name: fmt.Sprintf("t%d", i), BCET: cb, WCET: cw, Period: h, ConA: 1, ConB: 100}
+		}
+		if _, ok := CheckPeriodAnomaly(tasks, 2, 0, 1.0+rng.Float64()); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no period anomaly found in search budget")
+	}
+}
+
+func TestCheckPeriodAnomalyPanicsOnBadFactor(t *testing.T) {
+	tasks, victim := PriorityAnomalyExample()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("factor ≤ 1 accepted")
+		}
+	}()
+	CheckPeriodAnomaly(tasks, victim, 0, 1.0)
+}
+
+func TestSearchPriorityAnomaliesRareInRandomSets(t *testing.T) {
+	// The paper's qualitative claim: anomalies occur rarely. In this
+	// synthetic family the jitter-raise rate must be well under 10%, and
+	// destabilization rarer still.
+	rng := rand.New(rand.NewSource(202))
+	src := func(r *rand.Rand) []rta.Task {
+		n := 3 + r.Intn(3)
+		tasks := make([]rta.Task, n)
+		for i := range tasks {
+			h := 1 + 9*r.Float64()
+			cw := (0.05 + 0.2*r.Float64()) * h
+			cb := cw * (0.3 + 0.7*r.Float64())
+			tasks[i] = rta.Task{Name: fmt.Sprintf("t%d", i), BCET: cb, WCET: cw, Period: h, ConA: 2, ConB: h}
+		}
+		return tasks
+	}
+	st := SearchPriorityAnomalies(rng, src, 20000)
+	if st.Trials < 19000 {
+		t.Fatalf("too few usable trials: %d", st.Trials)
+	}
+	rate := st.Rate()
+	if rate > 0.10 {
+		t.Fatalf("anomaly rate %.3f implausibly high", rate)
+	}
+	if st.Destabilizing > st.JitterRaises {
+		t.Fatal("destabilizing count exceeds jitter raises")
+	}
+	t.Logf("priority-anomaly rate: %.4f%% (%d/%d), destabilizing: %d",
+		100*rate, st.JitterRaises, st.Trials, st.Destabilizing)
+}
+
+func TestWitnessFieldsPopulated(t *testing.T) {
+	tasks, victim := PriorityAnomalyExample()
+	w, ok := CheckPriorityAnomaly(tasks, victim, 1)
+	if !ok {
+		t.Fatal("expected anomaly")
+	}
+	if w.Victim != victim {
+		t.Fatalf("victim = %d, want %d", w.Victim, victim)
+	}
+	if w.JLow <= 0 || w.JHigh <= 0 {
+		t.Fatal("jitter values not populated")
+	}
+}

@@ -1,0 +1,337 @@
+// Package assign implements the paper's core contribution: priority
+// assignment for control tasks under the jitter-margin stability
+// constraint L + a·J ≤ b (paper Eq. 5), where latency L and jitter J come
+// from exact best-/worst-case response-time analysis.
+//
+// Because the jitter J = Rʷ − Rᵇ is NOT monotone in a task's priority
+// (see the anomaly discussion, paper Sec. IV and reference [20]),
+// Audsley-style greedy lowest-priority-first assignment is incomplete
+// here: a task can be stable at a low priority yet unstable at a higher
+// one, so an unlucky greedy choice at a low level can strand the
+// remaining tasks. The package therefore provides:
+//
+//   - Backtracking — the paper's Algorithm 1: lowest-priority-first
+//     assignment that recurses over every stable candidate and backtracks
+//     on failure. Sound and complete; worst-case exponential, quadratic
+//     on average because anomalies are rare.
+//   - UnsafeQuadratic — the baseline of reference [20] "modified to use
+//     the exact response times": at each level it assigns the remaining
+//     task with maximum stability slack, never backtracks, and never
+//     verifies; monotonicity-assuming, O(n²) evaluations, occasionally
+//     produces invalid assignments (paper Table I).
+//   - AudsleyGreedy — classic OPA with exact tests and no backtracking:
+//     sound (returns only valid assignments) but incomplete.
+//   - Exhaustive — all-permutations ground truth for small n, used to
+//     property-test soundness and completeness of the others.
+//
+// Priorities follow the paper's convention: ρ_i > ρ_j means task i has
+// higher priority; numeric levels are 1 (lowest) through n (highest).
+package assign
+
+import (
+	"math"
+	"sort"
+
+	"ctrlsched/internal/rta"
+)
+
+// maxTasks bounds the bitmask representation of task subsets.
+const maxTasks = 31
+
+// Stats counts the work done by an assignment algorithm.
+type Stats struct {
+	// Evaluations is the number of exact response-time feasibility
+	// evaluations (the dominant cost).
+	Evaluations int
+	// Backtracks counts failed recursive descents (Backtracking only).
+	Backtracks int
+}
+
+// Result is the outcome of a priority-assignment algorithm.
+type Result struct {
+	// Priorities[i] is the priority level of tasks[i] (1 = lowest,
+	// n = highest); nil when the algorithm proves nothing assignable.
+	Priorities []int
+	// Valid reports whether Priorities is a verified stable assignment:
+	// every task meets its deadline and its stability constraint.
+	Valid bool
+	// Aborted reports that a budgeted backtracking search ran out of
+	// evaluations before finding an assignment or proving infeasibility.
+	Aborted bool
+	Stats   Stats
+}
+
+// Options tunes the backtracking algorithm.
+type Options struct {
+	// Memoize caches feasibility of (task, candidate-set) pairs across
+	// the search. The paper's Algorithm 1 does not memoize; enabling it
+	// is an ablation that trades memory for worst-case time.
+	Memoize bool
+	// OrderBySlack visits candidates at each level in decreasing
+	// stability slack instead of input order — a common-case heuristic
+	// ablation.
+	OrderBySlack bool
+	// MaxEvaluations, when positive, aborts the search after that many
+	// exact response-time evaluations. An aborted search reports
+	// Aborted=true and Valid=false: "no assignment found within budget",
+	// NOT a proof of infeasibility. Use it to bound the exponential
+	// worst case on (mostly infeasible) instances.
+	MaxEvaluations int
+}
+
+// feasible runs the exact analysis of tasks[i] at the lowest priority
+// among the subset `set` (hp = set \ {i}) and reports stability.
+func feasible(tasks []rta.Task, set uint32, i int, stats *Stats) bool {
+	stats.Evaluations++
+	res := rta.Analyze(tasks[i], members(tasks, set&^(1<<uint(i))))
+	return res.Stable
+}
+
+// slack returns the stability slack of tasks[i] at the lowest priority of
+// `set` together with the exact stability verdict at that level; the slack
+// is −Inf when unschedulable or past the deadline. The verdict uses the
+// same tolerance as Validate so the two never disagree on borderline
+// instances.
+func slack(tasks []rta.Task, set uint32, i int, stats *Stats) (float64, bool) {
+	stats.Evaluations++
+	res := rta.Analyze(tasks[i], members(tasks, set&^(1<<uint(i))))
+	if math.IsInf(res.WCRT, 1) || !res.DeadlineMet {
+		return math.Inf(-1), false
+	}
+	return tasks[i].Slack(res.Latency, res.Jitter), res.Stable
+}
+
+// members extracts the tasks whose bits are set.
+func members(tasks []rta.Task, set uint32) []rta.Task {
+	out := make([]rta.Task, 0, len(tasks))
+	for j := range tasks {
+		if set&(1<<uint(j)) != 0 {
+			out = append(out, tasks[j])
+		}
+	}
+	return out
+}
+
+// Validate checks an assignment exactly: every task must meet its
+// deadline and stability constraint under the given priorities (larger
+// value = higher priority; values must be distinct).
+func Validate(tasks []rta.Task, prio []int) bool {
+	if len(prio) != len(tasks) {
+		return false
+	}
+	seen := map[int]bool{}
+	for _, p := range prio {
+		if seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	for _, res := range rta.AnalyzeAll(tasks, prio) {
+		if !res.Stable {
+			return false
+		}
+	}
+	return true
+}
+
+// Backtracking runs the paper's Algorithm 1 with default options.
+func Backtracking(tasks []rta.Task) Result {
+	return BacktrackingOpts(tasks, Options{})
+}
+
+// BacktrackingOpts runs Algorithm 1: assign priority levels bottom-up; at
+// each level try every remaining task that is stable there, recurse, and
+// backtrack when the remainder cannot be completed. Complete: if any
+// stable assignment exists, one is returned.
+func BacktrackingOpts(tasks []rta.Task, opt Options) Result {
+	n := len(tasks)
+	if n == 0 {
+		return Result{Priorities: []int{}, Valid: true}
+	}
+	if n > maxTasks {
+		panic("assign: too many tasks for bitmask representation")
+	}
+	prio := make([]int, n)
+	res := Result{}
+	var memo map[uint64]bool
+	if opt.Memoize {
+		memo = make(map[uint64]bool)
+	}
+
+	// nodes counts recursion entries. With memoization a search can walk
+	// an exponential tree of cached states without new evaluations, so
+	// the budget must bound both quantities.
+	nodes := 0
+	var bt func(remaining uint32, level int) bool
+	bt = func(remaining uint32, level int) bool {
+		if remaining == 0 {
+			return true
+		}
+		nodes++
+		if opt.MaxEvaluations > 0 &&
+			(res.Stats.Evaluations >= opt.MaxEvaluations || nodes >= opt.MaxEvaluations) {
+			res.Aborted = true
+			return false
+		}
+		order := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if remaining&(1<<uint(i)) != 0 {
+				order = append(order, i)
+			}
+		}
+		if opt.OrderBySlack {
+			sl := make(map[int]float64, len(order))
+			for _, i := range order {
+				sl[i], _ = slack(tasks, remaining, i, &res.Stats)
+			}
+			sort.SliceStable(order, func(a, b int) bool { return sl[order[a]] > sl[order[b]] })
+		}
+		for _, i := range order {
+			ok := false
+			if memo != nil {
+				key := uint64(remaining)<<8 | uint64(i)
+				cached, hit := memo[key]
+				if hit {
+					ok = cached
+				} else {
+					ok = feasible(tasks, remaining, i, &res.Stats)
+					memo[key] = ok
+				}
+			} else {
+				ok = feasible(tasks, remaining, i, &res.Stats)
+			}
+			if !ok {
+				continue
+			}
+			prio[i] = level
+			if bt(remaining&^(1<<uint(i)), level+1) {
+				return true
+			}
+			res.Stats.Backtracks++
+		}
+		return false
+	}
+
+	if bt(uint32(1)<<uint(n)-1, 1) {
+		res.Priorities = prio
+		res.Valid = true // by construction: every level verified exactly
+	}
+	return res
+}
+
+// UnsafeQuadratic is the monotonicity-assuming baseline (paper Sec. V,
+// "Unsafe Quadratic"): bottom-up, at each level it permanently assigns the
+// remaining task with the LARGEST stability slack, without requiring the
+// slack to be nonnegative and without ever revisiting a decision. It
+// always returns a complete assignment; Valid reports whether the
+// assignment actually guarantees stability (in the paper's Table I, the
+// fraction of benchmarks where it does not is the anomaly rate).
+func UnsafeQuadratic(tasks []rta.Task) Result {
+	n := len(tasks)
+	res := Result{Priorities: make([]int, n)}
+	if n == 0 {
+		res.Valid = true
+		return res
+	}
+	if n > maxTasks {
+		panic("assign: too many tasks for bitmask representation")
+	}
+	remaining := uint32(1)<<uint(n) - 1
+	valid := true
+	for level := 1; level <= n; level++ {
+		best, bestSlack, bestStable := -1, math.Inf(-1), false
+		for i := 0; i < n; i++ {
+			if remaining&(1<<uint(i)) == 0 {
+				continue
+			}
+			if s, stable := slack(tasks, remaining, i, &res.Stats); s > bestSlack || best < 0 {
+				best, bestSlack, bestStable = i, s, stable
+			}
+		}
+		res.Priorities[best] = level
+		remaining &^= 1 << uint(best)
+		if !bestStable {
+			valid = false // this task violates Eq. 5 at its final level
+		}
+	}
+	res.Valid = valid
+	return res
+}
+
+// AudsleyGreedy is classic optimal-priority-assignment greedy search with
+// exact tests: at each level it assigns the FIRST remaining task that is
+// stable there and never backtracks. It is sound (a returned assignment is
+// valid) but incomplete under the jitter anomaly.
+func AudsleyGreedy(tasks []rta.Task) Result {
+	n := len(tasks)
+	res := Result{}
+	if n == 0 {
+		return Result{Priorities: []int{}, Valid: true}
+	}
+	if n > maxTasks {
+		panic("assign: too many tasks for bitmask representation")
+	}
+	prio := make([]int, n)
+	remaining := uint32(1)<<uint(n) - 1
+	for level := 1; level <= n; level++ {
+		assigned := false
+		for i := 0; i < n && !assigned; i++ {
+			if remaining&(1<<uint(i)) == 0 {
+				continue
+			}
+			if feasible(tasks, remaining, i, &res.Stats) {
+				prio[i] = level
+				remaining &^= 1 << uint(i)
+				assigned = true
+			}
+		}
+		if !assigned {
+			return res // stuck: no task stable at this level
+		}
+	}
+	res.Priorities = prio
+	res.Valid = true
+	return res
+}
+
+// Exhaustive searches all n! priority orders and returns a valid
+// assignment if one exists. Ground truth for small n (it refuses n > 9).
+func Exhaustive(tasks []rta.Task) Result {
+	n := len(tasks)
+	if n > 9 {
+		panic("assign: Exhaustive limited to n ≤ 9")
+	}
+	res := Result{}
+	if n == 0 {
+		return Result{Priorities: []int{}, Valid: true}
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	prio := make([]int, n)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			// perm[level-1] = task index at that level.
+			for level, i := range perm {
+				prio[i] = level + 1
+			}
+			res.Stats.Evaluations += n
+			return Validate(tasks, prio)
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if rec(k + 1) {
+				return true
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return false
+	}
+	if rec(0) {
+		res.Priorities = append([]int(nil), prio...)
+		res.Valid = true
+	}
+	return res
+}

@@ -1,0 +1,91 @@
+package assign
+
+import (
+	"sort"
+
+	"ctrlsched/internal/rta"
+)
+
+// RateMonotonic assigns priorities by period: shorter period → higher
+// priority (Liu & Layland). It is the classical real-time heuristic and
+// ignores the stability constraints entirely; Valid reports whether the
+// resulting assignment happens to be stable. Included as the baseline
+// every control-aware method must beat.
+func RateMonotonic(tasks []rta.Task) Result {
+	n := len(tasks)
+	res := Result{Priorities: make([]int, n)}
+	if n == 0 {
+		res.Valid = true
+		return res
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Longest period gets the lowest priority level (1).
+	sort.SliceStable(idx, func(a, b int) bool {
+		return tasks[idx[a]].Period > tasks[idx[b]].Period
+	})
+	for level, i := range idx {
+		res.Priorities[i] = level + 1
+	}
+	res.Valid = Validate(tasks, res.Priorities)
+	return res
+}
+
+// SlackMonotonic assigns priorities by the stability budget b of Eq. 5:
+// tighter budget → higher priority. This is the "give the fussy loop more
+// resource" intuition the paper warns about: monotonicity-assuming and
+// sometimes wrong, but a useful quick heuristic. Valid reports the exact
+// verdict.
+func SlackMonotonic(tasks []rta.Task) Result {
+	n := len(tasks)
+	res := Result{Priorities: make([]int, n)}
+	if n == 0 {
+		res.Valid = true
+		return res
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Largest stability budget b gets the lowest priority.
+	sort.SliceStable(idx, func(a, b int) bool {
+		return tasks[idx[a]].ConB > tasks[idx[b]].ConB
+	})
+	for level, i := range idx {
+		res.Priorities[i] = level + 1
+	}
+	res.Valid = Validate(tasks, res.Priorities)
+	return res
+}
+
+// CompareHeuristics runs every assignment method on one task set and
+// reports which produced a verified-stable assignment. Used by the
+// extension experiment that positions Algorithm 1 against the classical
+// heuristics.
+type HeuristicOutcome struct {
+	RateMonotonic  bool
+	SlackMonotonic bool
+	UnsafeValid    bool // Unsafe Quadratic produced a valid assignment
+	Backtracking   bool // Algorithm 1 found a valid assignment
+	// BacktrackingAborted is set when the budgeted search gave up before
+	// finding an assignment or proving infeasibility (possible only on
+	// pathological infeasible instances at large n).
+	BacktrackingAborted bool
+}
+
+// CompareHeuristics evaluates all methods on the given task set. The
+// backtracking run is memoized and budgeted so that rare, heavily
+// infeasible instances cannot stall a campaign; feasible instances are
+// solved well within the budget.
+func CompareHeuristics(tasks []rta.Task) HeuristicOutcome {
+	bt := BacktrackingOpts(tasks, Options{Memoize: true, MaxEvaluations: 200000})
+	return HeuristicOutcome{
+		RateMonotonic:       RateMonotonic(tasks).Valid,
+		SlackMonotonic:      SlackMonotonic(tasks).Valid,
+		UnsafeValid:         UnsafeQuadratic(tasks).Valid,
+		Backtracking:        bt.Valid,
+		BacktrackingAborted: bt.Aborted,
+	}
+}

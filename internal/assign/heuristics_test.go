@@ -1,0 +1,76 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+
+	"ctrlsched/internal/rta"
+)
+
+func TestRateMonotonicOrder(t *testing.T) {
+	tasks := []rta.Task{
+		{Name: "slow", BCET: 1, WCET: 1, Period: 20, ConA: 1, ConB: 100},
+		{Name: "fast", BCET: 0.1, WCET: 0.2, Period: 2, ConA: 1, ConB: 100},
+		{Name: "mid", BCET: 0.5, WCET: 0.5, Period: 7, ConA: 1, ConB: 100},
+	}
+	res := RateMonotonic(tasks)
+	if !res.Valid {
+		t.Fatal("generous constraints: RM should be valid")
+	}
+	// fast > mid > slow in priority.
+	if !(res.Priorities[1] > res.Priorities[2] && res.Priorities[2] > res.Priorities[0]) {
+		t.Fatalf("RM order wrong: %v", res.Priorities)
+	}
+}
+
+func TestSlackMonotonicOrder(t *testing.T) {
+	tasks := []rta.Task{
+		{Name: "loose", BCET: 0.1, WCET: 0.2, Period: 5, ConA: 1, ConB: 50},
+		{Name: "tight", BCET: 0.1, WCET: 0.2, Period: 5, ConA: 1, ConB: 1},
+	}
+	res := SlackMonotonic(tasks)
+	// Tight budget gets the higher priority.
+	if !(res.Priorities[1] > res.Priorities[0]) {
+		t.Fatalf("slack-monotonic order wrong: %v", res.Priorities)
+	}
+}
+
+func TestHeuristicsEmptySet(t *testing.T) {
+	if !RateMonotonic(nil).Valid || !SlackMonotonic(nil).Valid {
+		t.Fatal("empty set should be trivially valid")
+	}
+}
+
+func TestHeuristicValidityFlagExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for trial := 0; trial < 200; trial++ {
+		tasks := randomTaskSet(rng, 3+rng.Intn(4))
+		for _, res := range []Result{RateMonotonic(tasks), SlackMonotonic(tasks)} {
+			if res.Valid != Validate(tasks, res.Priorities) {
+				t.Fatalf("trial %d: Valid flag inconsistent with Validate", trial)
+			}
+		}
+	}
+}
+
+// Backtracking dominates every heuristic: whenever any heuristic finds a
+// valid assignment, Algorithm 1 must too (completeness in practice).
+func TestBacktrackingDominatesHeuristics(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	heuristicWins := 0
+	for trial := 0; trial < 300; trial++ {
+		tasks := randomTaskSet(rng, 3+rng.Intn(4))
+		out := CompareHeuristics(tasks)
+		if (out.RateMonotonic || out.SlackMonotonic || out.UnsafeValid) && !out.Backtracking {
+			t.Fatalf("trial %d: heuristic valid but Backtracking failed: %+v", trial, out)
+		}
+		if out.Backtracking && !out.RateMonotonic {
+			heuristicWins++
+		}
+	}
+	// The comparison is only meaningful if Backtracking actually beats
+	// RM on some instances.
+	if heuristicWins == 0 {
+		t.Fatal("RM never lost; sampling degenerate")
+	}
+}

@@ -1,0 +1,214 @@
+// Package cmat implements dense complex-valued matrices with the small set
+// of operations needed to evaluate frequency responses of state-space
+// systems: arithmetic, LU solve with partial pivoting, and conversion from
+// real matrices. Storage is row-major, results are freshly allocated, and
+// dimension mismatches panic.
+package cmat
+
+import (
+	"errors"
+	"fmt"
+	"math/cmplx"
+
+	"ctrlsched/internal/mat"
+)
+
+// ErrSingular is returned when a complex solve hits a zero pivot.
+var ErrSingular = errors.New("cmat: matrix is singular to working precision")
+
+// Matrix is a dense, row-major complex matrix.
+type Matrix struct {
+	rows, cols int
+	data       []complex128
+}
+
+// New returns a zero r×c complex matrix.
+func New(r, c int) *Matrix {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("cmat: invalid dimensions %d×%d", r, c))
+	}
+	return &Matrix{rows: r, cols: c, data: make([]complex128, r*c)}
+}
+
+// FromReal lifts a real matrix into the complex domain.
+func FromReal(m *mat.Matrix) *Matrix {
+	c := New(m.Rows(), m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			c.data[i*c.cols+j] = complex(m.At(i, j), 0)
+		}
+	}
+	return c
+}
+
+// Identity returns the n×n complex identity.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) complex128 {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("cmat: index (%d,%d) out of range %d×%d", i, j, m.rows, m.cols))
+	}
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v complex128) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("cmat: index (%d,%d) out of range %d×%d", i, j, m.rows, m.cols))
+	}
+	m.data[i*m.cols+j] = v
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Add returns m + n.
+func (m *Matrix) Add(n *Matrix) *Matrix {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic("cmat: Add dimension mismatch")
+	}
+	r := m.Clone()
+	for i, v := range n.data {
+		r.data[i] += v
+	}
+	return r
+}
+
+// Sub returns m − n.
+func (m *Matrix) Sub(n *Matrix) *Matrix {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic("cmat: Sub dimension mismatch")
+	}
+	r := m.Clone()
+	for i, v := range n.data {
+		r.data[i] -= v
+	}
+	return r
+}
+
+// Scale returns s·m.
+func (m *Matrix) Scale(s complex128) *Matrix {
+	r := m.Clone()
+	for i := range r.data {
+		r.data[i] *= s
+	}
+	return r
+}
+
+// Mul returns the product m·n.
+func (m *Matrix) Mul(n *Matrix) *Matrix {
+	if m.cols != n.rows {
+		panic(fmt.Sprintf("cmat: Mul dimension mismatch %d×%d by %d×%d", m.rows, m.cols, n.rows, n.cols))
+	}
+	r := New(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			mv := m.data[i*m.cols+k]
+			if mv == 0 {
+				continue
+			}
+			for j := 0; j < n.cols; j++ {
+				r.data[i*n.cols+j] += mv * n.data[k*n.cols+j]
+			}
+		}
+	}
+	return r
+}
+
+// Solve solves m·x = b by LU with partial pivoting (largest modulus).
+func (m *Matrix) Solve(b *Matrix) (*Matrix, error) {
+	if m.rows != m.cols {
+		panic("cmat: Solve requires a square matrix")
+	}
+	if b.rows != m.rows {
+		panic("cmat: Solve dimension mismatch")
+	}
+	n := m.rows
+	lu := m.Clone()
+	x := b.Clone()
+	for k := 0; k < n; k++ {
+		p, max := k, cmplx.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := cmplx.Abs(lu.data[i*n+k]); a > max {
+				p, max = i, a
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu.data[p*n+j], lu.data[k*n+j] = lu.data[k*n+j], lu.data[p*n+j]
+			}
+			for j := 0; j < x.cols; j++ {
+				x.data[p*x.cols+j], x.data[k*x.cols+j] = x.data[k*x.cols+j], x.data[p*x.cols+j]
+			}
+		}
+		pivot := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := lu.data[i*n+k] / pivot
+			if l == 0 {
+				continue
+			}
+			lu.data[i*n+k] = l
+			for j := k + 1; j < n; j++ {
+				lu.data[i*n+j] -= l * lu.data[k*n+j]
+			}
+			for j := 0; j < x.cols; j++ {
+				x.data[i*x.cols+j] -= l * x.data[k*x.cols+j]
+			}
+		}
+	}
+	// Back substitution.
+	for j := 0; j < x.cols; j++ {
+		for i := n - 1; i >= 0; i-- {
+			s := x.data[i*x.cols+j]
+			for k := i + 1; k < n; k++ {
+				s -= lu.data[i*n+k] * x.data[k*x.cols+j]
+			}
+			x.data[i*x.cols+j] = s / lu.data[i*n+i]
+		}
+	}
+	return x, nil
+}
+
+// MaxAbs returns the largest modulus among the entries.
+func (m *Matrix) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.data {
+		if a := cmplx.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// EqualApprox reports whether all entries agree within modulus tol.
+func (m *Matrix) EqualApprox(n *Matrix, tol float64) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if cmplx.Abs(v-n.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

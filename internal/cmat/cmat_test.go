@@ -1,0 +1,122 @@
+package cmat
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"ctrlsched/internal/mat"
+)
+
+func randC(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+	}
+	return m
+}
+
+func TestFromReal(t *testing.T) {
+	r := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	c := FromReal(r)
+	if c.At(1, 0) != 3 || c.At(0, 1) != 2 {
+		t.Fatal("FromReal layout wrong")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := New(1, 2)
+	a.Set(0, 0, 1+2i)
+	a.Set(0, 1, 3)
+	b := a.Scale(2)
+	if b.At(0, 0) != 2+4i {
+		t.Fatalf("Scale = %v", b.At(0, 0))
+	}
+	if got := a.Add(a).Sub(a); !got.EqualApprox(a, 1e-15) {
+		t.Fatal("A+A−A != A")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a := randC(rng, 4, 4)
+	if !a.Mul(Identity(4)).EqualApprox(a, 1e-14) {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestMulKnownComplex(t *testing.T) {
+	// [i]·[i] = [−1]
+	a := New(1, 1)
+	a.Set(0, 0, 1i)
+	if got := a.Mul(a).At(0, 0); got != -1 {
+		t.Fatalf("i·i = %v", got)
+	}
+}
+
+func TestSolveResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(6)
+		a := randC(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+complex(float64(2*n), 0))
+		}
+		b := randC(rng, n, 2)
+		x, err := a.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Mul(x).EqualApprox(b, 1e-9) {
+			t.Fatalf("trial %d: residual %v", trial, a.Mul(x).Sub(b).MaxAbs())
+		}
+	}
+}
+
+func TestSolvePivoting(t *testing.T) {
+	a := New(2, 2)
+	a.Set(0, 1, 1) // zero leading pivot
+	a.Set(1, 0, 1)
+	b := New(2, 1)
+	b.Set(0, 0, 2)
+	b.Set(1, 0, 3i)
+	x, err := a.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x.At(0, 0)-3i) > 1e-14 || cmplx.Abs(x.At(1, 0)-2) > 1e-14 {
+		t.Fatalf("x = [%v %v], want [3i 2]", x.At(0, 0), x.At(1, 0))
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := New(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	if _, err := a.Solve(Identity(2)); err == nil {
+		t.Fatal("singular solve did not error")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := New(1, 2)
+	a.Set(0, 0, 3+4i) // modulus 5
+	a.Set(0, 1, 2)
+	if a.MaxAbs() != 5 {
+		t.Fatalf("MaxAbs = %v, want 5", a.MaxAbs())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(1, 1)
+	a.Set(0, 0, 7)
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 7 {
+		t.Fatal("Clone shares storage")
+	}
+}

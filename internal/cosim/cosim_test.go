@@ -1,0 +1,188 @@
+package cosim
+
+import (
+	"math"
+	"testing"
+
+	"ctrlsched/internal/lqg"
+	"ctrlsched/internal/plant"
+	"ctrlsched/internal/rta"
+	"ctrlsched/internal/sim"
+)
+
+// servoLoop builds a well-dimensioned DC-servo control loop: a task with
+// comfortable margins running its LQG controller.
+func servoLoop(t testing.TB, h float64) Loop {
+	t.Helper()
+	p := plant.DCServo()
+	d, err := lqg.Synthesize(p, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Loop{
+		Task: rta.Task{
+			Name: "servo", BCET: h / 20, WCET: h / 10, Period: h,
+			ConA: 1, ConB: h,
+		},
+		Design: d,
+	}
+}
+
+func TestSingleLoopStable(t *testing.T) {
+	lp := servoLoop(t, 0.006)
+	res, err := Run([]Loop{lp}, []int{1}, Config{Horizon: 3, Seed: 1, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := res.Loops[0]
+	if lr.Samples < 100 {
+		t.Fatalf("only %d control samples", lr.Samples)
+	}
+	// Deterministic stable loop from x0 = [1 0]: trajectory must decay,
+	// not blow up.
+	if lr.MaxState > 100 {
+		t.Fatalf("stable loop reached |x| = %v", lr.MaxState)
+	}
+	if math.IsNaN(lr.Cost) || lr.Cost < 0 {
+		t.Fatalf("cost = %v", lr.Cost)
+	}
+}
+
+func TestNoiseIncreasesCost(t *testing.T) {
+	lp := servoLoop(t, 0.006)
+	det, err := Run([]Loop{lp}, []int{1}, Config{Horizon: 4, Seed: 3, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Run([]Loop{lp}, []int{1}, Config{Horizon: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Loops[0].Cost <= det.Loops[0].Cost {
+		t.Fatalf("noise did not increase cost: %v vs %v", noisy.Loops[0].Cost, det.Loops[0].Cost)
+	}
+}
+
+func TestExcessiveLatencyDestabilizes(t *testing.T) {
+	// DC servo at h ≈ 12 ms tolerates only ≈ 2.8 ms of latency (its
+	// fitted jitter-margin b). A task whose execution alone takes 5 ms
+	// actuates beyond that limit every period: the co-simulated loop
+	// must blow up, while a 0.5 ms variant stays healthy. This checks
+	// that the trajectory-level "ground truth" agrees with the
+	// analytical stability verdicts.
+	const h = 0.0119
+	d, err := lqg.Synthesize(plant.DCServo(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(c float64) Loop {
+		return Loop{
+			Task:   rta.Task{Name: "servo", BCET: c, WCET: c, Period: h, ConA: 1, ConB: h},
+			Design: d,
+		}
+	}
+	healthy, err := Run([]Loop{mk(0.0005)}, []int{1}, Config{Horizon: 3, Seed: 5, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := Run([]Loop{mk(0.005)}, []int{1}, Config{Horizon: 3, Seed: 5, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Loops[0].MaxState > 100 {
+		t.Fatalf("healthy loop diverged: %v", healthy.Loops[0].MaxState)
+	}
+	if delayed.Loops[0].MaxState < 1000*healthy.Loops[0].MaxState {
+		t.Fatalf("excess latency did not degrade the loop: healthy %v delayed %v",
+			healthy.Loops[0].MaxState, delayed.Loops[0].MaxState)
+	}
+}
+
+func TestTwoLoopsSharingProcessor(t *testing.T) {
+	a := servoLoop(t, 0.006)
+	b := servoLoop(t, 0.010)
+	b.Task.Name = "servo2"
+	b.Task.Period = 0.010
+	b.Task.BCET, b.Task.WCET = 0.0005, 0.001
+	res, err := Run([]Loop{a, b}, []int{2, 1}, Config{Horizon: 2, Seed: 9, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, lr := range res.Loops {
+		if lr.Samples == 0 {
+			t.Fatalf("loop %d never actuated", i)
+		}
+		if lr.MaxState > 100 {
+			t.Fatalf("loop %d diverged: %v", i, lr.MaxState)
+		}
+	}
+	if res.Sched.DeadlineMisses != 0 {
+		t.Fatalf("unexpected deadline misses: %d", res.Sched.DeadlineMisses)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, nil, Config{Horizon: 1}); err == nil {
+		t.Error("empty loops accepted")
+	}
+	lp := servoLoop(t, 0.006)
+	if _, err := Run([]Loop{lp}, []int{1}, Config{}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+// The empirical noisy cost must agree with the analytical stationary LQG
+// cost within Monte-Carlo slack when the actuation delay is negligible —
+// the cross-validation of the whole lqg+cosim stack. (The analytical cost
+// assumes zero latency; the simulated task actuates after BCET = h/2000.)
+func TestEmpiricalCostMatchesAnalytical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo comparison")
+	}
+	const h = 0.006
+	p := plant.DCServo()
+	d, err := lqg.Synthesize(p, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := Loop{
+		Task:   rta.Task{Name: "servo", BCET: h / 2000, WCET: h / 2000, Period: h, ConA: 1, ConB: h},
+		Design: d,
+	}
+	// Average several seeds to tame Monte-Carlo variance; the initial
+	// transient (x0 = e1) is amortized over the 20 s horizon.
+	var sum float64
+	const seeds = 5
+	for s := int64(0); s < seeds; s++ {
+		res, err := Run([]Loop{lp}, []int{1}, Config{Horizon: 20, Seed: 100 + s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.Loops[0].Cost
+	}
+	emp := sum / seeds
+	if emp <= 0 {
+		t.Fatalf("empirical cost %v", emp)
+	}
+	ratio := emp / d.Cost
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("empirical/analytical cost ratio %.3f (emp %.4g, ana %.4g) outside [0.4, 2.5]",
+			ratio, emp, d.Cost)
+	}
+	t.Logf("empirical %.4g vs analytical %.4g (ratio %.3f)", emp, d.Cost, ratio)
+}
+
+func TestDeterminismWithSeed(t *testing.T) {
+	lp := servoLoop(t, 0.006)
+	r1, err := Run([]Loop{lp}, []int{1}, Config{Horizon: 1, Seed: 11, Exec: sim.ExecRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run([]Loop{lp}, []int{1}, Config{Horizon: 1, Seed: 11, Exec: sim.ExecRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Loops[0].Cost != r2.Loops[0].Cost {
+		t.Fatalf("cost differs across identical seeds: %v vs %v", r1.Loops[0].Cost, r2.Loops[0].Cost)
+	}
+}

@@ -1,0 +1,393 @@
+// Package eig computes eigenvalues of dense real matrices using the
+// classical EISPACK pipeline: radix-2 balancing, reduction to upper
+// Hessenberg form by stabilized elementary transformations, and the Francis
+// implicit double-shift QR iteration. It exposes the derived predicates the
+// rest of ctrlsched relies on: spectral radius, Schur (discrete-time) and
+// Hurwitz (continuous-time) stability.
+package eig
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"ctrlsched/internal/mat"
+)
+
+// ErrNoConvergence is returned when the QR iteration fails to deflate an
+// eigenvalue within the iteration budget. This essentially never happens
+// for the balanced matrices produced by the control stack, but callers must
+// treat it as "stability unknown", not as "stable".
+var ErrNoConvergence = errors.New("eig: QR iteration did not converge")
+
+const maxIterationsPerEigenvalue = 50
+
+// Eigenvalues returns all eigenvalues of the square matrix a as complex
+// numbers, sorted by decreasing modulus (ties broken by real part, then
+// imaginary part, for determinism).
+func Eigenvalues(a *mat.Matrix) ([]complex128, error) {
+	if !a.IsSquare() {
+		panic("eig: Eigenvalues requires a square matrix")
+	}
+	n := a.Rows()
+	if n == 1 {
+		return []complex128{complex(a.At(0, 0), 0)}, nil
+	}
+	h := toDense(a)
+	balance(h)
+	hessenberg(h)
+	wr, wi, err := hqr(h)
+	if err != nil {
+		return nil, err
+	}
+	ev := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		ev[i] = complex(wr[i], wi[i])
+	}
+	sort.Slice(ev, func(i, j int) bool {
+		mi, mj := cmplx.Abs(ev[i]), cmplx.Abs(ev[j])
+		if mi != mj {
+			return mi > mj
+		}
+		if real(ev[i]) != real(ev[j]) {
+			return real(ev[i]) > real(ev[j])
+		}
+		return imag(ev[i]) > imag(ev[j])
+	})
+	return ev, nil
+}
+
+// SpectralRadius returns max |λ| over the eigenvalues of a.
+func SpectralRadius(a *mat.Matrix) (float64, error) {
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		return 0, err
+	}
+	return cmplx.Abs(ev[0]), nil
+}
+
+// IsSchurStable reports whether all eigenvalues of a lie strictly inside
+// the unit circle with margin tol (|λ| < 1 − tol). It is the stability test
+// for discrete-time systems x(k+1) = A·x(k).
+func IsSchurStable(a *mat.Matrix, tol float64) (bool, error) {
+	r, err := SpectralRadius(a)
+	if err != nil {
+		return false, err
+	}
+	return r < 1-tol, nil
+}
+
+// IsHurwitzStable reports whether all eigenvalues of a have real part
+// < −tol. It is the stability test for continuous-time systems ẋ = A·x.
+func IsHurwitzStable(a *mat.Matrix, tol float64) (bool, error) {
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		return false, err
+	}
+	for _, l := range ev {
+		if real(l) >= -tol {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// toDense copies a mat.Matrix into a [][]float64 working array.
+func toDense(a *mat.Matrix) [][]float64 {
+	n := a.Rows()
+	h := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		h[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			h[i][j] = a.At(i, j)
+		}
+	}
+	return h
+}
+
+// balance applies the Parlett–Reinsch radix-2 balancing, replacing a by
+// D⁻¹AD with diagonal D so that row and column norms are comparable. It
+// preserves eigenvalues exactly (powers of 2 introduce no rounding).
+func balance(a [][]float64) {
+	const radix = 2.0
+	n := len(a)
+	sqrdx := radix * radix
+	for done := false; !done; {
+		done = true
+		for i := 0; i < n; i++ {
+			var r, c float64
+			for j := 0; j < n; j++ {
+				if j != i {
+					c += math.Abs(a[j][i])
+					r += math.Abs(a[i][j])
+				}
+			}
+			if c == 0 || r == 0 {
+				continue
+			}
+			g := r / radix
+			f := 1.0
+			s := c + r
+			for c < g {
+				f *= radix
+				c *= sqrdx
+			}
+			g = r * radix
+			for c > g {
+				f /= radix
+				c /= sqrdx
+			}
+			if (c+r)/f < 0.95*s {
+				done = false
+				g = 1 / f
+				for j := 0; j < n; j++ {
+					a[i][j] *= g
+				}
+				for j := 0; j < n; j++ {
+					a[j][i] *= f
+				}
+			}
+		}
+	}
+}
+
+// hessenberg reduces a to upper Hessenberg form in place using stabilized
+// elementary similarity transformations (EISPACK elmhes). Entries below the
+// first subdiagonal are zeroed on exit.
+func hessenberg(a [][]float64) {
+	n := len(a)
+	for m := 1; m < n-1; m++ {
+		// Pivot: largest |a[i][m-1]| for i ≥ m.
+		var x float64
+		i := m
+		for j := m; j < n; j++ {
+			if math.Abs(a[j][m-1]) > math.Abs(x) {
+				x = a[j][m-1]
+				i = j
+			}
+		}
+		if i != m {
+			for j := m - 1; j < n; j++ {
+				a[i][j], a[m][j] = a[m][j], a[i][j]
+			}
+			for j := 0; j < n; j++ {
+				a[j][i], a[j][m] = a[j][m], a[j][i]
+			}
+		}
+		if x != 0 {
+			for i := m + 1; i < n; i++ {
+				y := a[i][m-1]
+				if y == 0 {
+					continue
+				}
+				y /= x
+				a[i][m-1] = y
+				for j := m; j < n; j++ {
+					a[i][j] -= y * a[m][j]
+				}
+				for j := 0; j < n; j++ {
+					a[j][m] += y * a[j][i]
+				}
+			}
+		}
+	}
+	// Clear the multipliers stored below the subdiagonal.
+	for i := 2; i < n; i++ {
+		for j := 0; j < i-1; j++ {
+			a[i][j] = 0
+		}
+	}
+}
+
+// hqr finds all eigenvalues of an upper Hessenberg matrix by the Francis
+// double-shift QR iteration (EISPACK hqr). The matrix is destroyed. Returns
+// the real and imaginary parts of the eigenvalues.
+func hqr(a [][]float64) (wr, wi []float64, err error) {
+	n := len(a)
+	wr = make([]float64, n)
+	wi = make([]float64, n)
+
+	var anorm float64
+	for i := 0; i < n; i++ {
+		for j := max(i-1, 0); j < n; j++ {
+			anorm += math.Abs(a[i][j])
+		}
+	}
+	if anorm == 0 {
+		return wr, wi, nil // zero matrix: all eigenvalues zero
+	}
+
+	nn := n - 1
+	t := 0.0
+	var p, q, r, x, y, z, w, s float64
+	for nn >= 0 {
+		its := 0
+		var l int
+		for {
+			// Look for a single small subdiagonal element.
+			for l = nn; l >= 1; l-- {
+				s = math.Abs(a[l-1][l-1]) + math.Abs(a[l][l])
+				if s == 0 {
+					s = anorm
+				}
+				if math.Abs(a[l][l-1]) <= 1e-14*s {
+					a[l][l-1] = 0
+					break
+				}
+			}
+			if l < 0 {
+				l = 0
+			}
+			x = a[nn][nn]
+			if l == nn {
+				// One real root found.
+				wr[nn] = x + t
+				wi[nn] = 0
+				nn--
+				break
+			}
+			y = a[nn-1][nn-1]
+			w = a[nn][nn-1] * a[nn-1][nn]
+			if l == nn-1 {
+				// Two roots found.
+				p = 0.5 * (y - x)
+				q = p*p + w
+				z = math.Sqrt(math.Abs(q))
+				x += t
+				if q >= 0 {
+					// Real pair.
+					z = p + math.Copysign(z, p)
+					wr[nn-1] = x + z
+					wr[nn] = wr[nn-1]
+					if z != 0 {
+						wr[nn] = x - w/z
+					}
+					wi[nn-1] = 0
+					wi[nn] = 0
+				} else {
+					// Complex-conjugate pair.
+					wr[nn-1] = x + p
+					wr[nn] = x + p
+					wi[nn-1] = -z
+					wi[nn] = z
+				}
+				nn -= 2
+				break
+			}
+			// No root found yet: iterate.
+			if its == maxIterationsPerEigenvalue {
+				return nil, nil, ErrNoConvergence
+			}
+			if its == 10 || its == 20 || its == 30 || its == 40 {
+				// Exceptional shift to break symmetry-induced cycles.
+				t += x
+				for i := 0; i <= nn; i++ {
+					a[i][i] -= x
+				}
+				s = math.Abs(a[nn][nn-1]) + math.Abs(a[nn-1][nn-2])
+				x = 0.75 * s
+				y = x
+				w = -0.4375 * s * s
+			}
+			its++
+			// Find two consecutive small subdiagonal elements.
+			var m int
+			for m = nn - 2; m >= l; m-- {
+				z = a[m][m]
+				r = x - z
+				s = y - z
+				p = (r*s-w)/a[m+1][m] + a[m][m+1]
+				q = a[m+1][m+1] - z - r - s
+				r = a[m+2][m+1]
+				s = math.Abs(p) + math.Abs(q) + math.Abs(r)
+				p /= s
+				q /= s
+				r /= s
+				if m == l {
+					break
+				}
+				u := math.Abs(a[m][m-1]) * (math.Abs(q) + math.Abs(r))
+				v := math.Abs(p) * (math.Abs(a[m-1][m-1]) + math.Abs(z) + math.Abs(a[m+1][m+1]))
+				if u <= 1e-14*v {
+					break
+				}
+			}
+			if m < l {
+				m = l
+			}
+			for i := m + 2; i <= nn; i++ {
+				a[i][i-2] = 0
+				if i != m+2 {
+					a[i][i-3] = 0
+				}
+			}
+			// Double QR step on rows l..nn and columns m..nn.
+			for k := m; k <= nn-1; k++ {
+				if k != m {
+					p = a[k][k-1]
+					q = a[k+1][k-1]
+					r = 0
+					if k+1 != nn {
+						r = a[k+2][k-1]
+					}
+					x = math.Abs(p) + math.Abs(q) + math.Abs(r)
+					if x != 0 {
+						p /= x
+						q /= x
+						r /= x
+					}
+				}
+				s = math.Copysign(math.Sqrt(p*p+q*q+r*r), p)
+				if s == 0 {
+					continue
+				}
+				if k == m {
+					if l != m {
+						a[k][k-1] = -a[k][k-1]
+					}
+				} else {
+					a[k][k-1] = -s * x
+				}
+				p += s
+				x = p / s
+				y = q / s
+				z = r / s
+				q /= p
+				r /= p
+				// Row modification.
+				for j := k; j <= nn; j++ {
+					p = a[k][j] + q*a[k+1][j]
+					if k+1 != nn {
+						p += r * a[k+2][j]
+						a[k+2][j] -= p * z
+					}
+					a[k+1][j] -= p * y
+					a[k][j] -= p * x
+				}
+				mmin := nn
+				if k+3 < nn {
+					mmin = k + 3
+				}
+				// Column modification.
+				for i := l; i <= mmin; i++ {
+					p = x*a[i][k] + y*a[i][k+1]
+					if k+1 != nn {
+						p += z * a[i][k+2]
+						a[i][k+2] -= p * r
+					}
+					a[i][k+1] -= p * q
+					a[i][k] -= p
+				}
+			}
+		}
+	}
+	return wr, wi, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,316 @@
+package eig
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ctrlsched/internal/mat"
+)
+
+// sortedMods returns the eigenvalue moduli sorted descending.
+func sortedMods(ev []complex128) []float64 {
+	m := make([]float64, len(ev))
+	for i, l := range ev {
+		m[i] = cmplx.Abs(l)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(m)))
+	return m
+}
+
+// matchEigs checks that got contains each member of want within tol,
+// consuming matches (multiset comparison).
+func matchEigs(t *testing.T, got []complex128, want []complex128, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("eigenvalue count = %d, want %d", len(got), len(want))
+	}
+	used := make([]bool, len(got))
+	for _, w := range want {
+		found := false
+		for i, g := range got {
+			if !used[i] && cmplx.Abs(g-w) < tol {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("eigenvalue %v not found in %v", w, got)
+		}
+	}
+}
+
+func TestEigenvaluesDiagonal(t *testing.T) {
+	ev, err := Eigenvalues(mat.Diag(3, -1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchEigs(t, ev, []complex128{3, -1, 2}, 1e-10)
+}
+
+func TestEigenvalues1x1(t *testing.T) {
+	ev, err := Eigenvalues(mat.FromRows([][]float64{{-7}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchEigs(t, ev, []complex128{-7}, 1e-14)
+}
+
+func TestEigenvaluesTriangular(t *testing.T) {
+	a := mat.FromRows([][]float64{
+		{1, 5, 9},
+		{0, 2, 7},
+		{0, 0, 3},
+	})
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchEigs(t, ev, []complex128{1, 2, 3}, 1e-10)
+}
+
+func TestEigenvaluesSymmetric2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	ev, err := Eigenvalues(mat.FromRows([][]float64{{2, 1}, {1, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchEigs(t, ev, []complex128{1, 3}, 1e-12)
+}
+
+func TestEigenvaluesRotationComplexPair(t *testing.T) {
+	// [[0,−1],[1,0]] has eigenvalues ±i.
+	ev, err := Eigenvalues(mat.FromRows([][]float64{{0, -1}, {1, 0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchEigs(t, ev, []complex128{complex(0, 1), complex(0, -1)}, 1e-12)
+}
+
+func TestEigenvaluesHarmonicOscillator(t *testing.T) {
+	// ẋ = [[0,1],[−ω²,0]]x has eigenvalues ±jω.
+	om := 10.0
+	a := mat.FromRows([][]float64{{0, 1}, {-om * om, 0}})
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchEigs(t, ev, []complex128{complex(0, om), complex(0, -om)}, 1e-9)
+}
+
+func TestEigenvaluesCompanion(t *testing.T) {
+	// Companion of (x−1)(x−2)(x−3) = x³ −6x² +11x −6:
+	a := mat.FromRows([][]float64{
+		{6, -11, 6},
+		{1, 0, 0},
+		{0, 1, 0},
+	})
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchEigs(t, ev, []complex128{1, 2, 3}, 1e-8)
+}
+
+func TestEigenvaluesDefective(t *testing.T) {
+	// Jordan block: eigenvalue 2 with multiplicity 3.
+	a := mat.FromRows([][]float64{
+		{2, 1, 0},
+		{0, 2, 1},
+		{0, 0, 2},
+	})
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range ev {
+		if cmplx.Abs(l-2) > 1e-4 { // defective: accuracy limited to eps^(1/3)
+			t.Fatalf("Jordan eigenvalue %v too far from 2", l)
+		}
+	}
+}
+
+func TestTraceDetInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(6)
+		a := mat.New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		ev, err := Eigenvalues(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var sum, prod complex128 = 0, 1
+		for _, l := range ev {
+			sum += l
+			prod *= l
+		}
+		if math.Abs(real(sum)-a.Trace()) > 1e-8*(1+math.Abs(a.Trace())) {
+			t.Fatalf("trial %d: Σλ=%v, tr=%v", trial, sum, a.Trace())
+		}
+		if math.Abs(imag(sum)) > 1e-8 {
+			t.Fatalf("trial %d: Σλ has imaginary part %v", trial, imag(sum))
+		}
+		det := mat.Det(a)
+		if cmplx.Abs(prod-complex(det, 0)) > 1e-7*(1+math.Abs(det)) {
+			t.Fatalf("trial %d: Πλ=%v, det=%v", trial, prod, det)
+		}
+	}
+}
+
+func TestSpectralRadiusStochastic(t *testing.T) {
+	// A row-stochastic matrix has spectral radius exactly 1.
+	a := mat.FromRows([][]float64{
+		{0.5, 0.3, 0.2},
+		{0.1, 0.8, 0.1},
+		{0.25, 0.25, 0.5},
+	})
+	r, err := SpectralRadius(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-10 {
+		t.Fatalf("spectral radius = %v, want 1", r)
+	}
+}
+
+func TestSpectralRadiusNilpotent(t *testing.T) {
+	a := mat.FromRows([][]float64{{0, 1, 0}, {0, 0, 1}, {0, 0, 0}})
+	r, err := SpectralRadius(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 1e-4 {
+		t.Fatalf("nilpotent spectral radius = %v, want ~0", r)
+	}
+}
+
+func TestIsSchurStable(t *testing.T) {
+	stable := mat.FromRows([][]float64{{0.5, 0.2}, {-0.1, 0.3}})
+	ok, err := IsSchurStable(stable, 0)
+	if err != nil || !ok {
+		t.Fatalf("stable matrix flagged unstable: %v %v", ok, err)
+	}
+	unstable := mat.FromRows([][]float64{{1.1, 0}, {0, 0.5}})
+	ok, err = IsSchurStable(unstable, 0)
+	if err != nil || ok {
+		t.Fatalf("unstable matrix flagged stable: %v %v", ok, err)
+	}
+	// Marginal case with tolerance.
+	marginal := mat.Diag(1.0, 0.2)
+	ok, err = IsSchurStable(marginal, 1e-9)
+	if err != nil || ok {
+		t.Fatalf("marginal matrix flagged stable under tolerance")
+	}
+}
+
+func TestIsHurwitzStable(t *testing.T) {
+	stable := mat.FromRows([][]float64{{-1, 5}, {0, -0.5}})
+	ok, err := IsHurwitzStable(stable, 0)
+	if err != nil || !ok {
+		t.Fatalf("Hurwitz-stable matrix flagged unstable")
+	}
+	// DC servo 1000/(s²+s): pole at 0 => not strictly stable.
+	servo := mat.FromRows([][]float64{{0, 1}, {0, -1}})
+	ok, err = IsHurwitzStable(servo, 1e-12)
+	if err != nil || ok {
+		t.Fatalf("integrator flagged Hurwitz stable")
+	}
+}
+
+// Similarity invariance: eigenvalues of T⁻¹AT equal those of A.
+func TestSimilarityInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		a := mat.New(n, n)
+		tr := mat.New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+				tr.Set(i, j, rng.NormFloat64())
+			}
+			tr.Set(i, i, tr.At(i, i)+float64(2*n)) // well-conditioned T
+		}
+		tinv, err := mat.Inverse(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evA, err := Eigenvalues(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evB, err := Eigenvalues(tinv.Mul(a).Mul(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ma, mb := sortedMods(evA), sortedMods(evB)
+		for i := range ma {
+			if math.Abs(ma[i]-mb[i]) > 1e-6*(1+ma[i]) {
+				t.Fatalf("trial %d: moduli differ: %v vs %v", trial, ma, mb)
+			}
+		}
+	}
+}
+
+// Spectral mapping: eigenvalues of A² are squares of eigenvalues of A.
+func TestSpectralMappingSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		a := mat.New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		evA, err := Eigenvalues(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evA2, err := Eigenvalues(a.Mul(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]complex128, len(evA))
+		for i, l := range evA {
+			want[i] = l * l
+		}
+		matchEigs(t, evA2, want, 1e-5*(1+sortedMods(want)[0]))
+	}
+}
+
+func TestZeroMatrix(t *testing.T) {
+	ev, err := Eigenvalues(mat.New(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range ev {
+		if cmplx.Abs(l) != 0 {
+			t.Fatalf("zero matrix eigenvalue %v", l)
+		}
+	}
+}
+
+func BenchmarkEigenvalues8(b *testing.B) {
+	rng := rand.New(rand.NewSource(44))
+	a := mat.New(8, 8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eigenvalues(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"ctrlsched/internal/assign"
+	"ctrlsched/internal/taskgen"
+)
+
+// CompareRow reports, for one task-set size, how often each priority
+// assignment method produced a verified-stable assignment. This is the
+// paper's Section IV argument made quantitative: classical heuristics
+// (rate-monotonic), stability-budget heuristics, the unsafe quadratic
+// baseline, and the sound-and-complete Algorithm 1.
+type CompareRow struct {
+	N          int
+	Benchmarks int
+
+	RateMonotonicValid  int
+	SlackMonotonicValid int
+	UnsafeValid         int
+	BacktrackingValid   int
+}
+
+// CompareConfig parameterizes the method comparison.
+type CompareConfig struct {
+	Benchmarks int
+	Sizes      []int
+	Seed       int64
+	Gen        *taskgen.Generator
+}
+
+func (c CompareConfig) withDefaults() CompareConfig {
+	if c.Benchmarks == 0 {
+		c.Benchmarks = 2000
+	}
+	if c.Sizes == nil {
+		c.Sizes = []int{4, 8, 12, 16, 20}
+	}
+	if c.Gen == nil {
+		c.Gen = taskgen.NewGenerator(taskgen.Config{})
+	}
+	return c
+}
+
+// Compare runs all assignment methods on identical benchmark suites.
+func Compare(cfg CompareConfig) []CompareRow {
+	c := cfg.withDefaults()
+	c.Gen.Warm()
+	rows := make([]CompareRow, 0, len(c.Sizes))
+	for _, n := range c.Sizes {
+		rng := rand.New(rand.NewSource(c.Seed))
+		row := CompareRow{N: n, Benchmarks: c.Benchmarks}
+		for k := 0; k < c.Benchmarks; k++ {
+			tasks := c.Gen.TaskSet(rng, n)
+			out := assign.CompareHeuristics(tasks)
+			if out.RateMonotonic {
+				row.RateMonotonicValid++
+			}
+			if out.SlackMonotonic {
+				row.SlackMonotonicValid++
+			}
+			if out.UnsafeValid {
+				row.UnsafeValid++
+			}
+			if out.Backtracking {
+				row.BacktrackingValid++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderCompare prints the success rates of each method.
+func RenderCompare(w io.Writer, rows []CompareRow) {
+	fmt.Fprintln(w, "Extension — valid-assignment rate per method (% of benchmarks)")
+	fmt.Fprintf(w, "  %4s %12s %10s %12s %14s %14s\n",
+		"n", "benchmarks", "RM", "slack-mono", "UnsafeQuad", "Backtracking")
+	for _, r := range rows {
+		pct := func(v int) float64 { return 100 * float64(v) / float64(r.Benchmarks) }
+		fmt.Fprintf(w, "  %4d %12d %10.2f %12.2f %14.2f %14.2f\n",
+			r.N, r.Benchmarks, pct(r.RateMonotonicValid), pct(r.SlackMonotonicValid),
+			pct(r.UnsafeValid), pct(r.BacktrackingValid))
+	}
+}
+
+// WriteCSVCompare emits the rows as CSV.
+func WriteCSVCompare(w io.Writer, rows []CompareRow) {
+	writeCSV(w, "n_tasks", "benchmarks", "rm_valid", "slackmono_valid", "unsafe_valid", "backtracking_valid")
+	for _, r := range rows {
+		writeCSV(w, r.N, r.Benchmarks, r.RateMonotonicValid, r.SlackMonotonicValid,
+			r.UnsafeValid, r.BacktrackingValid)
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ctrlsched/internal/jitter"
+	"ctrlsched/internal/lqg"
+	"ctrlsched/internal/plant"
+)
+
+// Fig4Curve is one stability curve with its fitted linear lower bound.
+type Fig4Curve struct {
+	Label   string
+	H       float64   // controller sampling period
+	Latency []float64 // curve abscissae
+	JMax    []float64 // curve ordinates (max tolerable jitter)
+	A, B    float64   // linear bound L + A·J ≤ B
+}
+
+// Fig4 reproduces the paper's Fig. 4: jitter-margin stability curves and
+// their linear lower bounds for the DC servo process 1000/(s²+s) with a
+// discrete LQG controller at 6 ms (the paper's configuration) plus a
+// second period for the "curves" plural.
+func Fig4() ([]Fig4Curve, error) {
+	var out []Fig4Curve
+	p := plant.DCServo()
+	for _, h := range []float64{0.006, 0.004} {
+		d, err := lqg.Synthesize(p, h)
+		if err != nil {
+			return nil, fmt.Errorf("fig4: design at h=%v: %w", h, err)
+		}
+		m, err := jitter.Analyze(d, jitter.Options{LatencyPoints: 40})
+		if err != nil {
+			return nil, fmt.Errorf("fig4: margin at h=%v: %w", h, err)
+		}
+		out = append(out, Fig4Curve{
+			Label:   fmt.Sprintf("%s @ h=%.0f ms", p.Name, h*1000),
+			H:       h,
+			Latency: m.Latency,
+			JMax:    m.JMax,
+			A:       m.A,
+			B:       m.B,
+		})
+	}
+	return out, nil
+}
+
+// WriteCSV emits label,L,Jmax,Jbound rows (Jbound is the linear bound at
+// that latency, clamped at 0).
+func (c Fig4Curve) WriteCSV(w io.Writer) {
+	writeCSV(w, "curve", "latency_s", "jmax_s", "linear_bound_s")
+	for i := range c.Latency {
+		bound := (c.B - c.Latency[i]) / c.A
+		if bound < 0 {
+			bound = 0
+		}
+		writeCSV(w, c.Label, c.Latency[i], c.JMax[i], bound)
+	}
+}
+
+// Render prints the curve and bound as ASCII.
+func (c Fig4Curve) Render(w io.Writer) {
+	// Interleave curve ('*') and bound points by plotting the curve and
+	// summarizing the bound below.
+	asciiPlot(w, c.Latency, c.JMax, 72, 14, false,
+		fmt.Sprintf("Fig. 4 — stability curve J_max(L), %s", c.Label))
+	fmt.Fprintf(w, "   linear lower bound: L + %.3g·J ≤ %.4g  (a ≥ 1, b ≥ 0: Eq. 5)\n\n", c.A, c.B)
+}

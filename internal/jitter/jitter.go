@@ -1,0 +1,300 @@
+// Package jitter reproduces the role of the Jitter Margin toolbox (Cervin,
+// Lincoln et al. [4]) in the paper: given a plant and its sampled-data LQG
+// controller, it computes the stability curve J_max(L) — the largest
+// response-time jitter the closed loop tolerates as a function of the
+// constant latency L — and fits the linear lower bound
+//
+//	L + a·J ≤ b,  a ≥ 1, b ≥ 0                          (paper Eq. 5)
+//
+// used as the per-task stability constraint by the priority-assignment
+// algorithms.
+//
+// The analysis follows the toolbox's two-part structure:
+//
+//  1. Nominal constant delay L: exact. The continuous plant is discretized
+//     with the fractional input delay (lti.DiscretizeWithDelay), the
+//     observer-based controller is closed around it, and Schur stability
+//     of the interconnection is tested with eigenvalues.
+//  2. Time-varying jitter on top of L: a small-gain bound in the style of
+//     Kao & Lincoln ("Simple stability criteria for systems with
+//     time-varying delays"): the loop tolerates any delay variation of
+//     width J if J·ω·|T_L(jω)| < 1 for all ω, where T_L is the
+//     complementary sensitivity of the nominal loop including the latency
+//     L and a ZOH-equivalent of the discrete controller.
+//
+// Both parts are conservative in the right direction: a (latency, jitter)
+// pair declared stable here is stable for every delay realization in
+// [L, L+J], which is what the scheduling layer needs from Eq. (5).
+package jitter
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ctrlsched/internal/eig"
+	"ctrlsched/internal/lqg"
+	"ctrlsched/internal/lti"
+	"ctrlsched/internal/mat"
+	"ctrlsched/internal/plant"
+)
+
+// ErrNoStableLatency is returned when the loop is not even stable at zero
+// latency, so no stability curve exists.
+var ErrNoStableLatency = errors.New("jitter: closed loop unstable at zero latency")
+
+// Options tune the resolution of the analysis. The zero value picks
+// sensible defaults.
+type Options struct {
+	// LatencyPoints is the number of grid points on [0, Lmax] for the
+	// stability curve (default 25).
+	LatencyPoints int
+	// FreqPoints is the number of logarithmically spaced frequency
+	// samples for the small-gain bound (default 240).
+	FreqPoints int
+	// MaxLatencyFactor bounds the latency search at
+	// MaxLatencyFactor·h (default 6).
+	MaxLatencyFactor float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.LatencyPoints <= 1 {
+		o.LatencyPoints = 25
+	}
+	if o.FreqPoints <= 1 {
+		o.FreqPoints = 240
+	}
+	if o.MaxLatencyFactor <= 0 {
+		o.MaxLatencyFactor = 6
+	}
+	return o
+}
+
+// Margin is the stability analysis result for one LQG design: the curve
+// (Latency[i], JMax[i]) and the linear lower bound L + A·J ≤ B.
+type Margin struct {
+	Design *lqg.Design
+
+	// Latency and JMax trace the stability curve; JMax[i] is the largest
+	// jitter tolerated at constant latency Latency[i].
+	Latency []float64
+	JMax    []float64
+
+	// A and B are the coefficients of the linear stability constraint
+	// L + A·J ≤ B (A ≥ 1, B ≥ 0), fitted under the curve.
+	A, B float64
+}
+
+// Constraint is the per-task linear stability condition of paper Eq. (5).
+type Constraint struct {
+	A, B float64
+}
+
+// Satisfied reports whether latency l and jitter j satisfy l + A·j ≤ B.
+func (c Constraint) Satisfied(l, j float64) bool {
+	return l+c.A*j <= c.B+1e-12
+}
+
+// Slack returns b − (l + a·j); negative means unstable.
+func (c Constraint) Slack(l, j float64) float64 {
+	return c.B - (l + c.A*j)
+}
+
+// Constraint returns the fitted linear constraint of the margin.
+func (m *Margin) Constraint() Constraint { return Constraint{A: m.A, B: m.B} }
+
+// Analyze computes the stability curve and linear bound for a design.
+func Analyze(d *lqg.Design, opts Options) (*Margin, error) {
+	o := opts.withDefaults()
+	ctrl := d.Controller()
+
+	if !nominalStable(d, ctrl, 0) {
+		return nil, ErrNoStableLatency
+	}
+
+	// Find Lmax: the largest latency (within the search window) with a
+	// stable nominal loop, by scan + bisection refinement.
+	lCap := o.MaxLatencyFactor * d.H
+	lo, hi := 0.0, lCap
+	if nominalStable(d, ctrl, lCap) {
+		lo = lCap
+	} else {
+		// Coarse scan for the first unstable point, then bisect.
+		step := lCap / 64
+		lastStable := 0.0
+		for l := step; l <= lCap; l += step {
+			if nominalStable(d, ctrl, l) {
+				lastStable = l
+			} else {
+				break
+			}
+		}
+		lo, hi = lastStable, lastStable+step
+		for iter := 0; iter < 40 && hi-lo > 1e-9*d.H; iter++ {
+			mid := (lo + hi) / 2
+			if nominalStable(d, ctrl, mid) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+	lMax := lo
+
+	m := &Margin{Design: d}
+	freq := newFreqTable(d, ctrl, o.FreqPoints)
+	for i := 0; i < o.LatencyPoints; i++ {
+		l := lMax * float64(i) / float64(o.LatencyPoints-1)
+		j := 0.0
+		if nominalStable(d, ctrl, l) {
+			j = freq.jitterBound(l)
+			// Consistency clamp: a time-varying delay in [L, L+J]
+			// includes the constant delay L+J, so the jitter tolerance
+			// can never exceed the exact constant-delay stability limit
+			// lMax − L. The frequency-domain bound is an approximation
+			// of the sampled-data loop and can otherwise overshoot it
+			// for aggressive designs at long periods.
+			if cap := lMax - l; j > cap {
+				j = cap
+			}
+		}
+		m.Latency = append(m.Latency, l)
+		m.JMax = append(m.JMax, j)
+	}
+	m.A, m.B = fitLinearBound(m.Latency, m.JMax)
+	return m, nil
+}
+
+// nominalStable tests exact Schur stability of the sampled closed loop
+// when the control input reaches the plant with constant delay l.
+func nominalStable(d *lqg.Design, ctrl *lti.SS, l float64) bool {
+	aug, err := lti.DiscretizeWithDelay(d.Plant.Sys, d.H, l)
+	if err != nil {
+		return false
+	}
+	// Closed loop: plant state ξ, controller state x̂.
+	//   ξ(k+1) = Ap ξ + Bp u(k),  u(k) = Cc x̂(k)      (strictly proper)
+	//   x̂(k+1) = Ac x̂ + Bc y(k), y(k) = Cp ξ(k)
+	np, nc := aug.Order(), ctrl.Order()
+	acl := mat.New(np+nc, np+nc)
+	acl.SetSlice(0, 0, aug.A)
+	acl.SetSlice(0, np, aug.B.Mul(ctrl.C))
+	acl.SetSlice(np, 0, ctrl.B.Mul(aug.C))
+	acl.SetSlice(np, np, ctrl.A)
+	stable, err := eig.IsSchurStable(acl, 1e-9)
+	return err == nil && stable
+}
+
+// freqTable caches the latency-independent factors of the loop gain:
+// G_L(jω) = P(jω) · H_zoh(jω)/h · C(e^{jωh}) · e^{−jωL}.
+type freqTable struct {
+	w    []float64    // frequency grid (rad/s)
+	base []complex128 // P·Hzoh/h·C at each ω (no latency factor)
+}
+
+func newFreqTable(d *lqg.Design, ctrl *lti.SS, points int) *freqTable {
+	h := d.H
+	wNyq := math.Pi / h
+	ft := &freqTable{}
+	// Log-spaced grid from wNyq/1e4 up to the Nyquist frequency. The
+	// small-gain bound 1/(ω|T|) explodes as ω→0, so very low frequencies
+	// never bind and truncating them is safe.
+	for i := 0; i < points; i++ {
+		expo := -4 + 4*float64(i)/float64(points-1)
+		w := wNyq * math.Pow(10, expo)
+		p, err := d.Plant.Sys.FreqResponseSISO(complex(0, w))
+		if err != nil {
+			continue // exact pole hit: skip the sample
+		}
+		c, err := ctrl.FreqResponseSISO(cmplx.Exp(complex(0, w*h)))
+		if err != nil {
+			continue
+		}
+		// ZOH reconstruction: (1 − e^{−jωh})/(jωh).
+		zoh := (1 - cmplx.Exp(complex(0, -w*h))) / complex(0, w*h)
+		g := p * zoh * c
+		if cmplx.IsNaN(g) || cmplx.IsInf(g) {
+			continue
+		}
+		ft.w = append(ft.w, w)
+		ft.base = append(ft.base, g)
+	}
+	return ft
+}
+
+// jitterBound returns the small-gain jitter tolerance at latency l:
+// J = min over ω of 1 / (ω·|T_L(jω)|), where T_L = G_L/(1+G_L).
+func (ft *freqTable) jitterBound(l float64) float64 {
+	j := math.Inf(1)
+	for i, w := range ft.w {
+		g := ft.base[i] * cmplx.Exp(complex(0, -w*l))
+		den := 1 + g
+		if cmplx.Abs(den) < 1e-12 {
+			return 0 // on the stability boundary
+		}
+		t := cmplx.Abs(g / den)
+		if t <= 0 {
+			continue
+		}
+		if b := 1 / (w * t); b < j {
+			j = b
+		}
+	}
+	if math.IsInf(j, 1) {
+		return 0
+	}
+	return j
+}
+
+// fitLinearBound fits L + a·J ≤ b under the curve: b is the latency where
+// the curve reaches zero jitter (its rightmost point), and a is the
+// smallest slope coefficient keeping the line below every curve sample,
+// floored at 1 per the paper.
+func fitLinearBound(lat, jmax []float64) (a, b float64) {
+	if len(lat) == 0 {
+		return 1, 0
+	}
+	b = lat[len(lat)-1]
+	a = 1.0
+	for i, l := range lat {
+		if jmax[i] <= 0 {
+			// Zero-jitter point before the end: tighten b.
+			if l < b {
+				b = l
+			}
+			continue
+		}
+		if need := (b - l) / jmax[i]; need > a {
+			a = need
+		}
+	}
+	if b < 0 {
+		b = 0
+	}
+	// Re-validate after b tightening: a must satisfy all points again.
+	for i, l := range lat {
+		if l >= b || jmax[i] <= 0 {
+			continue
+		}
+		if need := (b - l) / jmax[i]; need > a {
+			a = need
+		}
+	}
+	return a, b
+}
+
+// ForPlant is a convenience wrapper: design the LQG controller for plant p
+// at period h (lqg.Synthesize) and analyze its margin with default options.
+func ForPlant(p *plant.Plant, h float64) (*Margin, error) {
+	d, err := lqg.Synthesize(p, h)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(d, Options{})
+}
+
+// String renders the constraint for logs.
+func (c Constraint) String() string {
+	return fmt.Sprintf("L + %.3g·J ≤ %.4g", c.A, c.B)
+}

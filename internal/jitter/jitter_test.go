@@ -1,0 +1,184 @@
+package jitter
+
+import (
+	"math"
+	"testing"
+
+	"ctrlsched/internal/lqg"
+	"ctrlsched/internal/plant"
+)
+
+// servoMargin computes the DC-servo margin at the paper's 6 ms period; the
+// result is cached across tests in this package.
+var servoMarginCache *Margin
+
+func servoMargin(t *testing.T) *Margin {
+	t.Helper()
+	if servoMarginCache != nil {
+		return servoMarginCache
+	}
+	d, err := lqg.Synthesize(plant.DCServo(), 0.006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Analyze(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	servoMarginCache = m
+	return m
+}
+
+func TestAnalyzeDCServoBasicShape(t *testing.T) {
+	m := servoMargin(t)
+	if len(m.Latency) != len(m.JMax) || len(m.Latency) < 10 {
+		t.Fatalf("curve has %d/%d points", len(m.Latency), len(m.JMax))
+	}
+	// The curve starts at L=0 with positive jitter tolerance.
+	if m.JMax[0] <= 0 {
+		t.Fatalf("JMax(0) = %v, want > 0", m.JMax[0])
+	}
+	// Latency grid is increasing from 0.
+	if m.Latency[0] != 0 {
+		t.Fatalf("latency grid starts at %v", m.Latency[0])
+	}
+	for i := 1; i < len(m.Latency); i++ {
+		if m.Latency[i] <= m.Latency[i-1] {
+			t.Fatal("latency grid not increasing")
+		}
+	}
+	// The loop must tolerate a nontrivial latency: b on the order of the
+	// sampling period.
+	if m.B < m.Design.H/4 {
+		t.Fatalf("maximum tolerable latency %v suspiciously small vs h=%v", m.B, m.Design.H)
+	}
+}
+
+func TestLinearBoundBelowCurve(t *testing.T) {
+	m := servoMargin(t)
+	if m.A < 1 {
+		t.Fatalf("a = %v, paper requires a ≥ 1", m.A)
+	}
+	if m.B < 0 {
+		t.Fatalf("b = %v, paper requires b ≥ 0", m.B)
+	}
+	// The line J = (b − L)/a must stay at or below the curve wherever it
+	// is above zero.
+	for i, l := range m.Latency {
+		line := (m.B - l) / m.A
+		if line <= 0 {
+			continue
+		}
+		if line > m.JMax[i]+1e-12 {
+			t.Fatalf("linear bound above curve at L=%v: line=%v curve=%v", l, line, m.JMax[i])
+		}
+	}
+}
+
+func TestConstraintSemantics(t *testing.T) {
+	c := Constraint{A: 2, B: 10}
+	if !c.Satisfied(4, 3) { // 4 + 6 = 10 ≤ 10
+		t.Error("boundary point rejected")
+	}
+	if c.Satisfied(5, 3) { // 5 + 6 = 11 > 10
+		t.Error("violating point accepted")
+	}
+	if s := c.Slack(4, 2); math.Abs(s-2) > 1e-12 {
+		t.Errorf("slack = %v, want 2", s)
+	}
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestMarginConstraintConsistent(t *testing.T) {
+	m := servoMargin(t)
+	c := m.Constraint()
+	if c.A != m.A || c.B != m.B {
+		t.Fatal("Constraint() does not mirror margin coefficients")
+	}
+	// Zero latency and zero jitter must always be stable for a margin
+	// that exists.
+	if !c.Satisfied(0, 0) {
+		t.Fatal("(0,0) violates fitted constraint")
+	}
+}
+
+func TestJitterToleranceShrinksWithLatency(t *testing.T) {
+	// Not guaranteed pointwise (the curve may wiggle), but the tolerance
+	// near L=0 must exceed the tolerance near the stability limit.
+	m := servoMargin(t)
+	n := len(m.JMax)
+	if !(m.JMax[0] > m.JMax[n-1]) {
+		t.Fatalf("JMax(0)=%v not greater than JMax(Lmax)=%v", m.JMax[0], m.JMax[n-1])
+	}
+}
+
+func TestNominalStableRejectsHugeLatency(t *testing.T) {
+	m := servoMargin(t)
+	d := m.Design
+	ctrl := d.Controller()
+	if !nominalStable(d, ctrl, 0) {
+		t.Fatal("zero latency unstable")
+	}
+	// At 50 periods of delay the servo loop must long have gone
+	// unstable.
+	if nominalStable(d, ctrl, 50*d.H) {
+		t.Fatal("loop reported stable at absurd latency")
+	}
+}
+
+func TestForPlantLibrary(t *testing.T) {
+	// Every library plant must yield a usable margin at its recommended
+	// midpoint period.
+	for _, p := range plant.Library() {
+		h := (p.HMin + p.HMax) / 2
+		m, err := ForPlant(p, h)
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if m.B <= 0 {
+			t.Errorf("%s: b = %v, want > 0", p.Name, m.B)
+		}
+		if m.A < 1 {
+			t.Errorf("%s: a = %v, want ≥ 1", p.Name, m.A)
+		}
+	}
+}
+
+func TestFitLinearBoundEdgeCases(t *testing.T) {
+	a, b := fitLinearBound(nil, nil)
+	if a != 1 || b != 0 {
+		t.Fatalf("empty curve: a=%v b=%v", a, b)
+	}
+	// Flat curve: J constant 2 on [0, 10]: a = (10−0)/2 = 5 at L=0.
+	lat := []float64{0, 5, 10}
+	jm := []float64{2, 2, 0}
+	a, b = fitLinearBound(lat, jm)
+	if b != 10 {
+		t.Fatalf("b = %v, want 10", b)
+	}
+	if math.Abs(a-5) > 1e-12 {
+		t.Fatalf("a = %v, want 5", a)
+	}
+	// Verify the bound is below the curve.
+	for i, l := range lat {
+		if line := (b - l) / a; line > jm[i]+1e-12 {
+			t.Fatalf("bound above curve at %v", l)
+		}
+	}
+}
+
+func BenchmarkAnalyzeDCServo(b *testing.B) {
+	d, err := lqg.Synthesize(plant.DCServo(), 0.006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(d, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

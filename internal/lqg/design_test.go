@@ -1,0 +1,122 @@
+package lqg
+
+import (
+	"math"
+	"testing"
+
+	"ctrlsched/internal/eig"
+	"ctrlsched/internal/mat"
+	"ctrlsched/internal/plant"
+	"ctrlsched/internal/riccati"
+)
+
+// Both Riccati solutions must actually solve their equations (residual
+// check through the public Design fields) for every library plant.
+func TestDesignResidualsAcrossLibrary(t *testing.T) {
+	for _, p := range plant.Library() {
+		h := (p.HMin + p.HMax) / 2
+		d, err := Synthesize(p, h)
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		// Control DARE residual with cross term.
+		res := riccati.Residual(d.Phi, d.Gamma, d.Q1d, d.Q2d, d.Q12d, d.S)
+		if res > 1e-6*(1+d.S.MaxAbs()) {
+			t.Errorf("%s: control DARE residual %v", p.Name, res)
+		}
+		// Filter DARE residual (dual form).
+		c := p.Sys.C
+		resF := riccati.Residual(d.Phi.T(), c.T(), d.Rd, mat.Diag(d.R2d), nil, d.Pf)
+		if resF > 1e-6*(1+d.Pf.MaxAbs()) {
+			t.Errorf("%s: filter DARE residual %v", p.Name, resF)
+		}
+	}
+}
+
+// The Riccati solutions are symmetric PSD (diagonals nonnegative, matrix
+// symmetric) for every library plant.
+func TestDesignSolutionsSymmetricPSD(t *testing.T) {
+	for _, p := range plant.Library() {
+		h := (p.HMin + p.HMax) / 2
+		d, err := Synthesize(p, h)
+		if err != nil {
+			continue
+		}
+		for name, m := range map[string]*mat.Matrix{"S": d.S, "Pf": d.Pf} {
+			if !m.EqualApprox(m.T(), 1e-8*(1+m.MaxAbs())) {
+				t.Errorf("%s: %s not symmetric", p.Name, name)
+			}
+			for i := 0; i < m.Rows(); i++ {
+				if m.At(i, i) < -1e-9*(1+m.MaxAbs()) {
+					t.Errorf("%s: %s has negative diagonal", p.Name, name)
+				}
+			}
+		}
+	}
+}
+
+// The full observer-based closed loop (plant + controller) is Schur
+// stable for every library plant at every grid period where a design
+// exists — the invariant taskgen's constraint cache relies on.
+func TestClosedLoopStableAcrossGrid(t *testing.T) {
+	for _, p := range plant.Library() {
+		for i := 0; i < 5; i++ {
+			h := p.HMin * math.Pow(p.HMax/p.HMin, float64(i)/4)
+			d, err := Synthesize(p, h)
+			if err != nil {
+				continue // pathological or unstabilizable grid point
+			}
+			ctrl := d.Controller()
+			n := d.Phi.Rows()
+			acl := mat.New(2*n, 2*n)
+			acl.SetSlice(0, 0, d.Phi)
+			acl.SetSlice(0, n, d.Gamma.Mul(ctrl.C)) // u = Cc x̂
+			acl.SetSlice(n, 0, ctrl.B.Mul(p.Sys.C))
+			acl.SetSlice(n, n, ctrl.A)
+			ok, err := eig.IsSchurStable(acl, 0)
+			if err != nil || !ok {
+				t.Errorf("%s at h=%.4f: closed loop unstable", p.Name, h)
+			}
+		}
+	}
+}
+
+// Cost responds to the noise level: doubling the process-noise intensity
+// must increase the stationary cost.
+func TestCostMonotoneInNoise(t *testing.T) {
+	base := plant.DCServo()
+	louder := plant.DCServo()
+	louder.R1 = louder.R1.Scale(4)
+	cBase := Cost(base, 0.006)
+	cLoud := Cost(louder, 0.006)
+	if !(cLoud > cBase) {
+		t.Fatalf("cost not increasing in noise: %v vs %v", cBase, cLoud)
+	}
+}
+
+// Cost responds to weights: scaling Q1 up increases the cost.
+func TestCostMonotoneInStateWeight(t *testing.T) {
+	base := plant.DCServo()
+	heavy := plant.DCServo()
+	heavy.Q1 = heavy.Q1.Scale(10)
+	if !(Cost(heavy, 0.006) > Cost(base, 0.006)) {
+		t.Fatal("cost not increasing in state weight")
+	}
+}
+
+// JNoise grows with the period (more intersample drift).
+func TestIntersampleNoiseCostGrows(t *testing.T) {
+	p := plant.DCServo()
+	d1, err := Synthesize(p, 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Synthesize(p, 0.016)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(d2.JNoise > d1.JNoise) {
+		t.Fatalf("JNoise not growing with h: %v vs %v", d1.JNoise, d2.JNoise)
+	}
+}

@@ -1,0 +1,133 @@
+package lti
+
+import (
+	"fmt"
+
+	"ctrlsched/internal/mat"
+)
+
+// C2D converts a continuous-time system to discrete time under a
+// zero-order hold with sampling period h:
+//
+//	Φ = e^{Ah},  Γ = ∫₀ʰ e^{As} ds · B
+//
+// computed jointly from the exponential of the block matrix [[A B];[0 0]]·h,
+// which is exact and handles singular A (integrators) without special
+// cases. C and D are unchanged.
+func C2D(s *SS, h float64) (*SS, error) {
+	if !s.IsContinuous() {
+		return nil, fmt.Errorf("lti: C2D requires a continuous-time system")
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("lti: C2D requires h > 0, got %v", h)
+	}
+	phi, gamma := zohPair(s.A, s.B, h)
+	return NewSS(phi, gamma, s.C.Clone(), s.D.Clone(), h)
+}
+
+// zohPair returns (e^{Ah}, ∫₀ʰ e^{As}ds·B) via the block-exponential trick.
+func zohPair(a, b *mat.Matrix, h float64) (phi, gamma *mat.Matrix) {
+	n, m := a.Rows(), b.Cols()
+	blk := mat.New(n+m, n+m)
+	blk.SetSlice(0, 0, a.Scale(h))
+	blk.SetSlice(0, n, b.Scale(h))
+	e := mat.Expm(blk)
+	return e.Slice(0, n, 0, n), e.Slice(0, n, n, n+m)
+}
+
+// C2DDelayed discretizes a continuous-time system under ZOH with sampling
+// period h when the control input is applied with a constant delay
+// tau ∈ [0, h). Following Åström & Wittenmark (Computer-Controlled
+// Systems, ch. 3):
+//
+//	x(k+1) = Φ·x(k) + Γ₀·u(k) + Γ₁·u(k−1)
+//	Φ  = e^{Ah}
+//	Γ₀ = ∫₀^{h−τ} e^{As} ds · B            (this period's input)
+//	Γ₁ = e^{A(h−τ)} ∫₀^{τ} e^{As} ds · B   (tail of the previous input)
+func C2DDelayed(s *SS, h, tau float64) (phi, gamma0, gamma1 *mat.Matrix, err error) {
+	if !s.IsContinuous() {
+		return nil, nil, nil, fmt.Errorf("lti: C2DDelayed requires a continuous-time system")
+	}
+	if h <= 0 || tau < 0 || tau >= h {
+		return nil, nil, nil, fmt.Errorf("lti: C2DDelayed requires h > 0 and 0 ≤ tau < h, got h=%v tau=%v", h, tau)
+	}
+	n := s.Order()
+	if tau == 0 {
+		phi, gamma0 = zohPair(s.A, s.B, h)
+		return phi, gamma0, mat.New(n, s.Inputs()), nil
+	}
+	phiRest, g0 := zohPair(s.A, s.B, h-tau) // over [0, h−τ]
+	phiTau, gTau := zohPair(s.A, s.B, tau)  // over [0, τ]
+	phi = phiRest.Mul(phiTau)
+	gamma1 = phiRest.Mul(gTau)
+	return phi, g0, gamma1, nil
+}
+
+// DiscretizeWithDelay builds the discrete-time augmented system for a
+// continuous plant whose input is delayed by an arbitrary constant
+// L = d·h + τ (d ≥ 0 integer, 0 ≤ τ < h). The augmented state is
+// [x; u(k−d−1); ...; u(k−1)] when τ > 0, or [x; u(k−d); ...; u(k−1)] when
+// τ = 0 and d > 0; the input of the returned system is u(k). The output
+// equation keeps only the plant output (delayed inputs are internal).
+func DiscretizeWithDelay(s *SS, h, delay float64) (*SS, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("lti: negative delay %v", delay)
+	}
+	d := int(delay / h)
+	tau := delay - float64(d)*h
+	// Guard against floating-point slop putting tau == h.
+	if tau >= h {
+		d++
+		tau -= h
+		if tau < 0 {
+			tau = 0
+		}
+	}
+	phi, g0, g1, err := C2DDelayed(s, h, tau)
+	if err != nil {
+		return nil, err
+	}
+	n, m := s.Order(), s.Inputs()
+
+	// Number of stored past inputs. With τ > 0 the update uses u(k−d−1)
+	// and u(k−d); with τ = 0 it uses only u(k−d).
+	stored := d
+	if tau > 0 {
+		stored = d + 1
+	}
+	if stored == 0 {
+		// Pure ZOH, no augmentation.
+		return NewSS(phi, g0, s.C.Clone(), s.D.Clone(), h)
+	}
+
+	na := n + stored*m
+	a := mat.New(na, na)
+	b := mat.New(na, m)
+	c := mat.New(s.Outputs(), na)
+
+	a.SetSlice(0, 0, phi)
+	if tau > 0 {
+		// State layout: [x; u(k−d−1); u(k−d); ...; u(k−1)].
+		// x(k+1) = Φx + Γ₁·u(k−d−1) + Γ₀·u(k−d).
+		a.SetSlice(0, n, g1)
+		if d == 0 {
+			// u(k−d) is the current input.
+			b.SetSlice(0, 0, g0)
+		} else {
+			a.SetSlice(0, n+m, g0)
+		}
+	} else {
+		// State layout: [x; u(k−d); ...; u(k−1)] with d ≥ 1.
+		// x(k+1) = Φx + Γ₀·u(k−d).
+		a.SetSlice(0, n, g0)
+	}
+	// Shift register: each stored input moves one slot older;
+	// the newest slot is loaded from u(k).
+	for i := 0; i < stored-1; i++ {
+		a.SetSlice(n+i*m, n+(i+1)*m, mat.Identity(m))
+	}
+	b.SetSlice(na-m, 0, mat.Identity(m))
+
+	c.SetSlice(0, 0, s.C.Clone())
+	return NewSS(a, b, c, mat.New(s.Outputs(), m), h)
+}

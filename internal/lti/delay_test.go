@@ -1,0 +1,134 @@
+package lti
+
+import (
+	"math"
+	"testing"
+
+	"ctrlsched/internal/mat"
+)
+
+func TestDiscretizeWithDelayOrders(t *testing.T) {
+	s := firstOrder(2)
+	h := 0.1
+	cases := []struct {
+		delay     float64
+		wantOrder int
+	}{
+		{0, 1},    // pure ZOH: no augmentation
+		{0.04, 2}, // fractional: one stored input
+		{0.1, 2},  // exactly one period: one stored input
+		{0.14, 3}, // one period + fraction: two stored inputs
+		{0.2, 3},  // exactly two periods
+		{0.35, 5}, // three periods + fraction
+	}
+	for _, c := range cases {
+		aug, err := DiscretizeWithDelay(s, h, c.delay)
+		if err != nil {
+			t.Fatalf("delay %v: %v", c.delay, err)
+		}
+		if aug.Order() != c.wantOrder {
+			t.Errorf("delay %v: order %d, want %d", c.delay, aug.Order(), c.wantOrder)
+		}
+		if aug.Ts != h {
+			t.Errorf("delay %v: Ts = %v", c.delay, aug.Ts)
+		}
+	}
+}
+
+func TestDiscretizeWithDelayNegativeRejected(t *testing.T) {
+	if _, err := DiscretizeWithDelay(firstOrder(1), 0.1, -0.01); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+// Delayed discretization preserves the eigenvalues of the plant block
+// (the shift register adds only zero eigenvalues).
+func TestDiscretizeWithDelaySpectrum(t *testing.T) {
+	s := doubleIntegrator()
+	aug, err := DiscretizeWithDelay(s, 0.1, 0.13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poles, err := aug.Poles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Double integrator ⇒ two poles at exactly 1, rest at 0.
+	ones, zeros := 0, 0
+	for _, p := range poles {
+		switch {
+		case math.Abs(real(p)-1) < 1e-9 && math.Abs(imag(p)) < 1e-9:
+			ones++
+		case math.Hypot(real(p), imag(p)) < 1e-9:
+			zeros++
+		}
+	}
+	if ones != 2 || zeros != aug.Order()-2 {
+		t.Fatalf("pole structure wrong: %v", poles)
+	}
+}
+
+// DC gain is invariant under input delay (steady state ignores transport
+// delay).
+func TestDiscretizeWithDelayDCGain(t *testing.T) {
+	s := firstOrder(4) // DC gain 1/4
+	for _, delay := range []float64{0, 0.07, 0.1, 0.23} {
+		aug, err := DiscretizeWithDelay(s, 0.1, delay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := aug.DCGain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(g.At(0, 0)-0.25) > 1e-10 {
+			t.Fatalf("delay %v: DC gain %v, want 0.25", delay, g.At(0, 0))
+		}
+	}
+}
+
+func TestFreqResponseDiscreteAtOne(t *testing.T) {
+	// For a discrete system, G(z=1) equals the DC gain.
+	d, err := C2D(firstOrder(3), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.FreqResponseSISO(complex(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := d.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(g)-dc.At(0, 0)) > 1e-12 || math.Abs(imag(g)) > 1e-12 {
+		t.Fatalf("G(1) = %v, DC = %v", g, dc.At(0, 0))
+	}
+}
+
+func TestFreqResponseAtPoleErrors(t *testing.T) {
+	// Evaluating exactly at a pole must surface the singular solve.
+	s := firstOrder(2) // pole at −2
+	if _, err := s.FreqResponseSISO(complex(-2, 0)); err == nil {
+		t.Fatal("evaluation at pole did not error")
+	}
+}
+
+func TestMustSSPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSS with bad dims did not panic")
+		}
+	}()
+	MustSS(mat.New(2, 2), mat.New(1, 1), mat.New(1, 2), nil, 0)
+}
+
+func TestSimulateInputWidthPanic(t *testing.T) {
+	d, _ := C2D(firstOrder(1), 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong input width did not panic")
+		}
+	}()
+	d.Simulate([]float64{0}, [][]float64{{1, 2}})
+}

@@ -1,0 +1,382 @@
+package lti
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"ctrlsched/internal/mat"
+	"ctrlsched/internal/poly"
+)
+
+// doubleIntegrator returns ẋ = [[0,1],[0,0]]x + [0,1]ᵀu, y = x₁.
+func doubleIntegrator() *SS {
+	return MustSS(
+		mat.FromRows([][]float64{{0, 1}, {0, 0}}),
+		mat.FromRows([][]float64{{0}, {1}}),
+		mat.FromRows([][]float64{{1, 0}}),
+		nil, 0)
+}
+
+// firstOrder returns ẋ = −a·x + u, y = x.
+func firstOrder(a float64) *SS {
+	return MustSS(
+		mat.FromRows([][]float64{{-a}}),
+		mat.FromRows([][]float64{{1}}),
+		mat.FromRows([][]float64{{1}}),
+		nil, 0)
+}
+
+func TestNewSSDimensionChecks(t *testing.T) {
+	a := mat.New(2, 2)
+	bad := []struct {
+		b, c *mat.Matrix
+	}{
+		{mat.New(3, 1), mat.New(1, 2)},
+		{mat.New(2, 1), mat.New(1, 3)},
+	}
+	for i, bc := range bad {
+		if _, err := NewSS(a, bc.b, bc.c, nil, 0); err == nil {
+			t.Errorf("case %d: dimension mismatch not caught", i)
+		}
+	}
+	if _, err := NewSS(a, mat.New(2, 1), mat.New(1, 2), mat.New(2, 2), 0); err == nil {
+		t.Error("bad D not caught")
+	}
+	if _, err := NewSS(a, mat.New(2, 1), mat.New(1, 2), nil, -1); err == nil {
+		t.Error("negative Ts not caught")
+	}
+}
+
+func TestC2DFirstOrderClosedForm(t *testing.T) {
+	// ẋ = −a x + u discretizes to x⁺ = e^{−ah} x + (1−e^{−ah})/a · u.
+	a, h := 2.0, 0.1
+	d, err := C2D(firstOrder(a), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPhi := math.Exp(-a * h)
+	wantGam := (1 - math.Exp(-a*h)) / a
+	if math.Abs(d.A.At(0, 0)-wantPhi) > 1e-14 {
+		t.Errorf("Phi = %v, want %v", d.A.At(0, 0), wantPhi)
+	}
+	if math.Abs(d.B.At(0, 0)-wantGam) > 1e-14 {
+		t.Errorf("Gamma = %v, want %v", d.B.At(0, 0), wantGam)
+	}
+	if d.Ts != h {
+		t.Errorf("Ts = %v, want %v", d.Ts, h)
+	}
+}
+
+func TestC2DDoubleIntegratorClosedForm(t *testing.T) {
+	// Double integrator: Φ = [[1,h],[0,1]], Γ = [h²/2, h]ᵀ.
+	h := 0.25
+	d, err := C2D(doubleIntegrator(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := mat.FromRows([][]float64{{1, h}, {0, 1}})
+	wantB := mat.FromRows([][]float64{{h * h / 2}, {h}})
+	if !d.A.EqualApprox(wantA, 1e-14) {
+		t.Errorf("Phi = %v", d.A)
+	}
+	if !d.B.EqualApprox(wantB, 1e-14) {
+		t.Errorf("Gamma = %v", d.B)
+	}
+}
+
+func TestC2DPoleMapping(t *testing.T) {
+	// Discrete poles are e^{λh} for continuous poles λ.
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(3)
+		a := mat.New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		s := MustSS(a, mat.New(n, 1), mat.New(1, n), nil, 0)
+		h := 0.05 + rng.Float64()*0.3
+		d, err := C2D(s, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := s.Poles()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pd, err := d.Poles()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare as multisets.
+		for _, lc := range pc {
+			want := cmplx.Exp(lc * complex(h, 0))
+			best := math.Inf(1)
+			for _, ld := range pd {
+				if e := cmplx.Abs(ld - want); e < best {
+					best = e
+				}
+			}
+			if best > 1e-6*(1+cmplx.Abs(want)) {
+				t.Fatalf("trial %d: e^{λh}=%v not among discrete poles %v", trial, want, pd)
+			}
+		}
+	}
+}
+
+func TestC2DErrors(t *testing.T) {
+	s := firstOrder(1)
+	if _, err := C2D(s, 0); err == nil {
+		t.Error("h=0 accepted")
+	}
+	d, _ := C2D(s, 0.1)
+	if _, err := C2D(d, 0.1); err == nil {
+		t.Error("discretizing a discrete system accepted")
+	}
+}
+
+func TestC2DDelayedSplitsGamma(t *testing.T) {
+	// Γ₀ + Γ₁ must equal the undelayed Γ (the hold covers the same total
+	// integration window).
+	s := doubleIntegrator()
+	h := 0.2
+	d, err := C2D(s, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []float64{0, 0.05, 0.1, 0.19} {
+		phi, g0, g1, err := C2DDelayed(s, h, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !phi.EqualApprox(d.A, 1e-12) {
+			t.Fatalf("tau=%v: Phi changed by delay", tau)
+		}
+		if !g0.Add(g1).EqualApprox(d.B, 1e-12) {
+			t.Fatalf("tau=%v: Γ₀+Γ₁ != Γ", tau)
+		}
+	}
+}
+
+func TestC2DDelayedTauZero(t *testing.T) {
+	s := firstOrder(1)
+	_, g0, g1, err := C2DDelayed(s, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.MaxAbs() != 0 {
+		t.Fatal("tau=0 should give zero Γ₁")
+	}
+	if g0.MaxAbs() == 0 {
+		t.Fatal("tau=0 gave zero Γ₀")
+	}
+}
+
+func TestC2DDelayedRangeChecks(t *testing.T) {
+	s := firstOrder(1)
+	for _, bad := range [][2]float64{{0.1, -0.01}, {0.1, 0.1}, {0.1, 0.2}, {0, 0}} {
+		if _, _, _, err := C2DDelayed(s, bad[0], bad[1]); err == nil {
+			t.Errorf("h=%v tau=%v accepted", bad[0], bad[1])
+		}
+	}
+}
+
+// The augmented delayed system must reproduce a brute-force simulation of
+// the plant with a shifted input signal.
+func TestDiscretizeWithDelayMatchesSimulation(t *testing.T) {
+	s := firstOrder(1.5)
+	h := 0.1
+	rng := rand.New(rand.NewSource(72))
+	for _, delay := range []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25} {
+		aug, err := DiscretizeWithDelay(s, h, delay)
+		if err != nil {
+			t.Fatalf("delay %v: %v", delay, err)
+		}
+		// Random input sequence.
+		const steps = 60
+		u := make([][]float64, steps)
+		for i := range u {
+			u[i] = []float64{rng.NormFloat64()}
+		}
+		got := aug.Simulate(make([]float64, aug.Order()), u)
+
+		// Reference: integrate the scalar plant exactly. The input seen
+		// by the plant at continuous time t is u(floor((t−delay)/h)) (0
+		// before the first sample arrives).
+		a := 1.5
+		x := 0.0
+		want := make([]float64, steps)
+		const sub = 200 // fine subdivision per sample for exact stepping
+		dt := h / sub
+		for k := 0; k < steps; k++ {
+			want[k] = x
+			for i := 0; i < sub; i++ {
+				tt := float64(k)*h + float64(i)*dt
+				// Input active on the plant at time tt.
+				idx := int(math.Floor((tt - delay) / h * (1 + 1e-12)))
+				var uv float64
+				if tt-delay >= -1e-12 && idx >= 0 && idx < steps {
+					uv = u[idx][0]
+				}
+				// Exact ZOH step over dt for the scalar system.
+				ephi := math.Exp(-a * dt)
+				x = ephi*x + (1-ephi)/a*uv
+			}
+		}
+		for k := 0; k < steps; k++ {
+			if math.Abs(got[k][0]-want[k]) > 1e-6 {
+				t.Fatalf("delay %v: output mismatch at k=%d: got %v want %v", delay, k, got[k][0], want[k])
+			}
+		}
+	}
+}
+
+func TestDCGain(t *testing.T) {
+	// First-order lag gain 1/a.
+	g, err := firstOrder(4).DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.At(0, 0)-0.25) > 1e-14 {
+		t.Fatalf("DC gain %v, want 0.25", g.At(0, 0))
+	}
+	// ZOH discretization preserves DC gain.
+	d, _ := C2D(firstOrder(4), 0.07)
+	gd, err := d.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gd.At(0, 0)-0.25) > 1e-12 {
+		t.Fatalf("discrete DC gain %v, want 0.25", gd.At(0, 0))
+	}
+}
+
+func TestFreqResponseFirstOrder(t *testing.T) {
+	// G(s) = 1/(s+a): |G(ja)| = 1/(a√2), phase −45°.
+	a := 3.0
+	s := firstOrder(a)
+	g, err := s.FreqResponseSISO(complex(0, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cmplx.Abs(g)-1/(a*math.Sqrt2)) > 1e-12 {
+		t.Errorf("|G(ja)| = %v", cmplx.Abs(g))
+	}
+	if math.Abs(cmplx.Phase(g)+math.Pi/4) > 1e-12 {
+		t.Errorf("arg G(ja) = %v", cmplx.Phase(g))
+	}
+}
+
+func TestFreqResponseMatchesTF(t *testing.T) {
+	// State-space and transfer-function evaluations must agree.
+	tf := MustTF(poly.New(1000), poly.New(0, 1, 1), 0) // 1000/(s²+s): DC servo
+	ss, err := tf.ToSS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []float64{0.1, 1, 10, 100} {
+		want := tf.Eval(complex(0, w))
+		got, err := ss.FreqResponseSISO(complex(0, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmplx.Abs(got-want) > 1e-9*(1+cmplx.Abs(want)) {
+			t.Fatalf("ω=%v: ss=%v tf=%v", w, got, want)
+		}
+	}
+}
+
+func TestToSSBiproper(t *testing.T) {
+	// G(s) = (s+2)/(s+1) = 1 + 1/(s+1): D must be 1.
+	tf := MustTF(poly.New(2, 1), poly.New(1, 1), 0)
+	ss, err := tf.ToSS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ss.D.At(0, 0)-1) > 1e-14 {
+		t.Fatalf("D = %v, want 1", ss.D.At(0, 0))
+	}
+	for _, w := range []float64{0, 0.5, 2, 20} {
+		want := tf.Eval(complex(0, w))
+		got, _ := ss.FreqResponseSISO(complex(0, w))
+		if cmplx.Abs(got-want) > 1e-12*(1+cmplx.Abs(want)) {
+			t.Fatalf("biproper mismatch at ω=%v", w)
+		}
+	}
+}
+
+func TestTFPolesZeros(t *testing.T) {
+	tf := MustTF(poly.FromRoots(-2), poly.FromRoots(-1, -3), 0)
+	z, err := tf.Zeros()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) != 1 || cmplx.Abs(z[0]+2) > 1e-10 {
+		t.Fatalf("zeros = %v", z)
+	}
+	p, err := tf.Poles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 {
+		t.Fatalf("poles = %v", p)
+	}
+}
+
+func TestTFValidation(t *testing.T) {
+	if _, err := NewTF(poly.New(1, 1, 1), poly.New(1, 1), 0); err == nil {
+		t.Error("improper TF accepted")
+	}
+	if _, err := NewTF(poly.New(1), poly.New(), 0); err == nil {
+		t.Error("zero denominator accepted")
+	}
+	if _, err := MustTF(poly.New(5), poly.New(1), 0).ToSS(); err == nil {
+		t.Error("static gain ToSS should fail")
+	}
+}
+
+func TestStepFirstOrderLag(t *testing.T) {
+	// Discrete step response of 1/(s+1) converges to DC gain 1.
+	d, _ := C2D(firstOrder(1), 0.1)
+	y, err := d.Step(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[199]-1) > 1e-3 {
+		t.Fatalf("step final value %v, want ≈1", y[199])
+	}
+	// Monotone rise for a first-order lag.
+	for i := 1; i < len(y); i++ {
+		if y[i] < y[i-1]-1e-12 {
+			t.Fatal("first-order step response not monotone")
+		}
+	}
+}
+
+func TestIsStable(t *testing.T) {
+	ok, err := firstOrder(1).IsStable(0)
+	if err != nil || !ok {
+		t.Fatal("stable lag flagged unstable")
+	}
+	ok, err = doubleIntegrator().IsStable(1e-12)
+	if err != nil || ok {
+		t.Fatal("double integrator flagged stable")
+	}
+	d, _ := C2D(firstOrder(1), 0.1)
+	ok, err = d.IsStable(0)
+	if err != nil || !ok {
+		t.Fatal("stable discrete lag flagged unstable")
+	}
+}
+
+func TestSimulatePanicsOnContinuous(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Simulate on continuous system did not panic")
+		}
+	}()
+	firstOrder(1).Simulate([]float64{0}, [][]float64{{1}})
+}

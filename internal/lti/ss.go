@@ -1,0 +1,186 @@
+// Package lti implements linear time-invariant system models: continuous-
+// and discrete-time state-space systems and SISO transfer functions, with
+// zero-order-hold discretization (including the delayed-input Γ0/Γ1 split
+// of Åström & Wittenmark, ch. 3), poles, DC gains, frequency responses and
+// time-domain simulation. It is the modeling substrate beneath the LQG and
+// jitter-margin layers.
+package lti
+
+import (
+	"errors"
+	"fmt"
+
+	"ctrlsched/internal/cmat"
+	"ctrlsched/internal/eig"
+	"ctrlsched/internal/mat"
+)
+
+// ErrNotSISO is returned by operations that require single-input
+// single-output systems.
+var ErrNotSISO = errors.New("lti: operation requires a SISO system")
+
+// SS is a state-space system
+//
+//	continuous (Ts == 0):  ẋ = A·x + B·u,      y = C·x + D·u
+//	discrete   (Ts > 0):   x(k+1) = A·x + B·u, y = C·x + D·u
+type SS struct {
+	A, B, C, D *mat.Matrix
+	Ts         float64 // sampling period; 0 means continuous time
+}
+
+// NewSS validates dimensions and constructs a state-space system. D may be
+// nil, meaning a zero feed-through of the appropriate size.
+func NewSS(a, b, c, d *mat.Matrix, ts float64) (*SS, error) {
+	if !a.IsSquare() {
+		return nil, fmt.Errorf("lti: A must be square, got %d×%d", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	if b.Rows() != n {
+		return nil, fmt.Errorf("lti: B has %d rows, want %d", b.Rows(), n)
+	}
+	if c.Cols() != n {
+		return nil, fmt.Errorf("lti: C has %d cols, want %d", c.Cols(), n)
+	}
+	if d == nil {
+		d = mat.New(c.Rows(), b.Cols())
+	}
+	if d.Rows() != c.Rows() || d.Cols() != b.Cols() {
+		return nil, fmt.Errorf("lti: D is %d×%d, want %d×%d", d.Rows(), d.Cols(), c.Rows(), b.Cols())
+	}
+	if ts < 0 {
+		return nil, fmt.Errorf("lti: negative sampling period %v", ts)
+	}
+	return &SS{A: a, B: b, C: c, D: d, Ts: ts}, nil
+}
+
+// MustSS is NewSS that panics on error; for statically-known dimensions.
+func MustSS(a, b, c, d *mat.Matrix, ts float64) *SS {
+	s, err := NewSS(a, b, c, d, ts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Order returns the state dimension.
+func (s *SS) Order() int { return s.A.Rows() }
+
+// Inputs returns the number of inputs.
+func (s *SS) Inputs() int { return s.B.Cols() }
+
+// Outputs returns the number of outputs.
+func (s *SS) Outputs() int { return s.C.Rows() }
+
+// IsContinuous reports whether the system evolves in continuous time.
+func (s *SS) IsContinuous() bool { return s.Ts == 0 }
+
+// Poles returns the system poles (eigenvalues of A).
+func (s *SS) Poles() ([]complex128, error) {
+	return eig.Eigenvalues(s.A)
+}
+
+// IsStable reports internal asymptotic stability: Hurwitz for continuous
+// systems, Schur for discrete ones, with stability margin tol.
+func (s *SS) IsStable(tol float64) (bool, error) {
+	if s.IsContinuous() {
+		return eig.IsHurwitzStable(s.A, tol)
+	}
+	return eig.IsSchurStable(s.A, tol)
+}
+
+// DCGain returns the steady-state gain matrix: −C·A⁻¹·B + D for continuous
+// systems, C·(I−A)⁻¹·B + D for discrete ones. Systems with integrators
+// (singular A or I−A) return ErrSingular from the underlying solve.
+func (s *SS) DCGain() (*mat.Matrix, error) {
+	var x *mat.Matrix
+	var err error
+	if s.IsContinuous() {
+		x, err = mat.Solve(s.A.Scale(-1), s.B)
+	} else {
+		x, err = mat.Solve(mat.Identity(s.Order()).Sub(s.A), s.B)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.C.Mul(x).Add(s.D), nil
+}
+
+// FreqResponse evaluates the transfer matrix at a complex frequency point:
+// G(p) = C·(pI − A)⁻¹·B + D, where p = s for continuous systems and p = z
+// for discrete ones.
+func (s *SS) FreqResponse(p complex128) (*cmat.Matrix, error) {
+	n := s.Order()
+	pi := cmat.Identity(n).Scale(p).Sub(cmat.FromReal(s.A))
+	x, err := pi.Solve(cmat.FromReal(s.B))
+	if err != nil {
+		return nil, err
+	}
+	return cmat.FromReal(s.C).Mul(x).Add(cmat.FromReal(s.D)), nil
+}
+
+// FreqResponseSISO is FreqResponse for single-input single-output systems,
+// returning the scalar gain.
+func (s *SS) FreqResponseSISO(p complex128) (complex128, error) {
+	if s.Inputs() != 1 || s.Outputs() != 1 {
+		return 0, ErrNotSISO
+	}
+	g, err := s.FreqResponse(p)
+	if err != nil {
+		return 0, err
+	}
+	return g.At(0, 0), nil
+}
+
+// Simulate runs a discrete-time system from initial state x0 under the
+// input sequence u (one row per step, Inputs() columns) and returns the
+// output sequence (one row per step). It panics on continuous systems.
+func (s *SS) Simulate(x0 []float64, u [][]float64) [][]float64 {
+	if s.IsContinuous() {
+		panic("lti: Simulate requires a discrete-time system; use C2D first")
+	}
+	n := s.Order()
+	if len(x0) != n {
+		panic(fmt.Sprintf("lti: x0 has length %d, want %d", len(x0), n))
+	}
+	x := make([]float64, n)
+	copy(x, x0)
+	y := make([][]float64, len(u))
+	for k, uk := range u {
+		if len(uk) != s.Inputs() {
+			panic("lti: input width mismatch")
+		}
+		// y(k) = C x + D u
+		cy := s.C.MulVec(x)
+		du := s.D.MulVec(uk)
+		yk := make([]float64, len(cy))
+		for i := range cy {
+			yk[i] = cy[i] + du[i]
+		}
+		y[k] = yk
+		// x(k+1) = A x + B u
+		ax := s.A.MulVec(x)
+		bu := s.B.MulVec(uk)
+		for i := range x {
+			x[i] = ax[i] + bu[i]
+		}
+	}
+	return y
+}
+
+// Step returns the unit step response of a discrete SISO system over n
+// samples.
+func (s *SS) Step(n int) ([]float64, error) {
+	if s.Inputs() != 1 || s.Outputs() != 1 {
+		return nil, ErrNotSISO
+	}
+	u := make([][]float64, n)
+	for i := range u {
+		u[i] = []float64{1}
+	}
+	y := s.Simulate(make([]float64, s.Order()), u)
+	out := make([]float64, n)
+	for i := range y {
+		out[i] = y[i][0]
+	}
+	return out, nil
+}

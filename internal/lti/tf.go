@@ -1,0 +1,97 @@
+package lti
+
+import (
+	"fmt"
+
+	"ctrlsched/internal/mat"
+	"ctrlsched/internal/poly"
+)
+
+// TF is a SISO transfer function Num(s)/Den(s) (continuous time when
+// Ts == 0, else z-domain with sampling period Ts).
+type TF struct {
+	Num, Den poly.Poly
+	Ts       float64
+}
+
+// NewTF builds a transfer function; it requires a proper system
+// (deg Num ≤ deg Den) and a nonzero denominator.
+func NewTF(num, den poly.Poly, ts float64) (*TF, error) {
+	num, den = num.Trim(), den.Trim()
+	if den.IsZero() {
+		return nil, fmt.Errorf("lti: zero denominator")
+	}
+	if num.Degree() > den.Degree() {
+		return nil, fmt.Errorf("lti: improper transfer function (deg num %d > deg den %d)", num.Degree(), den.Degree())
+	}
+	return &TF{Num: num, Den: den, Ts: ts}, nil
+}
+
+// MustTF is NewTF that panics on error.
+func MustTF(num, den poly.Poly, ts float64) *TF {
+	tf, err := NewTF(num, den, ts)
+	if err != nil {
+		panic(err)
+	}
+	return tf
+}
+
+// Eval evaluates the transfer function at a complex point.
+func (t *TF) Eval(p complex128) complex128 {
+	return t.Num.EvalC(p) / t.Den.EvalC(p)
+}
+
+// Poles returns the roots of the denominator.
+func (t *TF) Poles() ([]complex128, error) { return t.Den.Roots() }
+
+// Zeros returns the roots of the numerator (none for constant numerators).
+func (t *TF) Zeros() ([]complex128, error) {
+	if t.Num.Degree() < 1 {
+		return nil, nil
+	}
+	return t.Num.Roots()
+}
+
+// ToSS realizes the transfer function in controllable canonical form.
+// For b(s)/a(s) with monic a(s) = sⁿ + a_{n−1}s^{n−1} + ... + a₀:
+//
+//	A = [ −a_{n−1} ... −a₁ −a₀ ]   B = [1 0 ... 0]ᵀ
+//	    [    1     ...  0   0  ]
+//	    [    0     ...  1   0  ]
+//
+// with C from the (strictly proper part of the) numerator and D the direct
+// feed-through for biproper systems.
+func (t *TF) ToSS() (*SS, error) {
+	den := t.Den.Monic()
+	num := t.Num.Scale(1 / t.Den.Trim()[t.Den.Degree()])
+	n := den.Degree()
+	if n == 0 {
+		return nil, fmt.Errorf("lti: static-gain transfer function has no state-space realization")
+	}
+	// Direct feed-through: for biproper systems num = d·den + remainder.
+	d := 0.0
+	if num.Degree() == n {
+		d = num[n]
+		num = num.Sub(den.Scale(d)).Trim()
+	}
+	a := mat.New(n, n)
+	for j := 0; j < n; j++ {
+		a.Set(0, j, -den[n-1-j])
+	}
+	for i := 1; i < n; i++ {
+		a.Set(i, i-1, 1)
+	}
+	b := mat.New(n, 1)
+	b.Set(0, 0, 1)
+	c := mat.New(1, n)
+	for j := 0; j < n; j++ {
+		// State x_i corresponds to s^{n−1−i} in this companion form.
+		idx := n - 1 - j
+		if idx < len(num) {
+			c.Set(0, j, num[idx])
+		}
+	}
+	dm := mat.New(1, 1)
+	dm.Set(0, 0, d)
+	return NewSS(a, b, c, dm, t.Ts)
+}

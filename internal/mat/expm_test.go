@@ -1,0 +1,149 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExpmZero(t *testing.T) {
+	if !Expm(New(4, 4)).EqualApprox(Identity(4), 1e-15) {
+		t.Fatal("e^0 != I")
+	}
+}
+
+func TestExpmDiagonal(t *testing.T) {
+	a := Diag(1, -2, 0.5)
+	e := Expm(a)
+	want := Diag(math.E, math.Exp(-2), math.Exp(0.5))
+	if !e.EqualApprox(want, 1e-12) {
+		t.Fatalf("expm(diag) = %v, want %v", e, want)
+	}
+}
+
+func TestExpmNilpotent(t *testing.T) {
+	// A = [[0,1],[0,0]] => e^A = [[1,1],[0,1]] exactly.
+	a := FromRows([][]float64{{0, 1}, {0, 0}})
+	want := FromRows([][]float64{{1, 1}, {0, 1}})
+	if !Expm(a).EqualApprox(want, 1e-14) {
+		t.Fatal("expm of nilpotent wrong")
+	}
+}
+
+func TestExpmRotation(t *testing.T) {
+	// A = [[0,−ω],[ω,0]] => e^{A t}: rotation by ωt.
+	omega, tt := 2.0, 0.7
+	a := FromRows([][]float64{{0, -omega}, {omega, 0}}).Scale(tt)
+	e := Expm(a)
+	c, s := math.Cos(omega*tt), math.Sin(omega*tt)
+	want := FromRows([][]float64{{c, -s}, {s, c}})
+	if !e.EqualApprox(want, 1e-12) {
+		t.Fatalf("rotation expm = %v, want %v", e, want)
+	}
+}
+
+// e^A · e^{−A} = I for random matrices (both below and above the scaling
+// threshold).
+func TestExpmInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(6)
+		scale := 1.0
+		if trial%2 == 1 {
+			scale = 20 // force the scaling-and-squaring branch
+		}
+		a := randMatrix(rng, n, n).Scale(scale)
+		ea, eai := Expm(a), Expm(a.Scale(-1))
+		prod := ea.Mul(eai)
+		// The achievable accuracy of the product is bounded by the
+		// conditioning of the factors: tolerate eps·‖e^A‖·‖e^−A‖.
+		tol := 1e-12 * (1 + ea.Norm1()*eai.Norm1())
+		if !prod.EqualApprox(Identity(n), tol) {
+			t.Fatalf("trial %d: e^A e^-A != I, err=%v tol=%v", trial, prod.Sub(Identity(n)).MaxAbs(), tol)
+		}
+	}
+}
+
+// Commuting matrices: e^{A+B} = e^A e^B when AB = BA (use polynomials in
+// the same matrix).
+func TestExpmCommutingSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := randMatrix(rng, 3, 3)
+	a := m.Scale(0.3)
+	b := m.Mul(m).Scale(0.1) // commutes with a
+	left := Expm(a.Add(b))
+	right := Expm(a).Mul(Expm(b))
+	if !left.EqualApprox(right, 1e-10) {
+		t.Fatal("e^{A+B} != e^A e^B for commuting A, B")
+	}
+}
+
+// det(e^A) = e^{tr A} (Jacobi's formula).
+func TestExpmDetTraceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(5)
+		a := randMatrix(rng, n, n)
+		d := Det(Expm(a))
+		want := math.Exp(a.Trace())
+		if math.Abs(d-want) > 1e-9*(1+want) {
+			t.Fatalf("det(e^A)=%v, e^tr=%v", d, want)
+		}
+	}
+}
+
+// Semigroup property: e^{A(s+t)} = e^{As} e^{At}.
+func TestExpmSemigroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := randMatrix(rng, 4, 4)
+	s, tt := 0.4, 1.3
+	left := Expm(a.Scale(s + tt))
+	right := Expm(a.Scale(s)).Mul(Expm(a.Scale(tt)))
+	if !left.EqualApprox(right, 1e-10) {
+		t.Fatal("semigroup property violated")
+	}
+}
+
+func TestExpmLargeNorm(t *testing.T) {
+	// Stable matrix with big norm: result must stay finite and
+	// e^{A}·e^{-A} ≈ I still holds after heavy squaring.
+	a := FromRows([][]float64{{-30, 100}, {0, -40}})
+	e := Expm(a)
+	if e.HasNaN() {
+		t.Fatal("expm produced NaN/Inf")
+	}
+	// Eigenvalues −30, −40 => ‖e^A‖ should be tiny.
+	if e.MaxAbs() > 1e-10 {
+		t.Fatalf("expm of very stable matrix too large: %v", e.MaxAbs())
+	}
+}
+
+func TestExpmTaylorAgreesWithPade(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 20; trial++ {
+		a := randMatrix(rng, 3, 3).Scale(0.5)
+		if !expmTaylor(a).EqualApprox(Expm(a), 1e-10) {
+			t.Fatal("Taylor fallback disagrees with Padé")
+		}
+	}
+}
+
+func BenchmarkExpm4(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	a := randMatrix(rng, 4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Expm(a)
+	}
+}
+
+func BenchmarkLU8(b *testing.B) {
+	rng := rand.New(rand.NewSource(32))
+	a := randMatrix(rng, 8, 8).Add(Identity(8).Scale(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Factorize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

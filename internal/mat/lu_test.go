@@ -1,0 +1,142 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveKnown(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveVec(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randMatrix(rng, n, n)
+		// Shift the diagonal to keep the matrix comfortably nonsingular.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveVec(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		r := a.MulVec(x)
+		for i := range b {
+			if math.Abs(r[i]-b[i]) > 1e-10 {
+				t.Fatalf("trial %d: residual %v", trial, math.Abs(r[i]-b[i]))
+			}
+		}
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(7)
+		a := randMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Mul(inv).EqualApprox(Identity(n), 1e-9) {
+			t.Fatalf("A·A⁻¹ != I (n=%d)", n)
+		}
+		if !inv.Mul(a).EqualApprox(Identity(n), 1e-9) {
+			t.Fatalf("A⁻¹·A != I (n=%d)", n)
+		}
+	}
+}
+
+func TestSingularDetection(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}}) // rank 1
+	if _, err := Inverse(a); err == nil {
+		t.Fatal("expected ErrSingular for rank-deficient matrix")
+	}
+	if Det(a) != 0 {
+		t.Fatalf("Det(singular) = %v, want 0", Det(a))
+	}
+}
+
+func TestDetKnown(t *testing.T) {
+	cases := []struct {
+		m    *Matrix
+		want float64
+	}{
+		{Identity(3), 1},
+		{Diag(2, 3, 4), 24},
+		{FromRows([][]float64{{0, 1}, {1, 0}}), -1}, // permutation: sign test
+		{FromRows([][]float64{{1, 2}, {3, 4}}), -2},
+		{FromRows([][]float64{{2, 0, 0}, {0, 0, 3}, {0, 5, 0}}), -30},
+	}
+	for i, c := range cases {
+		if got := Det(c.m); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: Det = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDetMultiplicativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		a, b := randMatrix(rng, n, n), randMatrix(rng, n, n)
+		da, db, dab := Det(a), Det(b), Det(a.Mul(b))
+		if math.Abs(dab-da*db) > 1e-9*(1+math.Abs(da*db)) {
+			t.Fatalf("det(AB)=%v != det(A)det(B)=%v", dab, da*db)
+		}
+	}
+}
+
+func TestSolveMatrixRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randMatrix(rng, 4, 4).Add(Identity(4).Scale(5))
+	b := randMatrix(rng, 4, 3)
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(x).EqualApprox(b, 1e-10) {
+		t.Fatal("A·X != B")
+	}
+}
+
+func TestCond1Estimate(t *testing.T) {
+	if c := Cond1Estimate(Identity(3)); math.Abs(c-1) > 1e-12 {
+		t.Errorf("cond(I) = %v, want 1", c)
+	}
+	if c := Cond1Estimate(FromRows([][]float64{{1, 1}, {1, 1}})); !math.IsInf(c, 1) {
+		t.Errorf("cond(singular) = %v, want +Inf", c)
+	}
+}
+
+func TestFactorizePivoting(t *testing.T) {
+	// Leading zero pivot forces a row swap; naive LU without pivoting
+	// would divide by zero here.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.SolveVec([]float64{2, 3})
+	if math.Abs(x[0]-3) > 1e-14 || math.Abs(x[1]-2) > 1e-14 {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+}

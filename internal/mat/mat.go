@@ -1,0 +1,396 @@
+// Package mat implements dense real-valued matrices and the numerical
+// linear-algebra kernels needed by the control-theoretic layers of
+// ctrlsched: basic arithmetic, LU factorization with partial pivoting
+// (solve, inverse, determinant), matrix norms, Kronecker products and the
+// matrix exponential by scaling and squaring with a degree-13 Padé
+// approximant.
+//
+// Matrices are stored in row-major order. All operations allocate their
+// results; receivers are never mutated unless the method name says so
+// (SetXxx, AddInPlace, ...). Dimension mismatches panic: they indicate
+// programming errors, not runtime conditions.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense, row-major real matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zero r×c matrix.
+func New(r, c int) *Matrix {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %d×%d", r, c))
+	}
+	return &Matrix{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: FromRows requires at least one row and one column")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.cols {
+			panic("mat: FromRows ragged input")
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], row)
+	}
+	return m
+}
+
+// FromSlice builds an r×c matrix from a row-major slice of length r*c.
+func FromSlice(r, c int, data []float64) *Matrix {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: FromSlice length %d != %d×%d", len(data), r, c))
+	}
+	m := New(r, c)
+	copy(m.data, data)
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on its diagonal.
+func Diag(d ...float64) *Matrix {
+	n := len(d)
+	m := New(n, n)
+	for i, v := range d {
+		m.data[i*n+i] = v
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %d×%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// IsSquare reports whether the matrix is square.
+func (m *Matrix) IsSquare() bool { return m.rows == m.cols }
+
+// Equal reports exact element-wise equality of dimensions and entries.
+func (m *Matrix) Equal(n *Matrix) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if v != n.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualApprox reports element-wise equality within absolute tolerance tol.
+func (m *Matrix) EqualApprox(n *Matrix, tol float64) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-n.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns m + n.
+func (m *Matrix) Add(n *Matrix) *Matrix {
+	m.sameDims(n, "Add")
+	r := m.Clone()
+	for i, v := range n.data {
+		r.data[i] += v
+	}
+	return r
+}
+
+// Sub returns m − n.
+func (m *Matrix) Sub(n *Matrix) *Matrix {
+	m.sameDims(n, "Sub")
+	r := m.Clone()
+	for i, v := range n.data {
+		r.data[i] -= v
+	}
+	return r
+}
+
+func (m *Matrix) sameDims(n *Matrix, op string) {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic(fmt.Sprintf("mat: %s dimension mismatch %d×%d vs %d×%d", op, m.rows, m.cols, n.rows, n.cols))
+	}
+}
+
+// Scale returns s·m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	r := m.Clone()
+	for i := range r.data {
+		r.data[i] *= s
+	}
+	return r
+}
+
+// Mul returns the matrix product m·n.
+func (m *Matrix) Mul(n *Matrix) *Matrix {
+	if m.cols != n.rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %d×%d by %d×%d", m.rows, m.cols, n.rows, n.cols))
+	}
+	r := New(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		mrow := m.data[i*m.cols : (i+1)*m.cols]
+		rrow := r.data[i*n.cols : (i+1)*n.cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			nrow := n.data[k*n.cols : (k+1)*n.cols]
+			for j, nv := range nrow {
+				rrow[j] += mv * nv
+			}
+		}
+	}
+	return r
+}
+
+// MulVec returns the matrix-vector product m·v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %d×%d by %d", m.rows, m.cols, len(v)))
+	}
+	r := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		r[i] = s
+	}
+	return r
+}
+
+// T returns the transpose.
+func (m *Matrix) T() *Matrix {
+	r := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			r.data[j*r.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return r
+}
+
+// Trace returns the sum of diagonal elements of a square matrix.
+func (m *Matrix) Trace() float64 {
+	if !m.IsSquare() {
+		panic("mat: Trace of non-square matrix")
+	}
+	var t float64
+	for i := 0; i < m.rows; i++ {
+		t += m.data[i*m.cols+i]
+	}
+	return t
+}
+
+// Symmetrize returns (m + mᵀ)/2. Useful after Riccati/Lyapunov iterations
+// where roundoff introduces slight asymmetry.
+func (m *Matrix) Symmetrize() *Matrix {
+	if !m.IsSquare() {
+		panic("mat: Symmetrize of non-square matrix")
+	}
+	r := New(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			r.data[i*m.cols+j] = 0.5 * (m.data[i*m.cols+j] + m.data[j*m.cols+i])
+		}
+	}
+	return r
+}
+
+// Norm1 returns the maximum absolute column sum.
+func (m *Matrix) Norm1() float64 {
+	var max float64
+	for j := 0; j < m.cols; j++ {
+		var s float64
+		for i := 0; i < m.rows; i++ {
+			s += math.Abs(m.data[i*m.cols+j])
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NormInf returns the maximum absolute row sum.
+func (m *Matrix) NormInf() float64 {
+	var max float64
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for j := 0; j < m.cols; j++ {
+			s += math.Abs(m.data[i*m.cols+j])
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NormFro returns the Frobenius norm.
+func (m *Matrix) NormFro() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute entry.
+func (m *Matrix) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// HasNaN reports whether any entry is NaN or ±Inf.
+func (m *Matrix) HasNaN() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// Slice returns the sub-matrix with rows [r0,r1) and columns [c0,c1) copied
+// out of m.
+func (m *Matrix) Slice(r0, r1, c0, c1 int) *Matrix {
+	if r0 < 0 || r1 > m.rows || c0 < 0 || c1 > m.cols || r0 >= r1 || c0 >= c1 {
+		panic(fmt.Sprintf("mat: Slice [%d:%d,%d:%d] out of range %d×%d", r0, r1, c0, c1, m.rows, m.cols))
+	}
+	r := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(r.data[(i-r0)*r.cols:(i-r0+1)*r.cols], m.data[i*m.cols+c0:i*m.cols+c1])
+	}
+	return r
+}
+
+// SetSlice copies src into m starting at row r0, column c0, mutating m.
+func (m *Matrix) SetSlice(r0, c0 int, src *Matrix) {
+	if r0+src.rows > m.rows || c0+src.cols > m.cols || r0 < 0 || c0 < 0 {
+		panic("mat: SetSlice out of range")
+	}
+	for i := 0; i < src.rows; i++ {
+		copy(m.data[(r0+i)*m.cols+c0:(r0+i)*m.cols+c0+src.cols], src.data[i*src.cols:(i+1)*src.cols])
+	}
+}
+
+// Kron returns the Kronecker product m ⊗ n.
+func (m *Matrix) Kron(n *Matrix) *Matrix {
+	r := New(m.rows*n.rows, m.cols*n.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			s := m.data[i*m.cols+j]
+			if s == 0 {
+				continue
+			}
+			for p := 0; p < n.rows; p++ {
+				for q := 0; q < n.cols; q++ {
+					r.data[(i*n.rows+p)*r.cols+(j*n.cols+q)] = s * n.data[p*n.cols+q]
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Vec returns the column-stacking vectorization vec(m).
+func (m *Matrix) Vec() []float64 {
+	v := make([]float64, m.rows*m.cols)
+	k := 0
+	for j := 0; j < m.cols; j++ {
+		for i := 0; i < m.rows; i++ {
+			v[k] = m.data[i*m.cols+j]
+			k++
+		}
+	}
+	return v
+}
+
+// Unvec is the inverse of Vec: it reshapes a column-stacked vector into an
+// r×c matrix.
+func Unvec(v []float64, r, c int) *Matrix {
+	if len(v) != r*c {
+		panic("mat: Unvec length mismatch")
+	}
+	m := New(r, c)
+	k := 0
+	for j := 0; j < c; j++ {
+		for i := 0; i < r; i++ {
+			m.data[i*c+j] = v[k]
+			k++
+		}
+	}
+	return m
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "% .6g", m.data[i*m.cols+j])
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,362 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randMatrix returns a deterministic pseudo-random r×c matrix with entries
+// in [-1, 1].
+func randMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, 2*rng.Float64()-1)
+		}
+	}
+	return m
+}
+
+func TestNewZero(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("dims = %d×%d, want 3×4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	want := [][]float64{{1, 2}, {3, 4}}
+	for i := range want {
+		for j := range want[i] {
+			if m.At(i, j) != want[i][j] {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestFromSlice(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.At(1, 2) != 6 || m.At(0, 1) != 2 {
+		t.Fatalf("FromSlice layout wrong: %v", m)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("Identity(4).At(%d,%d) = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDiag(t *testing.T) {
+	d := Diag(1, 2, 3)
+	if d.At(0, 0) != 1 || d.At(1, 1) != 2 || d.At(2, 2) != 3 || d.At(0, 1) != 0 {
+		t.Fatalf("Diag wrong: %v", d)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	if got := a.Add(b); !got.Equal(FromRows([][]float64{{6, 8}, {10, 12}})) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); !got.Equal(FromRows([][]float64{{4, 4}, {4, 4}})) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); !got.Equal(FromRows([][]float64{{2, 4}, {6, 8}})) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{0, 1}, {1, 0}})
+	want := FromRows([][]float64{{2, 1}, {4, 3}})
+	if got := a.Mul(b); !got.Equal(want) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(6)
+		a := randMatrix(rng, n, n)
+		if !a.Mul(Identity(n)).EqualApprox(a, 1e-14) {
+			t.Fatalf("A·I != A for %v", a)
+		}
+		if !Identity(n).Mul(a).EqualApprox(a, 1e-14) {
+			t.Fatalf("I·A != A for %v", a)
+		}
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		p, q, r, s := 1+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(4)
+		a, b, c := randMatrix(rng, p, q), randMatrix(rng, q, r), randMatrix(rng, r, s)
+		left := a.Mul(b).Mul(c)
+		right := a.Mul(b.Mul(c))
+		if !left.EqualApprox(right, 1e-12) {
+			t.Fatalf("(AB)C != A(BC)")
+		}
+	}
+}
+
+func TestMulDistributivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		p, q, r := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := randMatrix(rng, p, q)
+		b, c := randMatrix(rng, q, r), randMatrix(rng, q, r)
+		left := a.Mul(b.Add(c))
+		right := a.Mul(b).Add(a.Mul(c))
+		if !left.EqualApprox(right, 1e-12) {
+			t.Fatalf("A(B+C) != AB+AC")
+		}
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		r, c := 1+rng.Intn(5), 1+rng.Intn(5)
+		a := randMatrix(rng, r, c)
+		v := make([]float64, c)
+		vm := New(c, 1)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			vm.Set(i, 0, v[i])
+		}
+		got := a.MulVec(v)
+		want := a.Mul(vm)
+		for i := range got {
+			if math.Abs(got[i]-want.At(i, 0)) > 1e-13 {
+				t.Fatalf("MulVec mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMatrix(rng, 3, 5)
+	if !a.T().T().Equal(a) {
+		t.Fatal("(Aᵀ)ᵀ != A")
+	}
+	// (AB)ᵀ = BᵀAᵀ
+	b := randMatrix(rng, 5, 2)
+	if !a.Mul(b).T().EqualApprox(b.T().Mul(a.T()), 1e-13) {
+		t.Fatal("(AB)ᵀ != BᵀAᵀ")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	a := FromRows([][]float64{{1, 9}, {8, 2}})
+	if a.Trace() != 3 {
+		t.Fatalf("Trace = %v, want 3", a.Trace())
+	}
+}
+
+func TestTraceCyclicProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(5)
+		a, b := randMatrix(rng, n, n), randMatrix(rng, n, n)
+		if math.Abs(a.Mul(b).Trace()-b.Mul(a).Trace()) > 1e-12 {
+			t.Fatal("tr(AB) != tr(BA)")
+		}
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {4, 3}})
+	s := a.Symmetrize()
+	if s.At(0, 1) != 3 || s.At(1, 0) != 3 || s.At(0, 0) != 1 {
+		t.Fatalf("Symmetrize = %v", s)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}, {-3, 4}})
+	if a.Norm1() != 6 { // max column sum: |−2|+|4| = 6
+		t.Errorf("Norm1 = %v, want 6", a.Norm1())
+	}
+	if a.NormInf() != 7 { // max row sum: |−3|+|4| = 7
+		t.Errorf("NormInf = %v, want 7", a.NormInf())
+	}
+	if math.Abs(a.NormFro()-math.Sqrt(30)) > 1e-14 {
+		t.Errorf("NormFro = %v, want sqrt(30)", a.NormFro())
+	}
+	if a.MaxAbs() != 4 {
+		t.Errorf("MaxAbs = %v, want 4", a.MaxAbs())
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	a := New(2, 2)
+	if a.HasNaN() {
+		t.Error("zero matrix reported NaN")
+	}
+	a.Set(1, 1, math.Inf(1))
+	if !a.HasNaN() {
+		t.Error("Inf not detected")
+	}
+	a.Set(1, 1, math.NaN())
+	if !a.HasNaN() {
+		t.Error("NaN not detected")
+	}
+}
+
+func TestSliceAndSetSlice(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := a.Slice(1, 3, 0, 2)
+	if !s.Equal(FromRows([][]float64{{4, 5}, {7, 8}})) {
+		t.Fatalf("Slice = %v", s)
+	}
+	b := New(4, 4)
+	b.SetSlice(1, 2, s)
+	if b.At(1, 2) != 4 || b.At(2, 3) != 8 || b.At(0, 0) != 0 {
+		t.Fatalf("SetSlice result: %v", b)
+	}
+}
+
+func TestKronDims(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{0, 1}, {1, 0}})
+	k := a.Kron(b)
+	if k.Rows() != 2 || k.Cols() != 4 {
+		t.Fatalf("Kron dims %d×%d", k.Rows(), k.Cols())
+	}
+	want := FromRows([][]float64{{0, 1, 0, 2}, {1, 0, 2, 0}})
+	if !k.Equal(want) {
+		t.Fatalf("Kron = %v, want %v", k, want)
+	}
+}
+
+// Kronecker mixed-product property: (A⊗B)(C⊗D) = (AC)⊗(BD).
+func TestKronMixedProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, c := randMatrix(rng, 2, 3), randMatrix(rng, 3, 2)
+	b, d := randMatrix(rng, 2, 2), randMatrix(rng, 2, 3)
+	left := a.Kron(b).Mul(c.Kron(d))
+	right := a.Mul(c).Kron(b.Mul(d))
+	if !left.EqualApprox(right, 1e-12) {
+		t.Fatal("(A⊗B)(C⊗D) != (AC)⊗(BD)")
+	}
+}
+
+// vec(AXB) = (Bᵀ⊗A)·vec(X): the identity underlying the Lyapunov solver.
+func TestVecKronIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randMatrix(rng, 3, 3)
+	x := randMatrix(rng, 3, 3)
+	b := randMatrix(rng, 3, 3)
+	left := a.Mul(x).Mul(b).Vec()
+	right := b.T().Kron(a).MulVec(x.Vec())
+	for i := range left {
+		if math.Abs(left[i]-right[i]) > 1e-12 {
+			t.Fatal("vec(AXB) != (Bᵀ⊗A)vec(X)")
+		}
+	}
+}
+
+func TestVecUnvecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randMatrix(rng, 4, 3)
+	if !Unvec(a.Vec(), 4, 3).Equal(a) {
+		t.Fatal("Unvec(Vec(A)) != A")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{1.0000001, 2}})
+	if !a.EqualApprox(b, 1e-6) {
+		t.Error("EqualApprox too strict")
+	}
+	if a.EqualApprox(b, 1e-9) {
+		t.Error("EqualApprox too lax")
+	}
+	if a.EqualApprox(New(2, 1), 1) {
+		t.Error("EqualApprox ignored dims")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := FromRows([][]float64{{1, 2}}).String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// quick.Check property: scaling by s then 1/s is identity (s != 0).
+func TestScaleInverseQuick(t *testing.T) {
+	f := func(v [4]float64, sRaw float64) bool {
+		s := math.Mod(math.Abs(sRaw), 10) + 0.5 // keep well away from 0
+		vals := make([]float64, 4)
+		for i, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			vals[i] = math.Mod(x, 1e6) // keep scaling away from overflow
+		}
+		m := FromSlice(2, 2, vals)
+		return m.Scale(s).Scale(1/s).EqualApprox(m, 1e-9*(1+m.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

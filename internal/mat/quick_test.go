@@ -1,0 +1,183 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sanitize maps arbitrary float64s from testing/quick into a bounded,
+// finite range so algebraic identities are testable at sane tolerances.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 100)
+}
+
+func m22(v [4]float64) *Matrix {
+	d := make([]float64, 4)
+	for i, x := range v {
+		d[i] = sanitize(x)
+	}
+	return FromSlice(2, 2, d)
+}
+
+func m33(v [9]float64) *Matrix {
+	d := make([]float64, 9)
+	for i, x := range v {
+		d[i] = sanitize(x)
+	}
+	return FromSlice(3, 3, d)
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(a, b [9]float64) bool {
+		x, y := m33(a), m33(b)
+		return x.Add(y).EqualApprox(y.Add(x), 1e-9)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAddAssociative(t *testing.T) {
+	f := func(a, b, c [9]float64) bool {
+		x, y, z := m33(a), m33(b), m33(c)
+		return x.Add(y).Add(z).EqualApprox(x.Add(y.Add(z)), 1e-7)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubIsAddNegation(t *testing.T) {
+	f := func(a, b [9]float64) bool {
+		x, y := m33(a), m33(b)
+		return x.Sub(y).EqualApprox(x.Add(y.Scale(-1)), 1e-9)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTransposeLinear(t *testing.T) {
+	f := func(a, b [9]float64, sRaw float64) bool {
+		s := sanitize(sRaw)
+		x, y := m33(a), m33(b)
+		left := x.Add(y.Scale(s)).T()
+		right := x.T().Add(y.T().Scale(s))
+		return left.EqualApprox(right, 1e-7)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulTransposeAntihomomorphism(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		x, y := m22(a), m22(b)
+		return x.Mul(y).T().EqualApprox(y.T().Mul(x.T()), 1e-6)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTraceLinear(t *testing.T) {
+	f := func(a, b [9]float64, sRaw float64) bool {
+		s := sanitize(sRaw)
+		x, y := m33(a), m33(b)
+		left := x.Add(y.Scale(s)).Trace()
+		right := x.Trace() + s*y.Trace()
+		return math.Abs(left-right) <= 1e-6*(1+math.Abs(right))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNormTriangleInequality(t *testing.T) {
+	f := func(a, b [9]float64) bool {
+		x, y := m33(a), m33(b)
+		return x.Add(y).NormFro() <= x.NormFro()+y.NormFro()+1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNorm1SubmultiplicativeOnProducts(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		x, y := m22(a), m22(b)
+		return x.Mul(y).Norm1() <= x.Norm1()*y.Norm1()+1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSolveRoundTrip(t *testing.T) {
+	f := func(a [9]float64, bv [3]float64) bool {
+		x := m33(a)
+		// Dominant diagonal keeps the system well-conditioned.
+		for i := 0; i < 3; i++ {
+			x.Set(i, i, x.At(i, i)+400)
+		}
+		b := []float64{sanitize(bv[0]), sanitize(bv[1]), sanitize(bv[2])}
+		sol, err := SolveVec(x, b)
+		if err != nil {
+			return false
+		}
+		r := x.MulVec(sol)
+		for i := range b {
+			if math.Abs(r[i]-b[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSymmetrizeIdempotent(t *testing.T) {
+	f := func(a [9]float64) bool {
+		s := m33(a).Symmetrize()
+		return s.Symmetrize().EqualApprox(s, 1e-12) && s.EqualApprox(s.T(), 1e-12)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVecPreservesFrobenius(t *testing.T) {
+	f := func(a [9]float64) bool {
+		x := m33(a)
+		v := x.Vec()
+		var s float64
+		for _, e := range v {
+			s += e * e
+		}
+		return math.Abs(math.Sqrt(s)-x.NormFro()) < 1e-9*(1+x.NormFro())
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickExpmSpectralConsistency(t *testing.T) {
+	// det(e^A) = e^{tr A} under quick-generated inputs (Jacobi).
+	f := func(a [4]float64) bool {
+		x := m22(a).Scale(0.05) // keep exponentials in range
+		d := Det(Expm(x))
+		want := math.Exp(x.Trace())
+		return math.Abs(d-want) <= 1e-6*(1+want)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package plant provides the benchmark plant library used throughout the
+// reproduction: the DC servo the paper states explicitly (transfer function
+// 1000/(s²+s)) plus the canonical example plants of Åström & Wittenmark
+// (Computer-Controlled Systems) and Cervin et al. (jitter margin paper),
+// from which the paper says its benchmarks are drawn: integrators,
+// harmonic oscillators, an inverted pendulum and stable lags.
+//
+// Each plant bundles the continuous-time dynamics with default LQG design
+// weights (state/input cost, process/measurement noise) and a recommended
+// sampling-period range, so benchmark generation can sample consistent
+// (plant, period) pairs.
+package plant
+
+import (
+	"fmt"
+
+	"ctrlsched/internal/lti"
+	"ctrlsched/internal/mat"
+	"ctrlsched/internal/poly"
+)
+
+// Plant is a continuous-time SISO control benchmark with LQG design data.
+type Plant struct {
+	Name string
+	Sys  *lti.SS // continuous-time dynamics, SISO
+
+	// LQG weights: continuous cost ∫ xᵀQ1x + uᵀQ2u dt.
+	Q1 *mat.Matrix
+	Q2 *mat.Matrix
+
+	// Noise intensities: process noise covariance density R1 (n×n) and
+	// measurement noise intensity R2 (scalar, continuous; discretized as
+	// R2/h).
+	R1 *mat.Matrix
+	R2 float64
+
+	// HMin and HMax delimit the recommended sampling-period range in
+	// seconds, chosen so the loop is comfortably sampled at HMin and
+	// marginally acceptably sampled at HMax.
+	HMin, HMax float64
+}
+
+// DCServo is the DC servo process of the paper (and of Cervin et al.,
+// "The jitter margin and its application in the design of real-time
+// control systems"): G(s) = 1000/(s² + s).
+func DCServo() *Plant {
+	sys, err := lti.MustTF(poly.New(1000), poly.New(0, 1, 1), 0).ToSS()
+	if err != nil {
+		panic(err)
+	}
+	return &Plant{
+		Name: "dc-servo",
+		Sys:  sys,
+		Q1:   sys.C.T().Mul(sys.C), // penalize the measured position
+		Q2:   mat.Diag(0.002),
+		R1:   sys.B.Mul(sys.B.T()).Add(mat.Identity(2).Scale(1e-4)),
+		R2:   1e-4,
+		HMin: 0.002, HMax: 0.030,
+	}
+}
+
+// HarmonicOscillator returns an undamped oscillation mode with natural
+// frequency omega (rad/s): G(s) = ω²/(s² + ω²). Sampling it at h = kπ/ω
+// destroys reachability/observability — Kalman's pathological sampling
+// periods, the source of the cost spikes in the paper's Fig. 2.
+func HarmonicOscillator(omega float64) *Plant {
+	if omega <= 0 {
+		panic(fmt.Sprintf("plant: omega must be positive, got %v", omega))
+	}
+	a := mat.FromRows([][]float64{{0, 1}, {-omega * omega, 0}})
+	b := mat.FromRows([][]float64{{0}, {1}})
+	c := mat.FromRows([][]float64{{omega * omega, 0}})
+	sys := lti.MustSS(a, b, c, nil, 0)
+	return &Plant{
+		Name: fmt.Sprintf("oscillator-%.3g", omega),
+		Sys:  sys,
+		Q1:   mat.Diag(1, 1),
+		Q2:   mat.Diag(0.01),
+		R1:   b.Mul(b.T()).Add(mat.Identity(2).Scale(1e-3)),
+		R2:   1e-3,
+		HMin: 0.01, HMax: 0.25 / omega * 10,
+	}
+}
+
+// InvertedPendulum returns the linearized inverted pendulum
+// G(s) = b/(s² − a²) with unstable pole at +a (a = √(g/l); the default
+// uses a 0.3 m pendulum, a ≈ 5.7 rad/s).
+func InvertedPendulum() *Plant {
+	const a = 5.7155 // sqrt(9.81/0.3)
+	am := mat.FromRows([][]float64{{0, 1}, {a * a, 0}})
+	b := mat.FromRows([][]float64{{0}, {1}})
+	c := mat.FromRows([][]float64{{1, 0}})
+	sys := lti.MustSS(am, b, c, nil, 0)
+	return &Plant{
+		Name: "inverted-pendulum",
+		Sys:  sys,
+		Q1:   mat.Diag(10, 1),
+		Q2:   mat.Diag(0.1),
+		R1:   b.Mul(b.T()).Add(mat.Identity(2).Scale(1e-3)),
+		R2:   1e-4,
+		HMin: 0.004, HMax: 0.040,
+	}
+}
+
+// DoubleIntegrator returns G(s) = 1/s², the canonical servo benchmark.
+func DoubleIntegrator() *Plant {
+	a := mat.FromRows([][]float64{{0, 1}, {0, 0}})
+	b := mat.FromRows([][]float64{{0}, {1}})
+	c := mat.FromRows([][]float64{{1, 0}})
+	sys := lti.MustSS(a, b, c, nil, 0)
+	return &Plant{
+		Name: "double-integrator",
+		Sys:  sys,
+		Q1:   mat.Diag(1, 0.1),
+		Q2:   mat.Diag(0.1),
+		R1:   b.Mul(b.T()).Add(mat.Identity(2).Scale(1e-3)),
+		R2:   1e-3,
+		HMin: 0.010, HMax: 0.120,
+	}
+}
+
+// StableLag returns the well-damped third-order lag G(s) = 1/(s+1)³, an
+// easy-to-control plant that tolerates long periods and large jitter.
+func StableLag() *Plant {
+	sys, err := lti.MustTF(poly.New(1), poly.FromRoots(-1, -1, -1), 0).ToSS()
+	if err != nil {
+		panic(err)
+	}
+	return &Plant{
+		Name: "stable-lag",
+		Sys:  sys,
+		Q1:   sys.C.T().Mul(sys.C),
+		Q2:   mat.Diag(0.1),
+		R1:   sys.B.Mul(sys.B.T()).Add(mat.Identity(3).Scale(1e-4)),
+		R2:   1e-3,
+		HMin: 0.050, HMax: 0.500,
+	}
+}
+
+// FastServo returns a faster, well-damped second-order servo
+// G(s) = ω²/(s² + 2ζωs + ω²) with ω = 30 rad/s, ζ = 0.7.
+func FastServo() *Plant {
+	const om, zeta = 30.0, 0.7
+	sys, err := lti.MustTF(poly.New(om*om), poly.New(om*om, 2*zeta*om, 1), 0).ToSS()
+	if err != nil {
+		panic(err)
+	}
+	return &Plant{
+		Name: "fast-servo",
+		Sys:  sys,
+		Q1:   sys.C.T().Mul(sys.C),
+		Q2:   mat.Diag(0.01),
+		R1:   sys.B.Mul(sys.B.T()).Add(mat.Identity(2).Scale(1e-4)),
+		R2:   1e-4,
+		HMin: 0.004, HMax: 0.050,
+	}
+}
+
+// Library returns the default benchmark plant set used by the experiment
+// harnesses. The mix (servo, pendulum, integrator, lags) mirrors the
+// plant families of [4] and [14] cited by the paper.
+func Library() []*Plant {
+	return []*Plant{
+		DCServo(),
+		InvertedPendulum(),
+		DoubleIntegrator(),
+		StableLag(),
+		FastServo(),
+	}
+}

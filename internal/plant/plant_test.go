@@ -1,0 +1,98 @@
+package plant
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestLibraryWellFormed(t *testing.T) {
+	lib := Library()
+	if len(lib) < 5 {
+		t.Fatalf("library has %d plants, want ≥ 5", len(lib))
+	}
+	seen := map[string]bool{}
+	for _, p := range lib {
+		if p.Name == "" {
+			t.Error("plant with empty name")
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate plant name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if !p.Sys.IsContinuous() {
+			t.Errorf("%s: not continuous-time", p.Name)
+		}
+		if p.Sys.Inputs() != 1 || p.Sys.Outputs() != 1 {
+			t.Errorf("%s: not SISO", p.Name)
+		}
+		n := p.Sys.Order()
+		if p.Q1.Rows() != n || p.Q2.Rows() != 1 || p.R1.Rows() != n {
+			t.Errorf("%s: weight dimensions inconsistent", p.Name)
+		}
+		if p.R2 <= 0 {
+			t.Errorf("%s: non-positive measurement noise", p.Name)
+		}
+		if !(p.HMin > 0 && p.HMin < p.HMax) {
+			t.Errorf("%s: bad period range [%v, %v]", p.Name, p.HMin, p.HMax)
+		}
+	}
+}
+
+func TestDCServoTransferFunction(t *testing.T) {
+	// G(s) = 1000/(s²+s): check a few frequency points.
+	p := DCServo()
+	for _, w := range []float64{0.5, 2, 10} {
+		s := complex(0, w)
+		want := 1000.0 / (s*s + s)
+		got, err := p.Sys.FreqResponseSISO(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmplx.Abs(got-want) > 1e-9*cmplx.Abs(want) {
+			t.Fatalf("ω=%v: got %v want %v", w, got, want)
+		}
+	}
+}
+
+func TestHarmonicOscillatorPoles(t *testing.T) {
+	om := 7.0
+	poles, err := HarmonicOscillator(om).Sys.Poles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range poles {
+		if math.Abs(real(pl)) > 1e-9 || math.Abs(math.Abs(imag(pl))-om) > 1e-9 {
+			t.Fatalf("pole %v, want ±%vi", pl, om)
+		}
+	}
+}
+
+func TestHarmonicOscillatorPanicsOnBadOmega(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("omega ≤ 0 accepted")
+		}
+	}()
+	HarmonicOscillator(0)
+}
+
+func TestInvertedPendulumUnstable(t *testing.T) {
+	ok, err := InvertedPendulum().Sys.IsStable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("inverted pendulum should be open-loop unstable")
+	}
+}
+
+func TestStableLagIsStable(t *testing.T) {
+	ok, err := StableLag().Sys.IsStable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("stable lag flagged unstable")
+	}
+}

@@ -1,0 +1,171 @@
+// Package poly implements univariate real polynomials: arithmetic,
+// evaluation over the reals and complexes, and root finding through the
+// companion-matrix eigenvalue method. Transfer functions in package lti are
+// ratios of these polynomials.
+package poly
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Poly is a real polynomial stored coefficient-low-first:
+// p(x) = c[0] + c[1]·x + ... + c[n]·xⁿ. The zero polynomial is the empty or
+// all-zero slice.
+type Poly []float64
+
+// New builds a polynomial from low-order-first coefficients.
+func New(coeffs ...float64) Poly {
+	p := make(Poly, len(coeffs))
+	copy(p, coeffs)
+	return p.Trim()
+}
+
+// FromRoots returns the monic polynomial with the given real roots.
+func FromRoots(roots ...float64) Poly {
+	p := Poly{1}
+	for _, r := range roots {
+		p = p.Mul(Poly{-r, 1})
+	}
+	return p
+}
+
+// Trim removes trailing (highest-order) zero coefficients.
+func (p Poly) Trim() Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the polynomial degree; the zero polynomial has degree −1.
+func (p Poly) Degree() int { return len(p.Trim()) - 1 }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.Trim()) == 0 }
+
+// Eval evaluates p at the real point x by Horner's rule.
+func (p Poly) Eval(x float64) float64 {
+	var v float64
+	for i := len(p) - 1; i >= 0; i-- {
+		v = v*x + p[i]
+	}
+	return v
+}
+
+// EvalC evaluates p at the complex point z by Horner's rule.
+func (p Poly) EvalC(z complex128) complex128 {
+	var v complex128
+	for i := len(p) - 1; i >= 0; i-- {
+		v = v*z + complex(p[i], 0)
+	}
+	return v
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	r := make(Poly, n)
+	copy(r, p)
+	for i, v := range q {
+		r[i] += v
+	}
+	return r.Trim()
+}
+
+// Sub returns p − q.
+func (p Poly) Sub(q Poly) Poly {
+	return p.Add(q.Scale(-1))
+}
+
+// Scale returns s·p.
+func (p Poly) Scale(s float64) Poly {
+	r := make(Poly, len(p))
+	for i, v := range p {
+		r[i] = s * v
+	}
+	return r.Trim()
+}
+
+// Mul returns the product p·q.
+func (p Poly) Mul(q Poly) Poly {
+	p, q = p.Trim(), q.Trim()
+	if len(p) == 0 || len(q) == 0 {
+		return Poly{}
+	}
+	r := make(Poly, len(p)+len(q)-1)
+	for i, pv := range p {
+		if pv == 0 {
+			continue
+		}
+		for j, qv := range q {
+			r[i+j] += pv * qv
+		}
+	}
+	return r.Trim()
+}
+
+// Derivative returns dp/dx.
+func (p Poly) Derivative() Poly {
+	p = p.Trim()
+	if len(p) <= 1 {
+		return Poly{}
+	}
+	r := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		r[i-1] = float64(i) * p[i]
+	}
+	return r.Trim()
+}
+
+// Monic returns p scaled so the leading coefficient is one. It panics on
+// the zero polynomial.
+func (p Poly) Monic() Poly {
+	p = p.Trim()
+	if len(p) == 0 {
+		panic("poly: Monic of zero polynomial")
+	}
+	return p.Scale(1 / p[len(p)-1])
+}
+
+// String renders the polynomial for debugging, high order first.
+func (p Poly) String() string {
+	p = p.Trim()
+	if len(p) == 0 {
+		return "0"
+	}
+	var parts []string
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == 0 {
+			continue
+		}
+		switch i {
+		case 0:
+			parts = append(parts, fmt.Sprintf("%g", p[i]))
+		case 1:
+			parts = append(parts, fmt.Sprintf("%g·x", p[i]))
+		default:
+			parts = append(parts, fmt.Sprintf("%g·x^%d", p[i], i))
+		}
+	}
+	return strings.Join(parts, " + ")
+}
+
+// equalApprox reports coefficient-wise agreement within tol after trimming.
+func (p Poly) equalApprox(q Poly, tol float64) bool {
+	p, q = p.Trim(), q.Trim()
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if math.Abs(p[i]-q[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

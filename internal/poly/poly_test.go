@@ -1,0 +1,213 @@
+package poly
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestEvalHorner(t *testing.T) {
+	p := New(1, 2, 3) // 1 + 2x + 3x²
+	if got := p.Eval(2); got != 17 {
+		t.Fatalf("Eval(2) = %v, want 17", got)
+	}
+	if got := p.Eval(0); got != 1 {
+		t.Fatalf("Eval(0) = %v, want 1", got)
+	}
+}
+
+func TestEvalCMatchesEvalOnRealAxis(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 50; trial++ {
+		coeffs := make([]float64, 1+rng.Intn(6))
+		for i := range coeffs {
+			coeffs[i] = rng.NormFloat64()
+		}
+		p := New(coeffs...)
+		x := rng.NormFloat64()
+		re := p.Eval(x)
+		c := p.EvalC(complex(x, 0))
+		if math.Abs(re-real(c)) > 1e-10*(1+math.Abs(re)) || imag(c) != 0 {
+			t.Fatalf("EvalC disagrees with Eval at %v", x)
+		}
+	}
+}
+
+func TestDegreeAndTrim(t *testing.T) {
+	if New(1, 2, 0, 0).Degree() != 1 {
+		t.Error("trailing zeros not trimmed")
+	}
+	if New().Degree() != -1 {
+		t.Error("zero polynomial degree should be -1")
+	}
+	if !New(0, 0).IsZero() {
+		t.Error("all-zero polynomial not detected")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	p := New(1, 2)    // 1 + 2x
+	q := New(3, 0, 4) // 3 + 4x²
+	sum := p.Add(q)
+	if !sum.equalApprox(New(4, 2, 4), 1e-15) {
+		t.Fatalf("Add = %v", sum)
+	}
+	if !sum.Sub(q).equalApprox(p, 1e-15) {
+		t.Fatal("Sub does not invert Add")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	// (1+x)(1−x) = 1 − x²
+	got := New(1, 1).Mul(New(1, -1))
+	if !got.equalApprox(New(1, 0, -1), 1e-15) {
+		t.Fatalf("Mul = %v", got)
+	}
+}
+
+func TestMulByZero(t *testing.T) {
+	if !New(1, 2, 3).Mul(New()).IsZero() {
+		t.Fatal("p·0 != 0")
+	}
+}
+
+// deg(p·q) = deg p + deg q and evaluation is multiplicative.
+func TestMulProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 50; trial++ {
+		p := randPoly(rng, 1+rng.Intn(4))
+		q := randPoly(rng, 1+rng.Intn(4))
+		prod := p.Mul(q)
+		if prod.Degree() != p.Degree()+q.Degree() {
+			t.Fatalf("degree of product: %d, want %d", prod.Degree(), p.Degree()+q.Degree())
+		}
+		x := rng.NormFloat64()
+		if math.Abs(prod.Eval(x)-p.Eval(x)*q.Eval(x)) > 1e-9*(1+math.Abs(p.Eval(x)*q.Eval(x))) {
+			t.Fatal("(pq)(x) != p(x)q(x)")
+		}
+	}
+}
+
+func randPoly(rng *rand.Rand, deg int) Poly {
+	c := make([]float64, deg+1)
+	for i := range c {
+		c[i] = rng.NormFloat64()
+	}
+	if c[deg] == 0 {
+		c[deg] = 1
+	}
+	return New(c...)
+}
+
+func TestDerivative(t *testing.T) {
+	// d/dx (1 + 2x + 3x²) = 2 + 6x
+	if !New(1, 2, 3).Derivative().equalApprox(New(2, 6), 1e-15) {
+		t.Fatal("derivative wrong")
+	}
+	if !New(5).Derivative().IsZero() {
+		t.Fatal("derivative of constant not zero")
+	}
+}
+
+func TestMonic(t *testing.T) {
+	m := New(2, 4).Monic() // 2+4x -> 0.5+x
+	if !m.equalApprox(New(0.5, 1), 1e-15) {
+		t.Fatalf("Monic = %v", m)
+	}
+}
+
+func TestFromRootsRoundTrip(t *testing.T) {
+	p := FromRoots(1, -2, 3)
+	for _, r := range []float64{1, -2, 3} {
+		if math.Abs(p.Eval(r)) > 1e-12 {
+			t.Fatalf("p(%v) = %v, want 0", r, p.Eval(r))
+		}
+	}
+	if p.Degree() != 3 {
+		t.Fatalf("degree = %d, want 3", p.Degree())
+	}
+}
+
+func TestRootsLinear(t *testing.T) {
+	roots, err := New(-6, 2).Roots() // 2x − 6 = 0 => x = 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 1 || cmplx.Abs(roots[0]-3) > 1e-12 {
+		t.Fatalf("roots = %v, want [3]", roots)
+	}
+}
+
+func TestRootsQuadraticComplex(t *testing.T) {
+	// x² + 1 = 0 => ±i
+	roots, err := New(1, 0, 1).Roots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[bool]bool{}
+	for _, r := range roots {
+		if cmplx.Abs(r-complex(0, 1)) < 1e-12 {
+			found[true] = true
+		}
+		if cmplx.Abs(r-complex(0, -1)) < 1e-12 {
+			found[false] = true
+		}
+	}
+	if !found[true] || !found[false] {
+		t.Fatalf("roots = %v, want ±i", roots)
+	}
+}
+
+func TestRootsCubicViaCompanion(t *testing.T) {
+	p := FromRoots(1, 2, 3)
+	roots, err := p.Roots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range roots {
+		if cmplx.Abs(p.EvalC(r)) > 1e-6 {
+			t.Fatalf("p(root %v) = %v", r, p.EvalC(r))
+		}
+	}
+}
+
+func TestRootsResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 40; trial++ {
+		p := randPoly(rng, 2+rng.Intn(5))
+		roots, err := p.Roots()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(roots) != p.Degree() {
+			t.Fatalf("got %d roots for degree %d", len(roots), p.Degree())
+		}
+		// Scale residual tolerance with the polynomial's size at the root.
+		for _, r := range roots {
+			scale := 0.0
+			ar := cmplx.Abs(r)
+			for i, c := range p {
+				scale += math.Abs(c) * math.Pow(ar, float64(i))
+			}
+			if cmplx.Abs(p.EvalC(r)) > 1e-6*(1+scale) {
+				t.Fatalf("trial %d: residual %v at root %v", trial, cmplx.Abs(p.EvalC(r)), r)
+			}
+		}
+	}
+}
+
+func TestRootsDegenerate(t *testing.T) {
+	if _, err := New(5).Roots(); err == nil {
+		t.Fatal("constant polynomial should have no roots")
+	}
+	if _, err := New().Roots(); err == nil {
+		t.Fatal("zero polynomial should have no roots")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if New(1, 0, 2).String() == "" || New().String() != "0" {
+		t.Fatal("String rendering broken")
+	}
+}

@@ -1,0 +1,96 @@
+package poly
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 10)
+}
+
+func mkPoly(c [4]float64) Poly {
+	d := make([]float64, 4)
+	for i, x := range c {
+		d[i] = sanitize(x)
+	}
+	return New(d...)
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(a, b [4]float64, xr float64) bool {
+		x := sanitize(xr)
+		p, q := mkPoly(a), mkPoly(b)
+		return math.Abs(p.Add(q).Eval(x)-q.Add(p).Eval(x)) < 1e-8*(1+math.Abs(p.Eval(x))+math.Abs(q.Eval(x)))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEvalHomomorphism(t *testing.T) {
+	// (p+q)(x) = p(x)+q(x) and (p·q)(x) = p(x)·q(x).
+	f := func(a, b [4]float64, xr float64) bool {
+		x := sanitize(xr)
+		p, q := mkPoly(a), mkPoly(b)
+		sumOK := math.Abs(p.Add(q).Eval(x)-(p.Eval(x)+q.Eval(x))) < 1e-6*(1+math.Abs(p.Eval(x))+math.Abs(q.Eval(x)))
+		prodOK := math.Abs(p.Mul(q).Eval(x)-p.Eval(x)*q.Eval(x)) < 1e-6*(1+math.Abs(p.Eval(x)*q.Eval(x)))
+		return sumOK && prodOK
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDerivativeLeibniz(t *testing.T) {
+	// (pq)' = p'q + pq', checked by evaluation.
+	f := func(a, b [4]float64, xr float64) bool {
+		x := sanitize(xr)
+		p, q := mkPoly(a), mkPoly(b)
+		left := p.Mul(q).Derivative().Eval(x)
+		right := p.Derivative().Mul(q).Add(p.Mul(q.Derivative())).Eval(x)
+		return math.Abs(left-right) < 1e-5*(1+math.Abs(right))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTrimPreservesEval(t *testing.T) {
+	f := func(a [4]float64, xr float64) bool {
+		x := sanitize(xr)
+		p := mkPoly(a)
+		padded := make(Poly, len(p)+3)
+		copy(padded, p)
+		return math.Abs(padded.Eval(x)-p.Eval(x)) < 1e-12*(1+math.Abs(p.Eval(x)))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFromRootsEvaluatesToZero(t *testing.T) {
+	f := func(r [3]float64) bool {
+		roots := []float64{sanitize(r[0]), sanitize(r[1]), sanitize(r[2])}
+		p := FromRoots(roots...)
+		for _, root := range roots {
+			scale := 1.0
+			for _, other := range roots {
+				scale *= 1 + math.Abs(root-other)
+			}
+			if math.Abs(p.Eval(root)) > 1e-9*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package poly
+
+import (
+	"errors"
+	"math"
+
+	"ctrlsched/internal/eig"
+	"ctrlsched/internal/mat"
+)
+
+// ErrDegenerate is returned when asked for roots of a constant or zero
+// polynomial.
+var ErrDegenerate = errors.New("poly: polynomial has no roots (degree < 1)")
+
+// Roots returns the complex roots of p, computed as the eigenvalues of the
+// companion matrix of the monic normalization of p.
+func (p Poly) Roots() ([]complex128, error) {
+	q := p.Trim()
+	if q.Degree() < 1 {
+		return nil, ErrDegenerate
+	}
+	q = q.Monic()
+	n := q.Degree()
+	if n == 1 {
+		return []complex128{complex(-q[0], 0)}, nil
+	}
+	if n == 2 {
+		// Direct quadratic formula avoids eigen-iteration noise.
+		b, c := q[1], q[0]
+		disc := b*b - 4*c
+		if disc >= 0 {
+			s := math.Sqrt(disc)
+			return []complex128{complex((-b+s)/2, 0), complex((-b-s)/2, 0)}, nil
+		}
+		s := math.Sqrt(-disc)
+		return []complex128{complex(-b/2, s/2), complex(-b/2, -s/2)}, nil
+	}
+	// Companion matrix (top-row convention):
+	//   [ -c_{n-1} -c_{n-2} ... -c_0 ]
+	//   [     1        0    ...   0  ]
+	//   [     0        1    ...   0  ]
+	comp := mat.New(n, n)
+	for j := 0; j < n; j++ {
+		comp.Set(0, j, -q[n-1-j])
+	}
+	for i := 1; i < n; i++ {
+		comp.Set(i, i-1, 1)
+	}
+	return eig.Eigenvalues(comp)
+}

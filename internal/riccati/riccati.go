@@ -1,0 +1,200 @@
+// Package riccati solves the discrete-time algebraic Riccati equation
+// (DARE)
+//
+//	P = AᵀPA − (AᵀPB + S)(R + BᵀPB)⁻¹(BᵀPA + Sᵀ) + Q
+//
+// with optional cross-weighting S, using the structure-preserving doubling
+// algorithm (SDA) with a fixed-point fallback. The stabilizing gain
+//
+//	K = (R + BᵀPB)⁻¹(BᵀPA + Sᵀ)
+//
+// is returned alongside P, so that A − B·K is Schur stable whenever a
+// stabilizing solution exists.
+//
+// Divergence matters as much as convergence here: at Kalman's pathological
+// sampling periods the sampled plant loses stabilizability or
+// detectability, no stabilizing solution exists, and the LQG cost is
+// infinite — which is exactly the Fig. 2 phenomenon of the reproduced
+// paper. Solve reports these cases as ErrNoStabilizingSolution rather than
+// returning garbage.
+package riccati
+
+import (
+	"errors"
+
+	"ctrlsched/internal/eig"
+	"ctrlsched/internal/mat"
+)
+
+// ErrNoStabilizingSolution is returned when no stabilizing DARE solution
+// can be computed (iteration divergence, singular pencils, or a closed
+// loop that fails the Schur-stability post-check).
+var ErrNoStabilizingSolution = errors.New("riccati: no stabilizing DARE solution")
+
+// stabilityMargin is the post-check margin: the closed loop must satisfy
+// ρ(A−BK) < 1 − stabilityMargin. Keeping it tiny but nonzero rejects the
+// marginally-(un)stabilizable cases at pathological sampling periods.
+const stabilityMargin = 1e-9
+
+// Solution holds a stabilizing DARE solution.
+type Solution struct {
+	P *mat.Matrix // stabilizing solution, symmetric PSD
+	K *mat.Matrix // optimal gain, u = −K·x
+}
+
+// Solve computes the stabilizing solution of the DARE for the weights
+// (Q, R) with zero cross term. See SolveCross for the general form.
+func Solve(a, b, q, r *mat.Matrix) (*Solution, error) {
+	return SolveCross(a, b, q, r, nil)
+}
+
+// SolveCross computes the stabilizing DARE solution with cross-weighting
+// s (n×m; nil means zero). The cross term is eliminated by the standard
+// substitution Ā = A − B·R⁻¹·Sᵀ, Q̄ = Q − S·R⁻¹·Sᵀ, after which the
+// zero-cross DARE is solved and the gain is reassembled.
+func SolveCross(a, b, q, r, s *mat.Matrix) (*Solution, error) {
+	n, m := a.Rows(), b.Cols()
+	if !a.IsSquare() || b.Rows() != n || !q.IsSquare() || q.Rows() != n || !r.IsSquare() || r.Rows() != m {
+		panic("riccati: dimension mismatch")
+	}
+	abar, qbar := a, q
+	var rinvST *mat.Matrix
+	if s != nil {
+		if s.Rows() != n || s.Cols() != m {
+			panic("riccati: cross term must be n×m")
+		}
+		var err error
+		rinvST, err = mat.Solve(r, s.T()) // R⁻¹Sᵀ
+		if err != nil {
+			return nil, ErrNoStabilizingSolution
+		}
+		abar = a.Sub(b.Mul(rinvST))
+		qbar = q.Sub(s.Mul(rinvST)).Symmetrize()
+	}
+
+	p, err := sda(abar, b, qbar, r)
+	if err != nil {
+		p, err = fixedPoint(abar, b, qbar, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p = p.Symmetrize()
+
+	// Gain for the original (cross-term) problem:
+	// K = (R + BᵀPB)⁻¹(BᵀPA + Sᵀ).
+	bt := b.T()
+	gram := r.Add(bt.Mul(p).Mul(b))
+	rhs := bt.Mul(p).Mul(a)
+	if s != nil {
+		rhs = rhs.Add(s.T())
+	}
+	k, err := mat.Solve(gram, rhs)
+	if err != nil {
+		return nil, ErrNoStabilizingSolution
+	}
+
+	// Post-check: the closed loop must be strictly Schur stable and P
+	// must be finite and (numerically) PSD on its diagonal.
+	acl := a.Sub(b.Mul(k))
+	stable, err := eig.IsSchurStable(acl, stabilityMargin)
+	if err != nil || !stable || p.HasNaN() {
+		return nil, ErrNoStabilizingSolution
+	}
+	for i := 0; i < n; i++ {
+		if p.At(i, i) < -1e-8*(1+p.MaxAbs()) {
+			return nil, ErrNoStabilizingSolution
+		}
+	}
+	return &Solution{P: p, K: k}, nil
+}
+
+// sda runs the structure-preserving doubling algorithm on the zero-cross
+// DARE. Writing G = B·R⁻¹·Bᵀ and H = Q, the iteration
+//
+//	W   = I + G_k·H_k
+//	A₁  = A_k·W⁻¹·A_k
+//	G₁  = G_k + A_k·W⁻¹·G_k·A_kᵀ
+//	H₁  = H_k + A_kᵀ·H_k·W⁻¹·A_k
+//
+// converges quadratically with H_k → P when a stabilizing solution exists.
+func sda(a, b, q, r *mat.Matrix) (*mat.Matrix, error) {
+	n := a.Rows()
+	rinvBT, err := mat.Solve(r, b.T())
+	if err != nil {
+		return nil, ErrNoStabilizingSolution
+	}
+	g := b.Mul(rinvBT)
+	h := q.Clone()
+	ak := a.Clone()
+	for iter := 0; iter < 80; iter++ {
+		w := mat.Identity(n).Add(g.Mul(h))
+		wf, err := mat.Factorize(w)
+		if err != nil {
+			return nil, ErrNoStabilizingSolution
+		}
+		winvA := wf.Solve(ak) // W⁻¹A
+		winvG := wf.Solve(g)  // W⁻¹G
+		a1 := ak.Mul(winvA)   // A W⁻¹ A
+		g1 := g.Add(ak.Mul(winvG).Mul(ak.T()))
+		h1 := h.Add(ak.T().Mul(h).Mul(winvA)).Symmetrize()
+		if a1.HasNaN() || g1.HasNaN() || h1.HasNaN() {
+			return nil, ErrNoStabilizingSolution
+		}
+		if delta := h1.Sub(h).MaxAbs(); delta <= 1e-13*(1+h1.MaxAbs()) {
+			return h1, nil
+		}
+		// Monotone blow-up of H signals a non-existent stabilizing
+		// solution (e.g. unstabilizable pair at a pathological period).
+		if h1.MaxAbs() > 1e14 {
+			return nil, ErrNoStabilizingSolution
+		}
+		ak, g, h = a1, g1, h1
+	}
+	return nil, ErrNoStabilizingSolution
+}
+
+// fixedPoint iterates P ← AᵀPA − AᵀPB(R+BᵀPB)⁻¹BᵀPA + Q from P = Q. It is
+// slower than SDA (linear rate) but has weaker intermediate invertibility
+// requirements; used as a fallback.
+func fixedPoint(a, b, q, r *mat.Matrix) (*mat.Matrix, error) {
+	p := q.Clone()
+	bt := b.T()
+	for iter := 0; iter < 20000; iter++ {
+		gram := r.Add(bt.Mul(p).Mul(b))
+		k, err := mat.Solve(gram, bt.Mul(p).Mul(a))
+		if err != nil {
+			return nil, ErrNoStabilizingSolution
+		}
+		pn := a.T().Mul(p).Mul(a).Sub(a.T().Mul(p).Mul(b).Mul(k)).Add(q).Symmetrize()
+		if pn.HasNaN() || pn.MaxAbs() > 1e14 {
+			return nil, ErrNoStabilizingSolution
+		}
+		if pn.Sub(p).MaxAbs() <= 1e-12*(1+pn.MaxAbs()) {
+			return pn, nil
+		}
+		p = pn
+	}
+	return nil, ErrNoStabilizingSolution
+}
+
+// Residual returns the max-abs DARE residual of a candidate solution; used
+// by tests and diagnostics.
+func Residual(a, b, q, r, s, p *mat.Matrix) float64 {
+	bt := b.T()
+	gram := r.Add(bt.Mul(p).Mul(b))
+	rhs := bt.Mul(p).Mul(a)
+	if s != nil {
+		rhs = rhs.Add(s.T())
+	}
+	k, err := mat.Solve(gram, rhs)
+	if err != nil {
+		return 1e300
+	}
+	lhs := a.T().Mul(p).Mul(a).Add(q)
+	cross := a.T().Mul(p).Mul(b)
+	if s != nil {
+		cross = cross.Add(s)
+	}
+	return lhs.Sub(cross.Mul(k)).Sub(p).MaxAbs()
+}

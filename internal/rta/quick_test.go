@@ -1,0 +1,132 @@
+package rta
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// genTask maps raw quick-generated floats into a well-formed task.
+func genTask(h, u, beta float64) Task {
+	clamp01 := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0.5
+		}
+		return math.Abs(math.Mod(v, 1))
+	}
+	period := 1 + 9*clamp01(h)
+	cw := (0.05 + 0.3*clamp01(u)) * period
+	cb := cw * (0.1 + 0.9*clamp01(beta))
+	return Task{Name: "q", BCET: cb, WCET: cw, Period: period, ConA: 1, ConB: period}
+}
+
+var quickCfg = &quick.Config{MaxCount: 400}
+
+// WCRT ≥ WCET, BCRT ≥ BCET, BCRT ≤ WCRT, J ≥ 0 for arbitrary 3-task
+// interference.
+func TestQuickResponseTimeBounds(t *testing.T) {
+	f := func(p1, p2, p3 [3]float64) bool {
+		hp := []Task{genTask(p1[0], p1[1], p1[2]), genTask(p2[0], p2[1], p2[2])}
+		task := genTask(p3[0], p3[1], p3[2])
+		res := Analyze(task, hp)
+		if math.IsInf(res.WCRT, 1) {
+			return true // overload: nothing to check
+		}
+		return res.WCRT >= task.WCET-1e-12 &&
+			res.BCRT >= task.BCET-1e-12 &&
+			res.BCRT <= res.WCRT+1e-12 &&
+			res.Jitter >= -1e-12
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The WCRT fixed point really is a fixed point: Rʷ = cʷ + Σ⌈Rʷ/hⱼ⌉cʷⱼ.
+func TestQuickWCRTFixedPoint(t *testing.T) {
+	f := func(p1, p2, p3 [3]float64) bool {
+		hp := []Task{genTask(p1[0], p1[1], p1[2]), genTask(p2[0], p2[1], p2[2])}
+		task := genTask(p3[0], p3[1], p3[2])
+		rw, err := WCRT(task.WCET, hp)
+		if err != nil {
+			return true
+		}
+		sum := task.WCET
+		for _, u := range hp {
+			sum += math.Ceil(rw/u.Period) * u.WCET
+		}
+		return math.Abs(sum-rw) < 1e-9*(1+rw)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The BCRT fixed point: Rᵇ = cᵇ + Σ max(0, ⌈Rᵇ/hⱼ − 1⌉)·cᵇⱼ.
+func TestQuickBCRTFixedPoint(t *testing.T) {
+	f := func(p1, p2, p3 [3]float64) bool {
+		hp := []Task{genTask(p1[0], p1[1], p1[2]), genTask(p2[0], p2[1], p2[2])}
+		task := genTask(p3[0], p3[1], p3[2])
+		rw, err := WCRT(task.WCET, hp)
+		if err != nil {
+			return true
+		}
+		rb := BCRT(task.BCET, hp, rw)
+		sum := task.BCET
+		for _, u := range hp {
+			k := math.Ceil(rb/u.Period - 1)
+			if k < 0 {
+				k = 0
+			}
+			sum += k * u.BCET
+		}
+		// Largest-fixed-point characterization: value must satisfy
+		// f(rb) >= rb at the returned point (downward iteration stops
+		// when the map no longer decreases).
+		return sum >= rb-1e-9*(1+rb)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Utilization additivity and positivity.
+func TestQuickUtilization(t *testing.T) {
+	f := func(p1, p2 [3]float64) bool {
+		a := genTask(p1[0], p1[1], p1[2])
+		b := genTask(p2[0], p2[1], p2[2])
+		u := TotalUtilization([]Task{a, b})
+		return u > 0 && math.Abs(u-(a.Utilization()+b.Utilization())) < 1e-12
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Stability constraint: slack and satisfaction agree in sign (within the
+// shared tolerance).
+func TestQuickSlackConsistent(t *testing.T) {
+	f := func(raw [4]float64) bool {
+		clamp := func(v float64, lo, hi float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return lo
+			}
+			return lo + math.Abs(math.Mod(v, 1))*(hi-lo)
+		}
+		task := Task{ConA: clamp(raw[0], 1, 5), ConB: clamp(raw[1], 0, 10)}
+		l := clamp(raw[2], 0, 10)
+		j := clamp(raw[3], 0, 10)
+		s := task.Slack(l, j)
+		sat := task.StabilitySatisfied(l, j)
+		if s > 1e-9 && !sat {
+			return false
+		}
+		if s < -1e-9 && sat {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package rta implements exact fixed-priority preemptive response-time
+// analysis for independent periodic tasks, as used in Section III of the
+// reproduced paper:
+//
+//	worst case (Joseph & Pandya):   Rʷ = cʷ + Σ_{j∈hp} ⌈Rʷ/h_j⌉ · cʷ_j
+//	best case (Redell & Sanfridson): Rᵇ = cᵇ + Σ_{j∈hp} ⌈Rᵇ/h_j − 1⌉ · cᵇ_j
+//
+// and derives the control-relevant metrics of paper Eq. (2): the latency
+// L = Rᵇ (constant part of the delay) and the response-time jitter
+// J = Rʷ − Rᵇ (variation of the delay).
+//
+// Times are float64 seconds. The fixed points are reached exactly (the
+// ceiling functions make iterates piecewise constant), with an iteration
+// budget and a divergence bound guarding the over-utilized case.
+package rta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnschedulable is returned when the worst-case response time iteration
+// diverges (processor over-utilized by the higher-priority workload).
+var ErrUnschedulable = errors.New("rta: response time diverges; task set over-utilized")
+
+// Task is one control task: execution-time bounds, sampling period, and
+// the linear stability constraint L + ConA·J ≤ ConB obtained from the
+// jitter-margin analysis of its plant (paper Eq. 5).
+type Task struct {
+	Name   string
+	BCET   float64 // best-case execution time cᵇ
+	WCET   float64 // worst-case execution time cʷ
+	Period float64 // sampling period h
+
+	// Stability constraint coefficients (paper Eq. 5): a ≥ 1, b ≥ 0.
+	ConA, ConB float64
+}
+
+// Validate checks the task invariants: 0 < BCET ≤ WCET ≤ Period and a
+// well-formed constraint.
+func (t Task) Validate() error {
+	if !(t.BCET > 0 && t.BCET <= t.WCET) {
+		return fmt.Errorf("rta: task %s: need 0 < BCET ≤ WCET, got [%v, %v]", t.Name, t.BCET, t.WCET)
+	}
+	if t.WCET > t.Period {
+		return fmt.Errorf("rta: task %s: WCET %v exceeds period %v", t.Name, t.WCET, t.Period)
+	}
+	if t.ConA < 1 || t.ConB < 0 {
+		return fmt.Errorf("rta: task %s: constraint a=%v b=%v outside a ≥ 1, b ≥ 0", t.Name, t.ConA, t.ConB)
+	}
+	return nil
+}
+
+// StabilitySatisfied reports whether latency l and jitter j satisfy this
+// task's constraint l + a·j ≤ b.
+func (t Task) StabilitySatisfied(l, j float64) bool {
+	return l+t.ConA*j <= t.ConB+1e-12
+}
+
+// Slack returns b − (l + a·j).
+func (t Task) Slack(l, j float64) float64 {
+	return t.ConB - (l + t.ConA*j)
+}
+
+// Utilization returns WCET/Period.
+func (t Task) Utilization() float64 { return t.WCET / t.Period }
+
+// TotalUtilization sums WCET/Period over the given tasks.
+func TotalUtilization(tasks []Task) float64 {
+	var u float64
+	for _, t := range tasks {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// maxIterations bounds the fixed-point iterations; divergenceFactor bounds
+// the response time in units of the longest higher-priority period before
+// declaring divergence.
+const (
+	maxIterations    = 100000
+	divergenceFactor = 1000
+)
+
+// WCRT computes the exact worst-case response time of a task with
+// execution demand cw under interference from the higher-priority tasks
+// hp, by the Joseph–Pandya fixed point started at cw.
+func WCRT(cw float64, hp []Task) (float64, error) {
+	bound := cw
+	for _, t := range hp {
+		if t.Period > bound {
+			bound = t.Period
+		}
+	}
+	return WCRTBounded(cw, hp, bound*divergenceFactor)
+}
+
+// WCRTBounded is WCRT with an explicit divergence horizon: once the
+// iterate exceeds `bound` the computation stops with ErrUnschedulable
+// (+Inf). Callers that only care about response times up to the deadline
+// (every stability consumer in this repository: a job past its deadline
+// fails regardless of the exact value) should pass the deadline as the
+// bound — it turns the near-saturation fixed point, whose exact value can
+// take tens of thousands of ceiling steps to reach, into an early exit.
+func WCRTBounded(cw float64, hp []Task, bound float64) (float64, error) {
+	if len(hp) == 0 {
+		if cw > bound {
+			return math.Inf(1), ErrUnschedulable
+		}
+		return cw, nil
+	}
+	// Analytic divergence check: with Σ WCET/Period ≥ 1 the recurrence
+	// R ← cw + Σ⌈R/h⌉·C satisfies next ≥ cw + R > R forever.
+	var util float64
+	for _, t := range hp {
+		util += t.WCET / t.Period
+	}
+	if util >= 1 {
+		return math.Inf(1), ErrUnschedulable
+	}
+
+	r := cw
+	for iter := 0; iter < maxIterations; iter++ {
+		next := cw
+		for _, t := range hp {
+			next += math.Ceil(r/t.Period) * t.WCET
+		}
+		if next == r {
+			return r, nil
+		}
+		if next > bound || math.IsInf(next, 1) {
+			return math.Inf(1), ErrUnschedulable
+		}
+		r = next
+	}
+	return math.Inf(1), ErrUnschedulable
+}
+
+// BCRT computes the exact best-case response time (Redell–Sanfridson):
+// the largest fixed point of Rᵇ = cb + Σ ⌈Rᵇ/h_j − 1⌉·cb_j not exceeding
+// the start value, reached by downward iteration from rStart (use the
+// task's WCRT, or any upper bound such as its period).
+func BCRT(cb float64, hp []Task, rStart float64) float64 {
+	if len(hp) == 0 {
+		return cb
+	}
+	r := rStart
+	if r < cb {
+		r = cb
+	}
+	for iter := 0; iter < maxIterations; iter++ {
+		next := cb
+		for _, t := range hp {
+			k := math.Ceil(r/t.Period - 1)
+			if k < 0 {
+				k = 0
+			}
+			next += k * t.BCET
+		}
+		if next >= r {
+			// Fixed point (or would increase: converged).
+			return r
+		}
+		r = next
+	}
+	return r
+}
+
+// Result bundles the response-time analysis outcome for one task at one
+// priority level.
+type Result struct {
+	WCRT    float64 // worst-case response time Rʷ
+	BCRT    float64 // best-case response time Rᵇ
+	Latency float64 // L = Rᵇ                  (paper Eq. 2)
+	Jitter  float64 // J = Rʷ − Rᵇ             (paper Eq. 2)
+
+	// DeadlineMet reports Rʷ ≤ Period (implicit deadlines).
+	DeadlineMet bool
+	// Stable reports the task's stability constraint L + a·J ≤ b.
+	Stable bool
+}
+
+// Analyze computes response times, latency, jitter and the stability
+// verdict for task t under interference from the higher-priority set hp.
+// A task that is unschedulable — or whose response time exceeds its
+// (implicit) deadline, which every consumer treats as failure — yields
+// infinite WCRT and Stable = false; bounding the fixed-point iteration at
+// the deadline keeps near-saturation hp sets cheap to reject.
+func Analyze(t Task, hp []Task) Result {
+	rw, err := WCRTBounded(t.WCET, hp, t.Period)
+	if err != nil {
+		return Result{WCRT: math.Inf(1), BCRT: 0, Latency: 0, Jitter: math.Inf(1)}
+	}
+	rb := BCRT(t.BCET, hp, rw)
+	res := Result{
+		WCRT:    rw,
+		BCRT:    rb,
+		Latency: rb,
+		Jitter:  rw - rb,
+	}
+	res.DeadlineMet = rw <= t.Period+1e-12
+	res.Stable = res.DeadlineMet && t.StabilitySatisfied(res.Latency, res.Jitter)
+	return res
+}
+
+// AnalyzeAll analyzes every task under the priority order given by prio:
+// prio[i] is the priority of tasks[i], where larger numbers mean higher
+// priority (the paper's ρ convention) and all values are distinct. The
+// returned slice is indexed like tasks.
+func AnalyzeAll(tasks []Task, prio []int) []Result {
+	if len(prio) != len(tasks) {
+		panic("rta: priority vector length mismatch")
+	}
+	out := make([]Result, len(tasks))
+	for i, t := range tasks {
+		var hp []Task
+		for j, u := range tasks {
+			if prio[j] > prio[i] {
+				hp = append(hp, u)
+			}
+		}
+		out[i] = Analyze(t, hp)
+	}
+	return out
+}

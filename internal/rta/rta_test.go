@@ -1,0 +1,223 @@
+package rta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mk builds a task with a permissive stability constraint.
+func mk(name string, cb, cw, h float64) Task {
+	return Task{Name: name, BCET: cb, WCET: cw, Period: h, ConA: 1, ConB: h}
+}
+
+func TestWCRTNoInterference(t *testing.T) {
+	r, err := WCRT(2.5, nil)
+	if err != nil || r != 2.5 {
+		t.Fatalf("WCRT = %v, %v", r, err)
+	}
+}
+
+func TestWCRTClassicExample(t *testing.T) {
+	// Textbook example: τ1 (C=1, T=4), τ2 (C=2, T=6), τ3 (C=3, T=13).
+	// R1 = 1; R2 = 2 + ⌈R2/4⌉·1 → 3; R3 = 3 + ⌈R/4⌉·1 + ⌈R/6⌉·2.
+	// R3: start 3 → 3+1+2=6 → 3+2+2=7 → 3+2+4=9 → 3+3+4=10 → 3+3+4=10. ✓
+	t1 := mk("t1", 1, 1, 4)
+	t2 := mk("t2", 2, 2, 6)
+	r2, err := WCRT(2, []Task{t1})
+	if err != nil || r2 != 3 {
+		t.Fatalf("R2 = %v, want 3", r2)
+	}
+	r3, err := WCRT(3, []Task{t1, t2})
+	if err != nil || r3 != 10 {
+		t.Fatalf("R3 = %v, want 10", r3)
+	}
+}
+
+func TestWCRTDivergesWhenOverUtilized(t *testing.T) {
+	hp := []Task{mk("hog", 1, 1, 1)} // 100% utilization above
+	if _, err := WCRT(0.5, hp); err == nil {
+		t.Fatal("expected divergence")
+	}
+}
+
+func TestBCRTNoInterference(t *testing.T) {
+	if r := BCRT(1.5, nil, 100); r != 1.5 {
+		t.Fatalf("BCRT = %v, want 1.5", r)
+	}
+}
+
+func TestBCRTRedellSanfridsonExample(t *testing.T) {
+	// With hp task (cb=1, h=4) and own cb=3:
+	// downward from R=10: next = 3 + ⌈10/4 −1⌉·1 = 3+2 = 5
+	// → next = 3 + ⌈5/4−1⌉·1 = 3+1 = 4 → next = 3+0 = 3 →
+	// next(3) = 3 + ⌈3/4−1⌉ = 3 + 0 = 3. Fixed point 3.
+	hp := []Task{mk("h", 1, 1, 4)}
+	if r := BCRT(3, hp, 10); r != 3 {
+		t.Fatalf("BCRT = %v, want 3", r)
+	}
+	// Own cb=5: from 10 → 5+2=7 → 5+1=6 → 5+1=6: fixed point 6.
+	if r := BCRT(5, hp, 10); r != 6 {
+		t.Fatalf("BCRT = %v, want 6", r)
+	}
+}
+
+func TestHighestPriorityTask(t *testing.T) {
+	// The highest-priority task runs undisturbed: Rʷ = cʷ, Rᵇ = cᵇ,
+	// J = cʷ − cᵇ.
+	task := mk("top", 1, 2, 10)
+	res := Analyze(task, nil)
+	if res.WCRT != 2 || res.BCRT != 1 || res.Jitter != 1 || res.Latency != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestAnalyzeUnschedulable(t *testing.T) {
+	res := Analyze(mk("low", 0.5, 0.5, 5), []Task{mk("hog", 1, 1, 1)})
+	if !math.IsInf(res.WCRT, 1) || res.Stable {
+		t.Fatalf("unschedulable result = %+v", res)
+	}
+}
+
+// Property: BCRT ≤ WCRT; jitter ≥ cʷ−cᵇ is NOT generally true, but
+// jitter ≥ 0 and latency ≥ cᵇ always hold.
+func TestResponseTimeOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		var hp []Task
+		util := 0.0
+		for i := 0; i < n && util < 0.7; i++ {
+			h := 0.01 * math.Pow(10, rng.Float64()*1.5)
+			u := 0.05 + 0.15*rng.Float64()
+			cw := u * h
+			cb := cw * (0.3 + 0.7*rng.Float64())
+			hp = append(hp, mk("hp", cb, cw, h))
+			util += u
+		}
+		h := 0.01 * math.Pow(10, rng.Float64()*1.5)
+		cw := (0.05 + 0.2*rng.Float64()) * h
+		cb := cw * (0.3 + 0.7*rng.Float64())
+		task := mk("x", cb, cw, h)
+		res := Analyze(task, hp)
+		if math.IsInf(res.WCRT, 1) {
+			continue
+		}
+		if res.BCRT > res.WCRT {
+			t.Fatalf("trial %d: BCRT %v > WCRT %v", trial, res.BCRT, res.WCRT)
+		}
+		if res.BCRT < cb {
+			t.Fatalf("trial %d: BCRT %v below BCET %v", trial, res.BCRT, cb)
+		}
+		if res.WCRT < cw {
+			t.Fatalf("trial %d: WCRT %v below WCET %v", trial, res.WCRT, cw)
+		}
+		if res.Jitter < 0 {
+			t.Fatalf("trial %d: negative jitter", trial)
+		}
+	}
+}
+
+// Property: WCRT is monotone in added interference (adding an hp task
+// never decreases Rʷ) — the monotonicity that DOES hold; the paper's
+// anomalies live in the jitter J, not in Rʷ.
+func TestWCRTMonotoneInInterference(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 200; trial++ {
+		mkRand := func() Task {
+			h := 0.01 * math.Pow(10, rng.Float64())
+			cw := (0.05 + 0.1*rng.Float64()) * h
+			return mk("r", cw/2, cw, h)
+		}
+		hp := []Task{mkRand(), mkRand()}
+		task := mkRand()
+		r2, err2 := WCRT(task.WCET, hp)
+		r3, err3 := WCRT(task.WCET, append(hp, mkRand()))
+		if err2 != nil || err3 != nil {
+			continue
+		}
+		if r3 < r2-1e-12 {
+			t.Fatalf("trial %d: WCRT decreased with more interference: %v -> %v", trial, r2, r3)
+		}
+	}
+}
+
+// The jitter anomaly itself (the paper's reference [20]): RAISING a task's
+// priority — removing an interferer from its hp set — can INCREASE its
+// jitter J = Rʷ − Rᵇ, because the removed interference was padding the
+// best-case response time Rᵇ more than the worst-case one. The instance
+// below was found by randomized search and is verified here exactly.
+func TestJitterNonMonotoneInPriority(t *testing.T) {
+	ta := mk("a", 3.04, 3.22, 7.7)
+	tb := mk("b", 0.33, 0.37, 1.9)
+	// Period 15 keeps both configurations inside the deadline so Analyze
+	// reports exact response times.
+	tx := mk("x", 4.1, 4.6, 15)
+
+	// τx at the higher priority: hp = {τa} (τx above τb).
+	high := Analyze(tx, []Task{ta})
+	// τx at the lower priority: hp = {τa, τb}.
+	low := Analyze(tx, []Task{ta, tb})
+	if math.IsInf(low.WCRT, 1) || math.IsInf(high.WCRT, 1) {
+		t.Fatal("unexpected divergence")
+	}
+	// Sanity: Rʷ itself IS monotone (more interference, larger Rʷ)...
+	if low.WCRT < high.WCRT {
+		t.Fatalf("WCRT not monotone: %v < %v", low.WCRT, high.WCRT)
+	}
+	// ...but the jitter is NOT: raising τx's priority increases J.
+	if !(high.Jitter > low.Jitter) {
+		t.Fatalf("expected jitter anomaly: J(high)=%v J(low)=%v (Rw/Rb high %v/%v low %v/%v)",
+			high.Jitter, low.Jitter, high.WCRT, high.BCRT, low.WCRT, low.BCRT)
+	}
+}
+
+func TestAnalyzeAllPriorityOrdering(t *testing.T) {
+	tasks := []Task{
+		mk("low", 1, 1, 10),
+		mk("high", 1, 1, 5),
+	}
+	res := AnalyzeAll(tasks, []int{1, 2})
+	if res[1].WCRT != 1 { // high priority: no interference
+		t.Fatalf("high-prio WCRT = %v", res[1].WCRT)
+	}
+	if res[0].WCRT != 2 { // 1 + 1 interference
+		t.Fatalf("low-prio WCRT = %v", res[0].WCRT)
+	}
+}
+
+func TestTotalUtilization(t *testing.T) {
+	u := TotalUtilization([]Task{mk("a", 1, 1, 4), mk("b", 1, 2, 8)})
+	if math.Abs(u-0.5) > 1e-12 {
+		t.Fatalf("U = %v, want 0.5", u)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := mk("ok", 1, 2, 10)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Task{
+		{Name: "b1", BCET: 0, WCET: 1, Period: 5, ConA: 1},
+		{Name: "b2", BCET: 2, WCET: 1, Period: 5, ConA: 1},
+		{Name: "b3", BCET: 1, WCET: 6, Period: 5, ConA: 1},
+		{Name: "b4", BCET: 1, WCET: 2, Period: 5, ConA: 0.5},
+		{Name: "b5", BCET: 1, WCET: 2, Period: 5, ConA: 1, ConB: -1},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("task %s passed validation", b.Name)
+		}
+	}
+}
+
+func TestStabilityConstraint(t *testing.T) {
+	task := Task{ConA: 2, ConB: 10}
+	if !task.StabilitySatisfied(4, 3) || task.StabilitySatisfied(4.1, 3) {
+		t.Fatal("constraint arithmetic wrong")
+	}
+	if s := task.Slack(4, 3); math.Abs(s) > 1e-12 {
+		t.Fatalf("slack = %v, want 0", s)
+	}
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ctrlsched/internal/rta"
+)
+
+func mk(name string, cb, cw, h float64) rta.Task {
+	return rta.Task{Name: name, BCET: cb, WCET: cw, Period: h, ConA: 1, ConB: h}
+}
+
+func TestSingleTaskResponseEqualsWCET(t *testing.T) {
+	tasks := []rta.Task{mk("solo", 1, 2, 5)}
+	res, err := Run(tasks, []int{1}, Config{Horizon: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats[0]
+	if st.Jobs < 19 {
+		t.Fatalf("only %d jobs in 100s with period 5", st.Jobs)
+	}
+	if math.Abs(st.MinResponse-2) > 1e-9 || math.Abs(st.MaxResponse-2) > 1e-9 {
+		t.Fatalf("responses [%v, %v], want exactly 2 (WCET model)", st.MinResponse, st.MaxResponse)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("%d deadline misses", res.DeadlineMisses)
+	}
+}
+
+func TestTwoTaskPreemption(t *testing.T) {
+	// High: C=1, T=4. Low: C=2, T=6. Synchronous release: low's first
+	// job responds in 3 (classic example), steady state can be faster.
+	tasks := []rta.Task{mk("high", 1, 1, 4), mk("low", 2, 2, 6)}
+	res, err := Run(tasks, []int{2, 1}, Config{Horizon: 240})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats[0].MaxResponse != 1 {
+		t.Fatalf("high-prio max response %v, want 1", res.Stats[0].MaxResponse)
+	}
+	if math.Abs(res.Stats[1].MaxResponse-3) > 1e-9 {
+		t.Fatalf("low-prio max response %v, want 3 (critical instant)", res.Stats[1].MaxResponse)
+	}
+}
+
+// The fundamental cross-validation: observed responses must lie within
+// the analytical [BCRT, WCRT] interval for every execution model.
+func TestObservedWithinAnalyticalBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		tasks := make([]rta.Task, n)
+		util := 0.0
+		for i := range tasks {
+			h := 1 + 9*rng.Float64()
+			u := 0.05 + 0.2*rng.Float64()
+			cw := u * h
+			cb := cw * (0.3 + 0.7*rng.Float64())
+			tasks[i] = mk("t", cb, cw, h)
+			util += u
+		}
+		if util >= 0.9 {
+			continue
+		}
+		prio := rand.New(rand.NewSource(int64(trial))).Perm(n)
+		for i := range prio {
+			prio[i]++ // 1..n
+		}
+		analysis := rta.AnalyzeAll(tasks, prio)
+		for _, model := range []ExecModel{ExecWorstCase, ExecBestCase, ExecRandom, ExecAlternating} {
+			res, err := Run(tasks, prio, Config{Horizon: 200, Exec: model, Seed: int64(trial)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, st := range res.Stats {
+				if st.Jobs == 0 {
+					continue
+				}
+				if math.IsInf(analysis[i].WCRT, 1) {
+					continue // analysis says overload; skip bound check
+				}
+				if st.MaxResponse > analysis[i].WCRT+1e-9 {
+					t.Fatalf("trial %d model %d task %d: observed %v exceeds WCRT %v",
+						trial, model, i, st.MaxResponse, analysis[i].WCRT)
+				}
+				if st.MinResponse < analysis[i].BCRT-1e-9 {
+					t.Fatalf("trial %d model %d task %d: observed %v below BCRT %v",
+						trial, model, i, st.MinResponse, analysis[i].BCRT)
+				}
+			}
+		}
+	}
+}
+
+// With synchronous release and worst-case execution, the first job of
+// every task experiences the critical instant: its response time must
+// EQUAL the analytical WCRT (for constrained-deadline feasible sets).
+func TestCriticalInstantAchievesWCRT(t *testing.T) {
+	tasks := []rta.Task{
+		mk("t1", 1, 1, 4),
+		mk("t2", 2, 2, 6),
+		mk("t3", 3, 3, 13),
+	}
+	prio := []int{3, 2, 1}
+	analysis := rta.AnalyzeAll(tasks, prio)
+	res, err := Run(tasks, prio, Config{Horizon: 60, Exec: ExecWorstCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tasks {
+		if math.Abs(res.Stats[i].MaxResponse-analysis[i].WCRT) > 1e-9 {
+			t.Fatalf("task %d: observed max %v != WCRT %v", i, res.Stats[i].MaxResponse, analysis[i].WCRT)
+		}
+	}
+}
+
+// Best-case execution with staggered offsets lets jobs approach the BCRT;
+// for the highest-priority task the bound is achieved exactly.
+func TestBestCaseAchievedForTopPriority(t *testing.T) {
+	tasks := []rta.Task{mk("top", 0.5, 1.5, 5), mk("low", 1, 2, 7)}
+	prio := []int{2, 1}
+	res, err := Run(tasks, prio, Config{Horizon: 300, Exec: ExecBestCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Stats[0].MinResponse-0.5) > 1e-9 {
+		t.Fatalf("top task min response %v, want BCET 0.5", res.Stats[0].MinResponse)
+	}
+}
+
+func TestObservedJitterNonNegative(t *testing.T) {
+	tasks := []rta.Task{mk("a", 0.5, 1, 4), mk("b", 1, 2, 9)}
+	res, err := Run(tasks, []int{2, 1}, Config{Horizon: 500, Exec: ExecRandom, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range res.Stats {
+		if st.ObservedJitter() < 0 {
+			t.Fatalf("task %d: negative observed jitter", i)
+		}
+		if st.MeanResponse() < tasks[i].BCET {
+			t.Fatalf("task %d: mean response below BCET", i)
+		}
+	}
+}
+
+func TestDeadlineMissDetected(t *testing.T) {
+	// Overloaded: two tasks, each C=1.2 T=2 at synchronous release:
+	// utilization 1.2 > 1 forces misses.
+	tasks := []rta.Task{
+		{Name: "a", BCET: 1.2, WCET: 1.2, Period: 2, ConA: 1, ConB: 2},
+		{Name: "b", BCET: 1.2, WCET: 1.2, Period: 2, ConA: 1, ConB: 2},
+	}
+	res, err := Run(tasks, []int{2, 1}, Config{Horizon: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses == 0 {
+		t.Fatal("overload produced no deadline misses")
+	}
+}
+
+func TestOffsetsShiftReleases(t *testing.T) {
+	tasks := []rta.Task{mk("a", 1, 1, 10)}
+	res, err := Run(tasks, []int{1}, Config{Horizon: 35, Offsets: []float64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) == 0 || math.Abs(res.Jobs[0].Release-5) > 1e-12 {
+		t.Fatalf("first release at %v, want 5", res.Jobs[0].Release)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tasks := []rta.Task{mk("a", 1, 1, 10)}
+	if _, err := Run(tasks, []int{1, 2}, Config{Horizon: 10}); err == nil {
+		t.Error("bad priority length accepted")
+	}
+	if _, err := Run(tasks, []int{1}, Config{Horizon: 0}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Run(tasks, []int{1}, Config{Horizon: 10, Offsets: []float64{1, 2}}); err == nil {
+		t.Error("bad offsets length accepted")
+	}
+}
+
+func TestDeterminismWithSeed(t *testing.T) {
+	tasks := []rta.Task{mk("a", 0.5, 1, 3), mk("b", 1, 2, 7)}
+	r1, err := Run(tasks, []int{2, 1}, Config{Horizon: 100, Exec: ExecRandom, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(tasks, []int{2, 1}, Config{Horizon: 100, Exec: ExecRandom, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Jobs) != len(r2.Jobs) {
+		t.Fatal("job counts differ across identical seeds")
+	}
+	for i := range r1.Jobs {
+		if r1.Jobs[i] != r2.Jobs[i] {
+			t.Fatalf("job %d differs across identical seeds", i)
+		}
+	}
+}
+
+func BenchmarkSimulate10Tasks(b *testing.B) {
+	rng := rand.New(rand.NewSource(132))
+	tasks := make([]rta.Task, 10)
+	prio := make([]int, 10)
+	for i := range tasks {
+		h := 1 + 9*rng.Float64()
+		tasks[i] = mk("t", 0.02*h, 0.05*h, h)
+		prio[i] = i + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tasks, prio, Config{Horizon: 100, Exec: ExecRandom, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

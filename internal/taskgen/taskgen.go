@@ -1,0 +1,202 @@
+// Package taskgen generates the random control-task benchmarks of the
+// paper's Section V: task utilizations from the UUniFast algorithm (Bini &
+// Buttazzo [25]), plants drawn from the benchmark library, sampling
+// periods from per-plant grids, and per-task linear stability constraints
+// (a_i, b_i) obtained from the jitter-margin analysis of the plant at the
+// chosen period.
+//
+// Jitter-margin coefficients are expensive relative to response-time
+// analysis, so they are computed lazily per (plant, grid period) and
+// cached process-wide; a benchmark campaign of 10 000 task sets touches
+// each grid point once.
+package taskgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"ctrlsched/internal/jitter"
+	"ctrlsched/internal/plant"
+	"ctrlsched/internal/rta"
+)
+
+// UUniFast draws n utilizations that sum exactly to u, uniformly over the
+// simplex (Bini & Buttazzo, "Measuring the performance of schedulability
+// tests", Real-Time Systems 30, 2005).
+func UUniFast(rng *rand.Rand, n int, u float64) []float64 {
+	if n <= 0 {
+		panic("taskgen: UUniFast needs n > 0")
+	}
+	out := make([]float64, n)
+	sum := u
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-1-i))
+		out[i] = sum - next
+		sum = next
+	}
+	out[n-1] = sum
+	return out
+}
+
+// Config parameterizes benchmark generation. The zero value is completed
+// by withDefaults to the campaign settings used for Table I / Fig. 5.
+type Config struct {
+	// UMin and UMax bound the total utilization, drawn uniformly
+	// (defaults 0.40 and 0.85).
+	UMin, UMax float64
+	// BCETMin and BCETMax bound the ratio cᵇ/cʷ, drawn uniformly
+	// (defaults 0.40 and 1.0) — wide execution-time variation is what
+	// makes response-time jitter, and hence the anomalies, possible.
+	BCETMin, BCETMax float64
+	// GridPoints is the number of log-spaced periods per plant for the
+	// coefficient cache (default 12).
+	GridPoints int
+	// Plants is the benchmark plant set (default plant.Library()).
+	Plants []*plant.Plant
+}
+
+func (c Config) withDefaults() Config {
+	if c.UMax == 0 {
+		c.UMin, c.UMax = 0.40, 0.85
+	}
+	if c.BCETMax == 0 {
+		c.BCETMin, c.BCETMax = 0.40, 1.0
+	}
+	if c.GridPoints == 0 {
+		c.GridPoints = 12
+	}
+	if c.Plants == nil {
+		c.Plants = plant.Library()
+	}
+	return c
+}
+
+// Generator produces random control task sets. It is safe for concurrent
+// use; the coefficient cache is shared.
+type Generator struct {
+	cfg   Config
+	cache *coeffCache
+}
+
+// NewGenerator builds a generator with the given configuration.
+func NewGenerator(cfg Config) *Generator {
+	c := cfg.withDefaults()
+	return &Generator{cfg: c, cache: newCoeffCache(c.Plants, c.GridPoints)}
+}
+
+// TaskSet draws one benchmark with n control tasks using rng. Each task's
+// (plant, period, BCET/WCET ratio) is redrawn up to a few times until the
+// task is individually feasible — it satisfies its own stability
+// constraint when running alone at top priority (L = cᵇ, J = cʷ − cᵇ).
+// Without this rejection step a large fraction of benchmarks would be
+// trivially infeasible regardless of priorities, which would drown the
+// anomaly statistics of Table I in uninteresting failures; the paper's
+// campaign is implicitly feasibility-friendly (its algorithms find valid
+// assignments for ≥ 99.6 % of benchmarks). Tasks whose WCET would exceed
+// their period are clamped to 95 % of the period. The returned tasks carry
+// the stability coefficients (ConA, ConB) of their plant at their period.
+func (g *Generator) TaskSet(rng *rand.Rand, n int) []rta.Task {
+	u := g.cfg.UMin + rng.Float64()*(g.cfg.UMax-g.cfg.UMin)
+	utils := UUniFast(rng, n, u)
+	tasks := make([]rta.Task, n)
+	for i := 0; i < n; i++ {
+		var task rta.Task
+		for attempt := 0; attempt < 12; attempt++ {
+			pIdx := rng.Intn(len(g.cfg.Plants))
+			p := g.cfg.Plants[pIdx]
+			gIdx := rng.Intn(g.cfg.GridPoints)
+			h, con := g.cache.get(pIdx, gIdx)
+
+			cw := utils[i] * h
+			if cw > 0.95*h {
+				cw = 0.95 * h
+			}
+			beta := g.cfg.BCETMin + rng.Float64()*(g.cfg.BCETMax-g.cfg.BCETMin)
+			cb := beta * cw
+			if cb <= 0 {
+				cb = cw * 1e-3
+			}
+			task = rta.Task{
+				Name:   fmt.Sprintf("%s#%d", p.Name, i),
+				BCET:   cb,
+				WCET:   cw,
+				Period: h,
+				ConA:   con.A,
+				ConB:   con.B,
+			}
+			if task.StabilitySatisfied(cb, cw-cb) {
+				break // individually feasible
+			}
+		}
+		tasks[i] = task
+	}
+	return tasks
+}
+
+// coeffCache lazily computes and caches the (period, constraint) entry for
+// each (plant, grid index).
+type coeffCache struct {
+	plants []*plant.Plant
+	points int
+
+	mu      sync.Mutex
+	entries map[[2]int]cacheEntry
+}
+
+type cacheEntry struct {
+	h   float64
+	con jitter.Constraint
+}
+
+func newCoeffCache(plants []*plant.Plant, points int) *coeffCache {
+	return &coeffCache{plants: plants, points: points, entries: make(map[[2]int]cacheEntry)}
+}
+
+// get returns the grid period and constraint for plant pIdx, grid slot
+// gIdx, computing the jitter margin on first use. Grid periods are
+// log-spaced over [HMin, HMax]. If the margin analysis fails at the exact
+// grid period (e.g. a pathological period for oscillatory plants), the
+// period is nudged downward until a design exists; as a last resort a
+// degenerate constraint b = 0 (never satisfiable with positive latency) is
+// cached, which simply makes that grid slot an always-infeasible task —
+// the priority-assignment layer handles it like any other infeasibility.
+func (c *coeffCache) get(pIdx, gIdx int) (float64, jitter.Constraint) {
+	key := [2]int{pIdx, gIdx}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e.h, e.con
+	}
+	p := c.plants[pIdx]
+	frac := 0.0
+	if c.points > 1 {
+		frac = float64(gIdx) / float64(c.points-1)
+	}
+	h := p.HMin * math.Pow(p.HMax/p.HMin, frac)
+
+	entry := cacheEntry{h: h, con: jitter.Constraint{A: 1, B: 0}}
+	hTry := h
+	for attempt := 0; attempt < 4; attempt++ {
+		m, err := jitter.ForPlant(p, hTry)
+		if err == nil {
+			entry = cacheEntry{h: hTry, con: m.Constraint()}
+			break
+		}
+		hTry *= 0.93
+	}
+	c.entries[key] = entry
+	return entry.h, entry.con
+}
+
+// Warm precomputes every cache entry; call it before timing-sensitive
+// campaigns (Fig. 5) so jitter-margin synthesis does not pollute the
+// measured priority-assignment runtimes.
+func (g *Generator) Warm() {
+	for p := range g.cfg.Plants {
+		for i := 0; i < g.cfg.GridPoints; i++ {
+			g.cache.get(p, i)
+		}
+	}
+}

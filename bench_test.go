@@ -8,9 +8,29 @@
 // The benchmarks exercise reduced-size campaigns so a full -bench pass
 // stays in CPU-minutes; the CLI (cmd/ctrlsched) runs the paper-scale
 // versions.
+//
+// # Parallel scaling
+//
+// Campaigns run on the internal/campaign worker pool. The
+// worker-scaling benches (BenchmarkTable1Workers and friends) pin the
+// pool size per sub-benchmark, so
+//
+//	go test -bench=Workers .
+//
+// reports the speedup curve directly — compare workers=1 against
+// workers=4 for the campaign-level parallel speedup (results are
+// identical at every worker count; only the wall-clock changes). The
+// standard -cpu flag varies GOMAXPROCS instead, which caps how many
+// pool workers can actually run:
+//
+//	go test -bench=BenchmarkTable1$ -cpu 1,2,4 .
+//
+// shows the same scaling for the default (all-CPU) pool as the
+// scheduler grants it more cores.
 package ctrlsched_bench
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -80,6 +100,45 @@ func BenchmarkTable1(b *testing.B) {
 			Sizes:      []int{4, 12, 20},
 			Seed:       int64(i + 1),
 			Gen:        sharedGen,
+		})
+	}
+}
+
+// BenchmarkTable1Workers pins the campaign pool size to measure the
+// parallel speedup of the hottest path in the repo. The acceptance
+// target is ≥2× wall-clock at workers=4 over workers=1.
+func BenchmarkTable1Workers(b *testing.B) {
+	sharedGen.Warm()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.Table1(experiments.Table1Config{
+					Benchmarks: 200,
+					Sizes:      []int{4, 12, 20},
+					Seed:       1,
+					Gen:        sharedGen,
+					Workers:    w,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkCompareWorkers is the scaling bench for the heaviest
+// per-benchmark workload (four assignment methods per instance).
+func BenchmarkCompareWorkers(b *testing.B) {
+	sharedGen.Warm()
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.Compare(experiments.CompareConfig{
+					Benchmarks: 100,
+					Sizes:      []int{8, 16},
+					Seed:       1,
+					Gen:        sharedGen,
+					Workers:    w,
+				})
+			}
 		})
 	}
 }

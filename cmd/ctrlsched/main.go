@@ -4,26 +4,40 @@
 //
 // Usage:
 //
-//	ctrlsched fig2     [-points N] [-csv]
+//	ctrlsched fig2     [-points N] [-workers W] [-csv]
 //	ctrlsched fig4     [-csv]
-//	ctrlsched table1   [-benchmarks N] [-sizes 4,8,12,16,20] [-seed S] [-diagnose] [-csv]
-//	ctrlsched fig5     [-benchmarks N] [-sizes 4,6,...,20] [-seed S] [-csv]
-//	ctrlsched anomalies [-trials N] [-sizes ...] [-seed S] [-csv]
+//	ctrlsched table1   [-benchmarks N] [-sizes 4,8,12,16,20] [-seed S] [-diagnose] [-workers W] [-csv]
+//	ctrlsched fig5     [-benchmarks N] [-sizes 4,6,...,20] [-seed S] [-workers W] [-csv]
+//	ctrlsched anomalies [-trials N] [-sizes ...] [-seed S] [-workers W] [-csv]
 //	ctrlsched all      (quick versions of everything)
 //
 // All experiments print human-readable tables/ASCII plots by default and
-// machine-readable CSV with -csv.
+// machine-readable CSV with -csv. Campaigns fan out over a worker pool
+// (-workers, default all CPUs); every count and statistic is
+// byte-identical for every worker count. The one exception is fig5's
+// seconds columns, which by design measure the parallel campaign's
+// wall-clock time and therefore shrink as -workers grows (its
+// evaluation counts stay invariant).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"ctrlsched/internal/experiments"
 )
+
+// workersFlag registers the shared -workers flag: the campaign
+// worker-pool size, defaulting to every CPU. All counts and statistics
+// are identical for any value (see internal/campaign); only wall-clock
+// time — including fig5's measured seconds — changes.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", runtime.NumCPU(), "campaign worker goroutines (counts are worker-count invariant; only wall-clock changes)")
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -85,9 +99,10 @@ func parseSizes(s string) []int {
 func runFig2(args []string) {
 	fs := flag.NewFlagSet("fig2", flag.ExitOnError)
 	points := fs.Int("points", 400, "samples per period sweep")
+	workers := workersFlag(fs)
 	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
 	fs.Parse(args)
-	for _, res := range experiments.Fig2Default(*points) {
+	for _, res := range experiments.Fig2DefaultWorkers(*points, *workers) {
 		if *csv {
 			res.WriteCSV(os.Stdout)
 		} else {
@@ -120,6 +135,7 @@ func runTable1(args []string) {
 	sizes := fs.String("sizes", "4,8,12,16,20", "comma-separated task-set sizes")
 	seed := fs.Int64("seed", 1, "random seed")
 	diagnose := fs.Bool("diagnose", true, "split invalid outputs into infeasible vs rescued")
+	workers := workersFlag(fs)
 	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
 	fs.Parse(args)
 	rows := experiments.Table1(experiments.Table1Config{
@@ -127,6 +143,7 @@ func runTable1(args []string) {
 		Sizes:           parseSizes(*sizes),
 		Seed:            *seed,
 		DiagnoseRescues: *diagnose,
+		Workers:         *workers,
 	})
 	if *csv {
 		experiments.WriteCSVTable1(os.Stdout, rows)
@@ -140,12 +157,14 @@ func runFig5(args []string) {
 	benchmarks := fs.Int("benchmarks", 10000, "benchmarks per task-set size")
 	sizes := fs.String("sizes", "4,6,8,10,12,14,16,18,20", "comma-separated task-set sizes")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := workersFlag(fs)
 	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
 	fs.Parse(args)
 	rows := experiments.Fig5(experiments.Fig5Config{
 		Benchmarks: *benchmarks,
 		Sizes:      parseSizes(*sizes),
 		Seed:       *seed,
+		Workers:    *workers,
 	})
 	if *csv {
 		experiments.WriteCSVFig5(os.Stdout, rows)
@@ -159,12 +178,14 @@ func runAnomalies(args []string) {
 	trials := fs.Int("trials", 10000, "priority-raise trials per size")
 	sizes := fs.String("sizes", "4,8,12,16,20", "comma-separated task-set sizes")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := workersFlag(fs)
 	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
 	fs.Parse(args)
 	rows := experiments.Anomalies(experiments.AnomalyConfig{
-		Trials: *trials,
-		Sizes:  parseSizes(*sizes),
-		Seed:   *seed,
+		Trials:  *trials,
+		Sizes:   parseSizes(*sizes),
+		Seed:    *seed,
+		Workers: *workers,
 	})
 	if *csv {
 		experiments.WriteCSVAnomalies(os.Stdout, rows)
@@ -178,12 +199,14 @@ func runCompare(args []string) {
 	benchmarks := fs.Int("benchmarks", 2000, "benchmarks per task-set size")
 	sizes := fs.String("sizes", "4,8,12,16,20", "comma-separated task-set sizes")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := workersFlag(fs)
 	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
 	fs.Parse(args)
 	rows := experiments.Compare(experiments.CompareConfig{
 		Benchmarks: *benchmarks,
 		Sizes:      parseSizes(*sizes),
 		Seed:       *seed,
+		Workers:    *workers,
 	})
 	if *csv {
 		experiments.WriteCSVCompare(os.Stdout, rows)

@@ -14,6 +14,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"ctrlsched/internal/anomaly"
 	"ctrlsched/internal/assign"
@@ -21,40 +23,46 @@ import (
 )
 
 func main() {
-	fmt.Println("=== Anomaly 1: raising priority increases jitter ===")
+	run(os.Stdout)
+}
+
+// run writes the demonstration to w; the smoke test captures and checks
+// the exact verdicts.
+func run(w io.Writer) {
+	fmt.Fprintln(w, "=== Anomaly 1: raising priority increases jitter ===")
 	tasks, victim := anomaly.PriorityAnomalyExample()
 	v := tasks[victim]
-	fmt.Printf("task set: %s(c∈[%.2f,%.2f] h=%.1f), %s(c∈[%.2f,%.2f] h=%.1f), victim %s(c∈[%.2f,%.2f] h=%.1f)\n",
+	fmt.Fprintf(w, "task set: %s(c∈[%.2f,%.2f] h=%.1f), %s(c∈[%.2f,%.2f] h=%.1f), victim %s(c∈[%.2f,%.2f] h=%.1f)\n",
 		tasks[0].Name, tasks[0].BCET, tasks[0].WCET, tasks[0].Period,
 		tasks[1].Name, tasks[1].BCET, tasks[1].WCET, tasks[1].Period,
 		v.Name, v.BCET, v.WCET, v.Period)
-	fmt.Printf("victim's stability constraint: L + %.0f·J ≤ %.0f\n\n", v.ConA, v.ConB)
+	fmt.Fprintf(w, "victim's stability constraint: L + %.0f·J ≤ %.0f\n\n", v.ConA, v.ConB)
 
 	low := rta.Analyze(v, []rta.Task{tasks[0], tasks[1]}) // x below a and b
 	high := rta.Analyze(v, []rta.Task{tasks[0]})          // x raised above b
-	fmt.Printf("%-28s Rw=%6.2f  Rb=%6.2f  L=%6.2f  J=%6.2f  L+aJ=%6.2f  stable=%v\n",
+	fmt.Fprintf(w, "%-28s Rw=%6.2f  Rb=%6.2f  L=%6.2f  J=%6.2f  L+aJ=%6.2f  stable=%v\n",
 		"x at LOW priority:", low.WCRT, low.BCRT, low.Latency, low.Jitter,
 		low.Latency+v.ConA*low.Jitter, low.Stable)
-	fmt.Printf("%-28s Rw=%6.2f  Rb=%6.2f  L=%6.2f  J=%6.2f  L+aJ=%6.2f  stable=%v\n",
+	fmt.Fprintf(w, "%-28s Rw=%6.2f  Rb=%6.2f  L=%6.2f  J=%6.2f  L+aJ=%6.2f  stable=%v\n",
 		"x RAISED above b:", high.WCRT, high.BCRT, high.Latency, high.Jitter,
 		high.Latency+v.ConA*high.Jitter, v.StabilitySatisfied(high.Latency, high.Jitter))
-	fmt.Println("\n→ more priority, less interference — yet MORE jitter and an unstable loop.")
-	fmt.Println("  (The interference of b was padding x's best-case response time,")
-	fmt.Println("   keeping J = Rw − Rb small; removing it widens the variation.)")
+	fmt.Fprintln(w, "\n→ more priority, less interference — yet MORE jitter and an unstable loop.")
+	fmt.Fprintln(w, "  (The interference of b was padding x's best-case response time,")
+	fmt.Fprintln(w, "   keeping J = Rw − Rb small; removing it widens the variation.)")
 
-	fmt.Println("\n=== Anomaly 2: the unsafe greedy vs Algorithm 1 ===")
+	fmt.Fprintln(w, "\n=== Anomaly 2: the unsafe greedy vs Algorithm 1 ===")
 	bt := assign.Backtracking(tasks)
-	fmt.Printf("backtracking (Algorithm 1): valid=%v priorities=%v  (x pinned to the bottom)\n",
+	fmt.Fprintf(w, "backtracking (Algorithm 1): valid=%v priorities=%v  (x pinned to the bottom)\n",
 		bt.Valid, bt.Priorities)
 
 	// A monotonicity believer would give the tightest-constrained task
 	// the highest priority — hoisting x destroys it:
 	naive := []int{2, 1, 3} // a=2, b=1, x=3 (highest)
-	fmt.Printf("naive 'more priority for the fussy task' order %v: valid=%v\n",
+	fmt.Fprintf(w, "naive 'more priority for the fussy task' order %v: valid=%v\n",
 		naive, assign.Validate(tasks, naive))
 
 	uq := assign.UnsafeQuadratic(tasks)
-	fmt.Printf("unsafe max-slack greedy: priorities=%v valid=%v\n", uq.Priorities, uq.Valid)
-	fmt.Println("\n→ design methodologies must exploit the common case (greedy order)")
-	fmt.Println("  but verify exactly and backtrack when the anomaly strikes.")
+	fmt.Fprintf(w, "unsafe max-slack greedy: priorities=%v valid=%v\n", uq.Priorities, uq.Valid)
+	fmt.Fprintln(w, "\n→ design methodologies must exploit the common case (greedy order)")
+	fmt.Fprintln(w, "  but verify exactly and backtrack when the anomaly strikes.")
 }

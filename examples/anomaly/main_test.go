@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAnomalyDemonstration checks that the example still demonstrates
+// both anomalies: the raised task ends up unstable, and Algorithm 1
+// finds a valid assignment where the naive order fails.
+func TestAnomalyDemonstration(t *testing.T) {
+	var buf bytes.Buffer
+	run(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "x RAISED above b:") {
+		t.Fatalf("missing raised-priority analysis:\n%s", out)
+	}
+	// The raised configuration must be reported unstable and the
+	// backtracking assignment valid — the whole point of the demo.
+	if !strings.Contains(out, "stable=false") {
+		t.Fatalf("raised configuration not reported unstable:\n%s", out)
+	}
+	if !strings.Contains(out, "backtracking (Algorithm 1): valid=true") {
+		t.Fatalf("Algorithm 1 did not find a valid assignment:\n%s", out)
+	}
+}

@@ -19,7 +19,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"ctrlsched/internal/assign"
 	"ctrlsched/internal/cosim"
@@ -30,6 +32,16 @@ import (
 )
 
 func main() {
+	periods := []float64{0.004, 0.005, 0.006, 0.008, 0.010, 0.012, 0.016}
+	if err := run(os.Stdout, periods, 4); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run sweeps the candidate periods, co-simulating each schedulable
+// configuration for horizon seconds, and writes the report to w. The
+// smoke test calls it with a short period list and horizon.
+func run(w io.Writer, periods []float64, horizon float64) error {
 	// Existing workload: two loops with fixed designs.
 	base := []struct {
 		p *plant.Plant
@@ -44,11 +56,11 @@ func main() {
 	for _, b := range base {
 		d, err := lqg.Synthesize(b.p, b.h)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		m, err := jitter.Analyze(d, jitter.Options{})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		task := rta.Task{
 			Name: b.p.Name, BCET: 0.7 * b.c, WCET: b.c, Period: b.h,
@@ -62,17 +74,17 @@ func main() {
 	// fixed at 1.5 ms regardless of the period.
 	const exec = 0.0015
 	servo := plant.DCServo()
-	fmt.Println("period(ms)  standalone-cost  assignable  empirical-cost(new loop)")
+	fmt.Fprintln(w, "period(ms)  standalone-cost  assignable  empirical-cost(new loop)")
 	bestH, bestCost := 0.0, 0.0
-	for _, h := range []float64{0.004, 0.005, 0.006, 0.008, 0.010, 0.012, 0.016} {
+	for _, h := range periods {
 		d, err := lqg.Synthesize(servo, h)
 		if err != nil {
-			fmt.Printf("%9.1f   %15s  %10s\n", h*1000, "unstabilizable", "-")
+			fmt.Fprintf(w, "%9.1f   %15s  %10s\n", h*1000, "unstabilizable", "-")
 			continue
 		}
 		m, err := jitter.Analyze(d, jitter.Options{})
 		if err != nil {
-			fmt.Printf("%9.1f   %15.3f  %10s\n", h*1000, d.Cost, "no margin")
+			fmt.Fprintf(w, "%9.1f   %15.3f  %10s\n", h*1000, d.Cost, "no margin")
 			continue
 		}
 		task := rta.Task{
@@ -82,23 +94,24 @@ func main() {
 		tasks := append(append([]rta.Task{}, baseTasks...), task)
 		res := assign.Backtracking(tasks)
 		if !res.Valid {
-			fmt.Printf("%9.1f   %15.3f  %10s\n", h*1000, d.Cost, "NO")
+			fmt.Fprintf(w, "%9.1f   %15.3f  %10s\n", h*1000, d.Cost, "NO")
 			continue
 		}
 		loops := append(append([]cosim.Loop{}, baseLoops...), cosim.Loop{Task: task, Design: d})
-		cres, err := cosim.Run(loops, res.Priorities, cosim.Config{Horizon: 4, Seed: 42})
+		cres, err := cosim.Run(loops, res.Priorities, cosim.Config{Horizon: horizon, Seed: 42})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		emp := cres.Loops[len(loops)-1].Cost
-		fmt.Printf("%9.1f   %15.3f  %10s  %18.3f\n", h*1000, d.Cost, "yes", emp)
+		fmt.Fprintf(w, "%9.1f   %15.3f  %10s  %18.3f\n", h*1000, d.Cost, "yes", emp)
 		if bestH == 0 || emp < bestCost {
 			bestH, bestCost = h, emp
 		}
 	}
 	if bestH != 0 {
-		fmt.Printf("\nbest co-designed period: %.1f ms (empirical cost %.3f)\n", bestH*1000, bestCost)
-		fmt.Println("note the non-monotonicity: shorter periods are not uniformly better,")
-		fmt.Println("and some short periods admit no stable priority assignment at all.")
+		fmt.Fprintf(w, "\nbest co-designed period: %.1f ms (empirical cost %.3f)\n", bestH*1000, bestCost)
+		fmt.Fprintln(w, "note the non-monotonicity: shorter periods are not uniformly better,")
+		fmt.Fprintln(w, "and some short periods admit no stable priority assignment at all.")
 	}
+	return nil
 }

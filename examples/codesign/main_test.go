@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCodesignSweep runs the co-design sweep on two candidate periods
+// with a short co-simulation horizon and checks that at least one
+// period is schedulable and a best period is reported.
+func TestCodesignSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []float64{0.006, 0.012}, 0.5); err != nil {
+		t.Fatalf("codesign failed: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "yes") {
+		t.Fatalf("no schedulable period found:\n%s", out)
+	}
+	if !strings.Contains(out, "best co-designed period:") {
+		t.Fatalf("no best period reported:\n%s", out)
+	}
+}

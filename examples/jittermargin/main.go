@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"ctrlsched/internal/jitter"
@@ -17,20 +19,28 @@ import (
 )
 
 func main() {
-	for _, p := range plant.Library() {
+	run(os.Stdout, plant.Library(), 17)
+}
+
+// run prints the stability curve of each plant using latencyPoints
+// samples per curve; plants whose design or margin analysis fails are
+// reported and skipped. The smoke test calls it with a small plant
+// subset and a coarse curve.
+func run(w io.Writer, plants []*plant.Plant, latencyPoints int) {
+	for _, p := range plants {
 		h := (p.HMin + p.HMax) / 2
 		d, err := lqg.Synthesize(p, h)
 		if err != nil {
 			log.Printf("%s: no design at h=%v: %v", p.Name, h, err)
 			continue
 		}
-		m, err := jitter.Analyze(d, jitter.Options{LatencyPoints: 17})
+		m, err := jitter.Analyze(d, jitter.Options{LatencyPoints: latencyPoints})
 		if err != nil {
 			log.Printf("%s: %v", p.Name, err)
 			continue
 		}
-		fmt.Printf("%s  (h = %.1f ms, LQG cost %.3g)\n", p.Name, h*1000, d.Cost)
-		fmt.Printf("  constraint: %v   [b = %.2f periods of latency tolerance]\n",
+		fmt.Fprintf(w, "%s  (h = %.1f ms, LQG cost %.3g)\n", p.Name, h*1000, d.Cost)
+		fmt.Fprintf(w, "  constraint: %v   [b = %.2f periods of latency tolerance]\n",
 			m.Constraint(), m.B/h)
 
 		// Render the curve as a horizontal bar per latency point.
@@ -53,10 +63,10 @@ func main() {
 					boundMark = strings.Repeat(" ", max(0, pos-bars)) + "|"
 				}
 			}
-			fmt.Printf("  L=%7.2fms  J_max=%7.2fms  %s%s\n",
+			fmt.Fprintf(w, "  L=%7.2fms  J_max=%7.2fms  %s%s\n",
 				l*1000, m.JMax[i]*1000, strings.Repeat("█", bars), boundMark)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }
 

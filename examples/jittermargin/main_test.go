@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ctrlsched/internal/plant"
+)
+
+// TestJitterMarginExplorer runs the explorer on a library subset with a
+// coarse curve and checks that constraints are printed.
+func TestJitterMarginExplorer(t *testing.T) {
+	lib := plant.Library()
+	if len(lib) > 2 {
+		lib = lib[:2]
+	}
+	var buf bytes.Buffer
+	run(&buf, lib, 7)
+	out := buf.String()
+	if !strings.Contains(out, "constraint:") {
+		t.Fatalf("no stability constraint printed:\n%s", out)
+	}
+	if !strings.Contains(out, "J_max=") {
+		t.Fatalf("no stability curve printed:\n%s", out)
+	}
+}

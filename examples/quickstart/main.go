@@ -13,7 +13,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"ctrlsched/internal/assign"
 	"ctrlsched/internal/jitter"
@@ -24,6 +26,14 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout, 10); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the pipeline, simulating for horizon seconds, and writes
+// the report to w. The smoke test calls it with a short horizon.
+func run(w io.Writer, horizon float64) error {
 	// Three control loops sharing one processor.
 	loops := []struct {
 		p *plant.Plant
@@ -40,15 +50,15 @@ func main() {
 		// LQG design at the chosen period.
 		d, err := lqg.Synthesize(l.p, l.h)
 		if err != nil {
-			log.Fatalf("design %s: %v", l.p.Name, err)
+			return fmt.Errorf("design %s: %v", l.p.Name, err)
 		}
 		// Jitter-margin analysis → linear stability constraint (Eq. 5).
 		m, err := jitter.Analyze(d, jitter.Options{})
 		if err != nil {
-			log.Fatalf("margin %s: %v", l.p.Name, err)
+			return fmt.Errorf("margin %s: %v", l.p.Name, err)
 		}
 		con := m.Constraint()
-		fmt.Printf("%-20s h=%5.1f ms  LQG cost=%8.3f  constraint: %v\n",
+		fmt.Fprintf(w, "%-20s h=%5.1f ms  LQG cost=%8.3f  constraint: %v\n",
 			l.p.Name, l.h*1000, d.Cost, con)
 
 		tasks = append(tasks, rta.Task{
@@ -64,35 +74,36 @@ func main() {
 	// Priority assignment with Algorithm 1.
 	res := assign.Backtracking(tasks)
 	if !res.Valid {
-		log.Fatal("no stable priority assignment exists for this configuration")
+		return fmt.Errorf("no stable priority assignment exists for this configuration")
 	}
-	fmt.Printf("\npriorities (higher = more urgent): ")
+	fmt.Fprintf(w, "\npriorities (higher = more urgent): ")
 	for i, t := range tasks {
-		fmt.Printf("%s=%d ", t.Name, res.Priorities[i])
+		fmt.Fprintf(w, "%s=%d ", t.Name, res.Priorities[i])
 	}
-	fmt.Printf("\n(%d exact response-time evaluations, %d backtracks)\n\n",
+	fmt.Fprintf(w, "\n(%d exact response-time evaluations, %d backtracks)\n\n",
 		res.Stats.Evaluations, res.Stats.Backtracks)
 
 	// Exact analysis per task under the chosen priorities.
-	fmt.Println("task                    Rw(ms)   Rb(ms)    L(ms)    J(ms)  stable")
+	fmt.Fprintln(w, "task                    Rw(ms)   Rb(ms)    L(ms)    J(ms)  stable")
 	for i, r := range rta.AnalyzeAll(tasks, res.Priorities) {
-		fmt.Printf("%-20s %8.3f %8.3f %8.3f %8.3f  %v\n",
+		fmt.Fprintf(w, "%-20s %8.3f %8.3f %8.3f %8.3f  %v\n",
 			tasks[i].Name, r.WCRT*1000, r.BCRT*1000, r.Latency*1000, r.Jitter*1000, r.Stable)
 	}
 
 	// Cross-check with the discrete-event scheduler: observed response
 	// times must stay inside the analytical bounds.
-	sres, err := sim.Run(tasks, res.Priorities, sim.Config{Horizon: 10, Exec: sim.ExecRandom, Seed: 1})
+	sres, err := sim.Run(tasks, res.Priorities, sim.Config{Horizon: horizon, Exec: sim.ExecRandom, Seed: 1})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\nsimulated 10 s (random execution times):")
+	fmt.Fprintf(w, "\nsimulated %g s (random execution times):\n", horizon)
 	for i, st := range sres.Stats {
-		fmt.Printf("%-20s %5d jobs, observed response ∈ [%.3f, %.3f] ms\n",
+		fmt.Fprintf(w, "%-20s %5d jobs, observed response ∈ [%.3f, %.3f] ms\n",
 			tasks[i].Name, st.Jobs, st.MinResponse*1000, st.MaxResponse*1000)
 	}
 	if sres.DeadlineMisses > 0 {
-		log.Fatalf("unexpected deadline misses: %d", sres.DeadlineMisses)
+		return fmt.Errorf("unexpected deadline misses: %d", sres.DeadlineMisses)
 	}
-	fmt.Println("no deadline misses — assignment verified in simulation")
+	fmt.Fprintln(w, "no deadline misses — assignment verified in simulation")
+	return nil
 }

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartPipeline runs the whole example with a short simulation
+// horizon and checks that it completes and verifies the assignment.
+func TestQuickstartPipeline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 1); err != nil {
+		t.Fatalf("quickstart failed: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"priorities (higher = more urgent)", "no deadline misses"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

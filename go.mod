@@ -1,0 +1,3 @@
+module ctrlsched
+
+go 1.21

@@ -141,6 +141,26 @@ func (s SearchStats) Rate() float64 {
 // taskgen, tests plug in synthetic generators.
 type TaskSource func(rng *rand.Rand) []rta.Task
 
+// OneTrial runs a single randomized priority-raise trial: draw a task
+// set from src, pick a random victim and a random interferer to hoist
+// above, and check for the anomaly. counted is false when the drawn task
+// set is too small to examine (the trial does not enter the statistics).
+// It is the unit of work the parallel campaign engine fans out, each
+// call with its own deterministic RNG.
+func OneTrial(rng *rand.Rand, src TaskSource) (w Witness, raised, counted bool) {
+	tasks := src(rng)
+	if len(tasks) < 2 {
+		return Witness{}, false, false
+	}
+	victim := rng.Intn(len(tasks))
+	above := rng.Intn(len(tasks))
+	for above == victim {
+		above = rng.Intn(len(tasks))
+	}
+	w, raised = CheckPriorityAnomaly(tasks, victim, above)
+	return w, raised, true
+}
+
 // SearchPriorityAnomalies estimates how often the priority anomaly occurs:
 // for `trials` random task sets it picks a random victim and a random
 // interferer to hoist above, and counts jitter increases and stability
@@ -149,17 +169,12 @@ type TaskSource func(rng *rand.Rand) []rta.Task
 func SearchPriorityAnomalies(rng *rand.Rand, src TaskSource, trials int) SearchStats {
 	var st SearchStats
 	for k := 0; k < trials; k++ {
-		tasks := src(rng)
-		if len(tasks) < 2 {
+		w, raised, counted := OneTrial(rng, src)
+		if !counted {
 			continue
 		}
-		victim := rng.Intn(len(tasks))
-		above := rng.Intn(len(tasks))
-		for above == victim {
-			above = rng.Intn(len(tasks))
-		}
 		st.Trials++
-		if w, ok := CheckPriorityAnomaly(tasks, victim, above); ok {
+		if raised {
 			st.JitterRaises++
 			if w.Destabilizes {
 				st.Destabilizing++

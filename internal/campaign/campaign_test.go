@@ -1,0 +1,121 @@
+package campaign
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCollectsInItemOrder(t *testing.T) {
+	got, err := Map(100, Options{Workers: 7}, func(i int, _ *rand.Rand) int {
+		return i * i
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Each item draws from its RNG; the drawn values must not depend on
+	// how many workers ran the campaign or in which order items ran.
+	draw := func(workers int) []float64 {
+		out, err := Map(64, Options{Workers: workers, Seed: 42}, func(_ int, rng *rand.Rand) float64 {
+			s := 0.0
+			for k := 0; k < 10; k++ {
+				s += rng.Float64()
+			}
+			return s
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	one := draw(1)
+	for _, w := range []int{2, 8, 16} {
+		many := draw(w)
+		for i := range one {
+			if one[i] != many[i] {
+				t.Fatalf("item %d differs: workers=1 → %v, workers=%d → %v", i, one[i], w, many[i])
+			}
+		}
+	}
+}
+
+func TestItemSeedsDecorrelated(t *testing.T) {
+	// Consecutive indices and consecutive campaign seeds must give
+	// distinct, well-spread item seeds.
+	seen := make(map[int64]bool)
+	for seed := int64(0); seed < 4; seed++ {
+		for i := 0; i < 1000; i++ {
+			s := ItemSeed(seed, i)
+			if seen[s] {
+				t.Fatalf("duplicate item seed %d (campaign seed %d, index %d)", s, seed, i)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	got, err := Map(0, Options{}, func(int, *rand.Rand) int { return 1 })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map(0) = %v, %v", got, err)
+	}
+}
+
+func TestMapPlainMatchesMapOrder(t *testing.T) {
+	got, err := MapPlain(40, Options{Workers: 5}, func(i int) int { return i + 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+func TestProgressReachesTotal(t *testing.T) {
+	var calls, last atomic.Int64
+	_, err := Map(50, Options{
+		Workers: 4,
+		OnProgress: func(done, total int) {
+			calls.Add(1)
+			if total != 50 {
+				t.Errorf("total = %d", total)
+			}
+			last.Store(int64(done))
+		},
+	}, func(i int, _ *rand.Rand) int { return i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 50 {
+		t.Fatalf("OnProgress called %d times, want 50", calls.Load())
+	}
+	if last.Load() != 50 {
+		t.Fatalf("final done = %d, want 50", last.Load())
+	}
+}
+
+func TestAbortStopsCampaign(t *testing.T) {
+	abort := make(chan struct{})
+	close(abort) // aborted before it starts: no item may run
+	var ran atomic.Int64
+	_, err := Map(1000, Options{Workers: 4, Abort: abort}, func(i int, _ *rand.Rand) int {
+		ran.Add(1)
+		return i
+	})
+	if err != ErrAborted {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d items ran after pre-closed abort", ran.Load())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"ctrlsched/internal/anomaly"
+	"ctrlsched/internal/campaign"
 	"ctrlsched/internal/rta"
 	"ctrlsched/internal/taskgen"
 )
@@ -28,6 +29,8 @@ type AnomalyConfig struct {
 	Sizes  []int
 	Seed   int64
 	Gen    *taskgen.Generator
+	// Workers is the campaign worker-pool size; 0 means all CPUs.
+	Workers int
 }
 
 func (c AnomalyConfig) withDefaults() AnomalyConfig {
@@ -43,28 +46,49 @@ func (c AnomalyConfig) withDefaults() AnomalyConfig {
 	return c
 }
 
+// anomalyItem is one trial's verdict.
+type anomalyItem struct {
+	counted      bool
+	raised       bool
+	destabilizes bool
+}
+
 // Anomalies measures how often a random single-step priority raise
 // increases the raised task's jitter, and how often that increase
-// destabilizes the loop, on random control benchmarks.
+// destabilizes the loop, on random control benchmarks. Trials fan out
+// over the campaign worker pool; each trial draws from its own
+// deterministic RNG, so the counts are worker-count invariant.
 func Anomalies(cfg AnomalyConfig) []AnomalyRow {
 	c := cfg.withDefaults()
-	c.Gen.Warm()
+	c.Gen.WarmWorkers(c.Workers)
 	rows := make([]AnomalyRow, 0, len(c.Sizes))
 	for _, n := range c.Sizes {
-		rng := rand.New(rand.NewSource(c.Seed))
 		src := anomaly.TaskSource(func(r *rand.Rand) []rta.Task {
 			return c.Gen.TaskSet(r, n)
 		})
-		st := anomaly.SearchPriorityAnomalies(rng, src, c.Trials)
-		row := AnomalyRow{
-			N:             n,
-			Trials:        st.Trials,
-			JitterRaises:  st.JitterRaises,
-			Destabilizing: st.Destabilizing,
+		items, _ := campaign.Map(c.Trials, campaign.Options{
+			Workers: c.Workers,
+			Seed:    campaign.ItemSeed(c.Seed, n),
+		}, func(_ int, rng *rand.Rand) anomalyItem {
+			w, raised, counted := anomaly.OneTrial(rng, src)
+			return anomalyItem{counted: counted, raised: raised, destabilizes: raised && w.Destabilizes}
+		})
+		row := AnomalyRow{N: n}
+		for _, it := range items {
+			if !it.counted {
+				continue
+			}
+			row.Trials++
+			if it.raised {
+				row.JitterRaises++
+			}
+			if it.destabilizes {
+				row.Destabilizing++
+			}
 		}
-		if st.Trials > 0 {
-			row.RaisePct = 100 * float64(st.JitterRaises) / float64(st.Trials)
-			row.DestabPct = 100 * float64(st.Destabilizing) / float64(st.Trials)
+		if row.Trials > 0 {
+			row.RaisePct = 100 * float64(row.JitterRaises) / float64(row.Trials)
+			row.DestabPct = 100 * float64(row.Destabilizing) / float64(row.Trials)
 		}
 		rows = append(rows, row)
 	}

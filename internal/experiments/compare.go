@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"ctrlsched/internal/assign"
+	"ctrlsched/internal/campaign"
 	"ctrlsched/internal/taskgen"
 )
 
@@ -30,6 +31,8 @@ type CompareConfig struct {
 	Sizes      []int
 	Seed       int64
 	Gen        *taskgen.Generator
+	// Workers is the campaign worker-pool size; 0 means all CPUs.
+	Workers int
 }
 
 func (c CompareConfig) withDefaults() CompareConfig {
@@ -46,16 +49,22 @@ func (c CompareConfig) withDefaults() CompareConfig {
 }
 
 // Compare runs all assignment methods on identical benchmark suites.
+// Benchmarks fan out over the campaign worker pool with deterministic
+// per-benchmark RNGs, so every method sees the same suite and the counts
+// are worker-count invariant.
 func Compare(cfg CompareConfig) []CompareRow {
 	c := cfg.withDefaults()
-	c.Gen.Warm()
+	c.Gen.WarmWorkers(c.Workers)
 	rows := make([]CompareRow, 0, len(c.Sizes))
 	for _, n := range c.Sizes {
-		rng := rand.New(rand.NewSource(c.Seed))
+		outs, _ := campaign.Map(c.Benchmarks, campaign.Options{
+			Workers: c.Workers,
+			Seed:    campaign.ItemSeed(c.Seed, n),
+		}, func(_ int, rng *rand.Rand) assign.HeuristicOutcome {
+			return assign.CompareHeuristics(c.Gen.TaskSet(rng, n))
+		})
 		row := CompareRow{N: n, Benchmarks: c.Benchmarks}
-		for k := 0; k < c.Benchmarks; k++ {
-			tasks := c.Gen.TaskSet(rng, n)
-			out := assign.CompareHeuristics(tasks)
+		for _, out := range outs {
 			if out.RateMonotonic {
 				row.RateMonotonicValid++
 			}

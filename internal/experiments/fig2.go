@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"ctrlsched/internal/campaign"
 	"ctrlsched/internal/lqg"
 	"ctrlsched/internal/plant"
 )
@@ -39,15 +40,47 @@ type Fig2Result struct {
 const spikeFactor = 50
 
 // Fig2 sweeps the sampling period for the given plant over [hMin, hMax]
-// with the given number of points.
+// with the given number of points, using all CPUs.
 func Fig2(p *plant.Plant, hMin, hMax float64, points int) Fig2Result {
+	return Fig2Sweep(Fig2Config{Plant: p, HMin: hMin, HMax: hMax, Points: points})
+}
+
+// Fig2Config parameterizes the period sweep.
+type Fig2Config struct {
+	Plant      *plant.Plant
+	HMin, HMax float64
+	Points     int
+	// Workers is the campaign worker-pool size; 0 means all CPUs. Every
+	// grid point is an independent LQG design, so the sweep and its
+	// refinement fan out; results are worker-count invariant.
+	Workers int
+}
+
+// Fig2Sweep runs the cost-versus-period sweep: the base grid and the
+// spike-refinement samples are each evaluated on the campaign worker
+// pool (one LQG cost per item, no randomness involved), then classified
+// sequentially exactly as before.
+func Fig2Sweep(cfg Fig2Config) Fig2Result {
+	p, hMin, hMax, points := cfg.Plant, cfg.HMin, cfg.HMax, cfg.Points
+	opts := campaign.Options{Workers: cfg.Workers}
 	res := Fig2Result{Plant: p.Name}
+	if points <= 0 {
+		return res
+	}
+
+	grid := make([]float64, points)
+	grid[0] = hMin
+	for i := 1; i < points; i++ {
+		grid[i] = hMin + (hMax-hMin)*float64(i)/float64(points-1)
+	}
+	costs, _ := campaign.MapPlain(points, opts, func(i int) float64 {
+		return lqg.Cost(p, grid[i])
+	})
+
 	var firstQ, lastQ, finite []float64
 	var prev float64 = math.NaN()
-	for i := 0; i < points; i++ {
-		h := hMin + (hMax-hMin)*float64(i)/float64(points-1)
-		c := lqg.Cost(p, h)
-		res.Points = append(res.Points, Fig2Point{H: h, Cost: c})
+	for i, c := range costs {
+		res.Points = append(res.Points, Fig2Point{H: grid[i], Cost: c})
 		if !math.IsInf(c, 1) {
 			res.FiniteSamples++
 			finite = append(finite, c)
@@ -70,6 +103,7 @@ func Fig2(p *plant.Plant, hMin, hMax float64, points int) Fig2Result {
 	med := median(finite)
 	step := (hMax - hMin) / float64(points-1)
 	base := res.Points
+	var refine []float64
 	for i := 1; i < len(base)-1; i++ {
 		c := base[i].Cost
 		if math.IsInf(c, 1) {
@@ -78,11 +112,15 @@ func Fig2(p *plant.Plant, hMin, hMax float64, points int) Fig2Result {
 		if c > base[i-1].Cost && c > base[i+1].Cost && med > 0 && c > 5*med {
 			for k := 1; k <= 8; k++ {
 				off := step * float64(k) / 9
-				for _, h := range []float64{base[i].H - off, base[i].H + off} {
-					res.Points = append(res.Points, Fig2Point{H: h, Cost: lqg.Cost(p, h)})
-				}
+				refine = append(refine, base[i].H-off, base[i].H+off)
 			}
 		}
+	}
+	refCosts, _ := campaign.MapPlain(len(refine), opts, func(i int) float64 {
+		return lqg.Cost(p, refine[i])
+	})
+	for i, h := range refine {
+		res.Points = append(res.Points, Fig2Point{H: h, Cost: refCosts[i]})
 	}
 	sort.Slice(res.Points, func(a, b int) bool { return res.Points[a].H < res.Points[b].H })
 
@@ -138,13 +176,18 @@ func trimmedMean(xs []float64) float64 {
 // Fig2Default runs the canonical pair of sweeps used by the CLI and the
 // benchmark: a 10 rad/s oscillator over (0, 1] s (three pathological
 // periods at ≈0.314, 0.628, 0.942 s) and the DC servo over its usable
-// range.
+// range, using all CPUs.
 func Fig2Default(points int) []Fig2Result {
+	return Fig2DefaultWorkers(points, 0)
+}
+
+// Fig2DefaultWorkers is Fig2Default with an explicit worker-pool size.
+func Fig2DefaultWorkers(points, workers int) []Fig2Result {
 	osc := plant.HarmonicOscillator(10)
 	servo := plant.DCServo()
 	return []Fig2Result{
-		Fig2(osc, 0.01, 1.0, points),
-		Fig2(servo, 0.002, 0.030, points),
+		Fig2Sweep(Fig2Config{Plant: osc, HMin: 0.01, HMax: 1.0, Points: points, Workers: workers}),
+		Fig2Sweep(Fig2Config{Plant: servo, HMin: 0.002, HMax: 0.030, Points: points, Workers: workers}),
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ctrlsched/internal/assign"
+	"ctrlsched/internal/campaign"
 	"ctrlsched/internal/rta"
 	"ctrlsched/internal/taskgen"
 )
@@ -35,6 +36,11 @@ type Fig5Config struct {
 	Sizes      []int
 	Seed       int64
 	Gen        *taskgen.Generator
+	// Workers is the campaign worker-pool size; 0 means all CPUs. The
+	// suite and the evaluation counts are worker-count invariant; the
+	// measured seconds are the wall-clock time of the parallel campaign,
+	// so they shrink with Workers.
+	Workers int
 }
 
 func (c Fig5Config) withDefaults() Fig5Config {
@@ -64,37 +70,52 @@ func (c Fig5Config) withDefaults() Fig5Config {
 // filter uses a budgeted memoized search whose time is NOT counted.
 func Fig5(cfg Fig5Config) []Fig5Row {
 	c := cfg.withDefaults()
-	c.Gen.Warm()
+	c.Gen.WarmWorkers(c.Workers)
 	rows := make([]Fig5Row, 0, len(c.Sizes))
 	for _, n := range c.Sizes {
 		row := Fig5Row{N: n, Benchmarks: c.Benchmarks}
-		rng := rand.New(rand.NewSource(c.Seed))
-		suite := make([][]rta.Task, 0, c.Benchmarks)
-		for len(suite) < c.Benchmarks {
-			tasks := c.Gen.TaskSet(rng, n)
-			probe := assign.BacktrackingOpts(tasks, assign.Options{
-				Memoize:        true,
-				MaxEvaluations: 5000,
-			})
-			if probe.Valid {
-				suite = append(suite, tasks)
+		// Rejection-sample the suite on the worker pool: benchmark k keeps
+		// drawing from its own deterministic RNG until a solvable instance
+		// appears, so the suite is identical for every worker count.
+		suite, _ := campaign.Map(c.Benchmarks, campaign.Options{
+			Workers: c.Workers,
+			Seed:    campaign.ItemSeed(c.Seed, n),
+		}, func(_ int, rng *rand.Rand) []rta.Task {
+			for {
+				tasks := c.Gen.TaskSet(rng, n)
+				probe := assign.BacktrackingOpts(tasks, assign.Options{
+					Memoize:        true,
+					MaxEvaluations: 5000,
+				})
+				if probe.Valid {
+					return tasks
+				}
 			}
-		}
+		})
 
+		// The timed phases run on the same pool via MapPlain: both
+		// algorithms are deterministic, and skipping per-item RNG
+		// construction keeps generator setup out of the measured window.
+		timed := campaign.Options{Workers: c.Workers}
 		start := time.Now()
-		for _, tasks := range suite {
-			res := assign.UnsafeQuadratic(tasks)
-			row.UnsafeEvaluations += int64(res.Stats.Evaluations)
-		}
+		uqEvals, _ := campaign.MapPlain(len(suite), timed, func(i int) int64 {
+			return int64(assign.UnsafeQuadratic(suite[i]).Stats.Evaluations)
+		})
 		row.UnsafeSeconds = time.Since(start).Seconds()
+		for _, e := range uqEvals {
+			row.UnsafeEvaluations += e
+		}
 
 		start = time.Now()
-		for _, tasks := range suite {
-			res := assign.Backtracking(tasks)
-			row.BacktrackingEvaluations += int64(res.Stats.Evaluations)
-			row.Backtracks += int64(res.Stats.Backtracks)
-		}
+		btStats, _ := campaign.MapPlain(len(suite), timed, func(i int) [2]int64 {
+			res := assign.Backtracking(suite[i])
+			return [2]int64{int64(res.Stats.Evaluations), int64(res.Stats.Backtracks)}
+		})
 		row.BacktrackingSeconds = time.Since(start).Seconds()
+		for _, s := range btStats {
+			row.BacktrackingEvaluations += s[0]
+			row.Backtracks += s[1]
+		}
 		rows = append(rows, row)
 	}
 	return rows

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"ctrlsched/internal/assign"
+	"ctrlsched/internal/campaign"
 	"ctrlsched/internal/taskgen"
 )
 
@@ -32,6 +33,9 @@ type Table1Config struct {
 	// DiagnoseRescues runs Backtracking on every invalid output to split
 	// infeasible benchmarks from anomaly misses (costs extra time).
 	DiagnoseRescues bool
+	// Workers is the campaign worker-pool size; 0 means all CPUs. Results
+	// are identical for every worker count (see package campaign).
+	Workers int
 }
 
 func (c Table1Config) withDefaults() Table1Config {
@@ -47,23 +51,34 @@ func (c Table1Config) withDefaults() Table1Config {
 	return c
 }
 
+// table1Item is one benchmark's verdict.
+type table1Item struct {
+	invalid bool
+	rescued bool
+}
+
 // Table1 runs the campaign: for each task-set size it generates random
 // control-task benchmarks, runs the monotonicity-assuming Unsafe
-// Quadratic priority assignment, and counts invalid outputs.
+// Quadratic priority assignment, and counts invalid outputs. Benchmarks
+// fan out over a campaign worker pool; each benchmark draws from its own
+// deterministic RNG (seeded by campaign seed, task-set size, and
+// benchmark index), so a row's numbers depend only on (Seed, n,
+// Benchmarks) — not on worker count or on the other entries of Sizes.
 func Table1(cfg Table1Config) []Table1Row {
 	c := cfg.withDefaults()
-	c.Gen.Warm()
-	rng := rand.New(rand.NewSource(c.Seed))
+	c.Gen.WarmWorkers(c.Workers)
 	rows := make([]Table1Row, 0, len(c.Sizes))
 	for _, n := range c.Sizes {
-		row := Table1Row{N: n, Benchmarks: c.Benchmarks}
-		for k := 0; k < c.Benchmarks; k++ {
+		items, _ := campaign.Map(c.Benchmarks, campaign.Options{
+			Workers: c.Workers,
+			Seed:    campaign.ItemSeed(c.Seed, n),
+		}, func(_ int, rng *rand.Rand) table1Item {
 			tasks := c.Gen.TaskSet(rng, n)
 			uq := assign.UnsafeQuadratic(tasks)
 			if uq.Valid {
-				continue
+				return table1Item{}
 			}
-			row.Invalid++
+			it := table1Item{invalid: true}
 			if c.DiagnoseRescues {
 				// Budgeted search: enough to find real rescues (the
 				// feasible case terminates quickly) while bounding the
@@ -72,9 +87,17 @@ func Table1(cfg Table1Config) []Table1Row {
 					Memoize:        true,
 					MaxEvaluations: 20000,
 				})
-				if diag.Valid {
-					row.Rescued++
-				}
+				it.rescued = diag.Valid
+			}
+			return it
+		})
+		row := Table1Row{N: n, Benchmarks: c.Benchmarks}
+		for _, it := range items {
+			if it.invalid {
+				row.Invalid++
+			}
+			if it.rescued {
+				row.Rescued++
 			}
 		}
 		row.InvalidPct = 100 * float64(row.Invalid) / float64(row.Benchmarks)

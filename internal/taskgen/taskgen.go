@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"ctrlsched/internal/jitter"
@@ -136,22 +137,27 @@ func (g *Generator) TaskSet(rng *rand.Rand, n int) []rta.Task {
 }
 
 // coeffCache lazily computes and caches the (period, constraint) entry for
-// each (plant, grid index).
+// each (plant, grid index). It is written for heavy concurrent use by the
+// campaign worker pool: the map mutex only guards slot allocation, while
+// the expensive jitter-margin synthesis runs under a per-entry sync.Once,
+// so workers hitting distinct grid points compute in parallel and workers
+// hitting the same point block only on that point's first computation.
 type coeffCache struct {
 	plants []*plant.Plant
 	points int
 
 	mu      sync.Mutex
-	entries map[[2]int]cacheEntry
+	entries map[[2]int]*cacheSlot
 }
 
-type cacheEntry struct {
-	h   float64
-	con jitter.Constraint
+type cacheSlot struct {
+	once sync.Once
+	h    float64
+	con  jitter.Constraint
 }
 
 func newCoeffCache(plants []*plant.Plant, points int) *coeffCache {
-	return &coeffCache{plants: plants, points: points, entries: make(map[[2]int]cacheEntry)}
+	return &coeffCache{plants: plants, points: points, entries: make(map[[2]int]*cacheSlot)}
 }
 
 // get returns the grid period and constraint for plant pIdx, grid slot
@@ -165,38 +171,61 @@ func newCoeffCache(plants []*plant.Plant, points int) *coeffCache {
 func (c *coeffCache) get(pIdx, gIdx int) (float64, jitter.Constraint) {
 	key := [2]int{pIdx, gIdx}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.entries[key]; ok {
-		return e.h, e.con
+	slot, ok := c.entries[key]
+	if !ok {
+		slot = &cacheSlot{}
+		c.entries[key] = slot
 	}
-	p := c.plants[pIdx]
-	frac := 0.0
-	if c.points > 1 {
-		frac = float64(gIdx) / float64(c.points-1)
-	}
-	h := p.HMin * math.Pow(p.HMax/p.HMin, frac)
+	c.mu.Unlock()
 
-	entry := cacheEntry{h: h, con: jitter.Constraint{A: 1, B: 0}}
-	hTry := h
-	for attempt := 0; attempt < 4; attempt++ {
-		m, err := jitter.ForPlant(p, hTry)
-		if err == nil {
-			entry = cacheEntry{h: hTry, con: m.Constraint()}
-			break
+	slot.once.Do(func() {
+		p := c.plants[pIdx]
+		frac := 0.0
+		if c.points > 1 {
+			frac = float64(gIdx) / float64(c.points-1)
 		}
-		hTry *= 0.93
-	}
-	c.entries[key] = entry
-	return entry.h, entry.con
+		h := p.HMin * math.Pow(p.HMax/p.HMin, frac)
+
+		slot.h, slot.con = h, jitter.Constraint{A: 1, B: 0}
+		hTry := h
+		for attempt := 0; attempt < 4; attempt++ {
+			m, err := jitter.ForPlant(p, hTry)
+			if err == nil {
+				slot.h, slot.con = hTry, m.Constraint()
+				break
+			}
+			hTry *= 0.93
+		}
+	})
+	return slot.h, slot.con
 }
 
 // Warm precomputes every cache entry; call it before timing-sensitive
 // campaigns (Fig. 5) so jitter-margin synthesis does not pollute the
-// measured priority-assignment runtimes.
+// measured priority-assignment runtimes. Entries are independent, so the
+// warm-up fans out over all CPUs.
 func (g *Generator) Warm() {
+	g.WarmWorkers(0)
+}
+
+// WarmWorkers is Warm with an explicit concurrency bound, so campaigns
+// running with a restricted worker pool (-workers 1) do not saturate the
+// machine during warm-up either; 0 or negative means all CPUs.
+func (g *Generator) WarmWorkers(workers int) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
 	for p := range g.cfg.Plants {
 		for i := 0; i < g.cfg.GridPoints; i++ {
-			g.cache.get(p, i)
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(p, i int) {
+				defer func() { <-sem; wg.Done() }()
+				g.cache.get(p, i)
+			}(p, i)
 		}
 	}
+	wg.Wait()
 }

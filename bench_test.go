@@ -149,13 +149,13 @@ func BenchmarkFig5(b *testing.B) {
 	sharedGen.Warm()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig5(experiments.Fig5Config{
+		res := experiments.Fig5(experiments.Fig5Config{
 			Benchmarks: 100,
 			Sizes:      []int{4, 12, 20},
 			Seed:       int64(i + 1),
 			Gen:        sharedGen,
 		})
-		if len(rows) != 3 {
+		if len(res.Rows) != 3 {
 			b.Fatal("missing rows")
 		}
 	}
@@ -213,13 +213,13 @@ func BenchmarkAnomalySearch(b *testing.B) {
 	sharedGen.Warm()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Anomalies(experiments.AnomalyConfig{
+		res := experiments.Anomalies(experiments.AnomalyConfig{
 			Trials: 500,
 			Sizes:  []int{8},
 			Seed:   int64(i + 1),
 			Gen:    sharedGen,
 		})
-		if len(rows) != 1 {
+		if len(res.Rows) != 1 {
 			b.Fatal("missing row")
 		}
 	}

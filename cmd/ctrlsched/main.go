@@ -4,31 +4,39 @@
 //
 // Usage:
 //
-//	ctrlsched fig2     [-points N] [-workers W] [-csv]
-//	ctrlsched fig4     [-csv]
-//	ctrlsched table1   [-benchmarks N] [-sizes 4,8,12,16,20] [-seed S] [-diagnose] [-workers W] [-csv]
-//	ctrlsched fig5     [-benchmarks N] [-sizes 4,6,...,20] [-seed S] [-workers W] [-csv]
-//	ctrlsched anomalies [-trials N] [-sizes ...] [-seed S] [-workers W] [-csv]
+//	ctrlsched fig2     [-points N] [-workers W] [-csv|-json]
+//	ctrlsched fig4     [-csv|-json]
+//	ctrlsched table1   [-benchmarks N] [-sizes 4,8,12,16,20] [-seed S] [-diagnose] [-workers W] [-csv|-json]
+//	ctrlsched fig5     [-benchmarks N] [-sizes 4,6,...,20] [-seed S] [-workers W] [-csv|-json]
+//	ctrlsched anomalies [-trials N] [-sizes ...] [-seed S] [-workers W] [-csv|-json]
+//	ctrlsched analyze  [-csv|-json] < request.json
+//	ctrlsched serve    [-addr :8080] [-workers W] [-concurrency C] ...
 //	ctrlsched all      (quick versions of everything)
 //
-// All experiments print human-readable tables/ASCII plots by default and
-// machine-readable CSV with -csv. Campaigns fan out over a worker pool
-// (-workers, default all CPUs); every count and statistic is
-// byte-identical for every worker count. The one exception is fig5's
-// seconds columns, which by design measure the parallel campaign's
-// wall-clock time and therefore shrink as -workers grows (its
-// evaluation counts stay invariant).
+// Every experiment subcommand runs through the same typed result structs
+// the ctrlschedd HTTP daemon serves: -json emits the canonical JSON
+// encoding, -csv the CSV view, and the default is the human-readable
+// ASCII rendering. Campaigns fan out over a worker pool (-workers,
+// default all CPUs); every count and statistic is byte-identical for
+// every worker count. The one exception is fig5's seconds columns, which
+// by design measure the parallel campaign's wall-clock time and
+// therefore shrink as -workers grows (its evaluation counts stay
+// invariant).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 
 	"ctrlsched/internal/experiments"
+	"ctrlsched/internal/service"
 )
 
 // workersFlag registers the shared -workers flag: the campaign
@@ -37,6 +45,28 @@ import (
 // time — including fig5's measured seconds — changes.
 func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", runtime.NumCPU(), "campaign worker goroutines (counts are worker-count invariant; only wall-clock changes)")
+}
+
+// outputFlags registers the shared output-format flags.
+func outputFlags(fs *flag.FlagSet) (csv, json *bool) {
+	csv = fs.Bool("csv", false, "emit CSV instead of ASCII")
+	json = fs.Bool("json", false, "emit the canonical JSON result (same bytes as the HTTP API)")
+	return csv, json
+}
+
+// emit writes one result in the selected format.
+func emit(res experiments.Result, csv, json bool) {
+	switch {
+	case json:
+		if err := experiments.EncodeJSON(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, "ctrlsched:", err)
+			os.Exit(1)
+		}
+	case csv:
+		res.WriteCSV(os.Stdout)
+	default:
+		res.Render(os.Stdout)
+	}
 }
 
 func main() {
@@ -58,6 +88,10 @@ func main() {
 		runAnomalies(args)
 	case "compare":
 		runCompare(args)
+	case "analyze":
+		runAnalyze(args)
+	case "serve":
+		runServe(args)
 	case "all":
 		runAll()
 	default:
@@ -77,6 +111,8 @@ commands:
   fig5       campaign runtime: Unsafe Quadratic vs backtracking Algorithm 1
   anomalies  frequency of jitter/priority anomalies on random benchmarks
   compare    valid-assignment rate: RM vs slack-monotonic vs unsafe vs Alg. 1
+  analyze    one task set or plant (JSON request on stdin; see README)
+  serve      run the HTTP analysis service in-process (same API as ctrlschedd)
   all        quick versions of all of the above`)
 }
 
@@ -100,33 +136,21 @@ func runFig2(args []string) {
 	fs := flag.NewFlagSet("fig2", flag.ExitOnError)
 	points := fs.Int("points", 400, "samples per period sweep")
 	workers := workersFlag(fs)
-	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
+	csv, json := outputFlags(fs)
 	fs.Parse(args)
-	for _, res := range experiments.Fig2DefaultWorkers(*points, *workers) {
-		if *csv {
-			res.WriteCSV(os.Stdout)
-		} else {
-			res.Render(os.Stdout)
-		}
-	}
+	emit(experiments.Fig2Run(experiments.Fig2RunConfig{Points: *points, Workers: *workers}), *csv, *json)
 }
 
 func runFig4(args []string) {
 	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
-	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
+	csv, json := outputFlags(fs)
 	fs.Parse(args)
-	curves, err := experiments.Fig4()
+	res, err := experiments.Fig4Run(experiments.Fig4Config{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ctrlsched:", err)
 		os.Exit(1)
 	}
-	for _, c := range curves {
-		if *csv {
-			c.WriteCSV(os.Stdout)
-		} else {
-			c.Render(os.Stdout)
-		}
-	}
+	emit(res, *csv, *json)
 }
 
 func runTable1(args []string) {
@@ -136,20 +160,15 @@ func runTable1(args []string) {
 	seed := fs.Int64("seed", 1, "random seed")
 	diagnose := fs.Bool("diagnose", true, "split invalid outputs into infeasible vs rescued")
 	workers := workersFlag(fs)
-	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
+	csv, json := outputFlags(fs)
 	fs.Parse(args)
-	rows := experiments.Table1(experiments.Table1Config{
+	emit(experiments.Table1(experiments.Table1Config{
 		Benchmarks:      *benchmarks,
 		Sizes:           parseSizes(*sizes),
 		Seed:            *seed,
 		DiagnoseRescues: *diagnose,
 		Workers:         *workers,
-	})
-	if *csv {
-		experiments.WriteCSVTable1(os.Stdout, rows)
-	} else {
-		experiments.RenderTable1(os.Stdout, rows, *diagnose)
-	}
+	}), *csv, *json)
 }
 
 func runFig5(args []string) {
@@ -158,19 +177,14 @@ func runFig5(args []string) {
 	sizes := fs.String("sizes", "4,6,8,10,12,14,16,18,20", "comma-separated task-set sizes")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := workersFlag(fs)
-	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
+	csv, json := outputFlags(fs)
 	fs.Parse(args)
-	rows := experiments.Fig5(experiments.Fig5Config{
+	emit(experiments.Fig5(experiments.Fig5Config{
 		Benchmarks: *benchmarks,
 		Sizes:      parseSizes(*sizes),
 		Seed:       *seed,
 		Workers:    *workers,
-	})
-	if *csv {
-		experiments.WriteCSVFig5(os.Stdout, rows)
-	} else {
-		experiments.RenderFig5(os.Stdout, rows)
-	}
+	}), *csv, *json)
 }
 
 func runAnomalies(args []string) {
@@ -179,19 +193,14 @@ func runAnomalies(args []string) {
 	sizes := fs.String("sizes", "4,8,12,16,20", "comma-separated task-set sizes")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := workersFlag(fs)
-	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
+	csv, json := outputFlags(fs)
 	fs.Parse(args)
-	rows := experiments.Anomalies(experiments.AnomalyConfig{
+	emit(experiments.Anomalies(experiments.AnomalyConfig{
 		Trials:  *trials,
 		Sizes:   parseSizes(*sizes),
 		Seed:    *seed,
 		Workers: *workers,
-	})
-	if *csv {
-		experiments.WriteCSVAnomalies(os.Stdout, rows)
-	} else {
-		experiments.RenderAnomalies(os.Stdout, rows)
-	}
+	}), *csv, *json)
 }
 
 func runCompare(args []string) {
@@ -200,47 +209,79 @@ func runCompare(args []string) {
 	sizes := fs.String("sizes", "4,8,12,16,20", "comma-separated task-set sizes")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := workersFlag(fs)
-	csv := fs.Bool("csv", false, "emit CSV instead of ASCII")
+	csv, json := outputFlags(fs)
 	fs.Parse(args)
-	rows := experiments.Compare(experiments.CompareConfig{
+	emit(experiments.Compare(experiments.CompareConfig{
 		Benchmarks: *benchmarks,
 		Sizes:      parseSizes(*sizes),
 		Seed:       *seed,
 		Workers:    *workers,
-	})
-	if *csv {
-		experiments.WriteCSVCompare(os.Stdout, rows)
-	} else {
-		experiments.RenderCompare(os.Stdout, rows)
+	}), *csv, *json)
+}
+
+// runAnalyze answers one /v1/analyze-shaped request from stdin, through
+// the same service layer the daemon uses.
+func runAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	workers := workersFlag(fs)
+	csv, jsonOut := outputFlags(fs)
+	fs.Parse(args)
+	body, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched: read stdin:", err)
+		os.Exit(1)
+	}
+	svc := service.New(service.Config{Workers: *workers})
+	b, _, err := svc.Analyze(context.Background(), body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		os.Stdout.Write(b)
+		return
+	}
+	// The service returns canonical JSON; re-decode into the typed result
+	// for the CSV/ASCII views.
+	var res service.AnalyzeResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched: decode result:", err)
+		os.Exit(1)
+	}
+	emit(res, *csv, false)
+}
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cfg := service.RegisterFlags(fs)
+	fs.Parse(args)
+	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	if err := service.Serve(*addr, *cfg, logf); err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched:", err)
+		os.Exit(1)
 	}
 }
 
 func runAll() {
 	fmt.Println("== Fig. 2 ==")
-	for _, res := range experiments.Fig2Default(200) {
-		res.Render(os.Stdout)
-	}
+	experiments.Fig2Run(experiments.Fig2RunConfig{Points: 200}).Render(os.Stdout)
 	fmt.Println("== Fig. 4 ==")
-	curves, err := experiments.Fig4()
+	fig4, err := experiments.Fig4Run(experiments.Fig4Config{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ctrlsched:", err)
 		os.Exit(1)
 	}
-	for _, c := range curves {
-		c.Render(os.Stdout)
-	}
+	fig4.Render(os.Stdout)
 	fmt.Println("== Table I (1000 benchmarks/size) ==")
-	experiments.RenderTable1(os.Stdout,
-		experiments.Table1(experiments.Table1Config{Benchmarks: 1000, DiagnoseRescues: true}), true)
+	experiments.Table1(experiments.Table1Config{Benchmarks: 1000, DiagnoseRescues: true}).Render(os.Stdout)
 	fmt.Println()
 	fmt.Println("== Fig. 5 (1000 benchmarks/size) ==")
-	experiments.RenderFig5(os.Stdout, experiments.Fig5(experiments.Fig5Config{Benchmarks: 1000}))
+	experiments.Fig5(experiments.Fig5Config{Benchmarks: 1000}).Render(os.Stdout)
 	fmt.Println()
 	fmt.Println("== Anomaly frequency (2000 trials/size) ==")
-	experiments.RenderAnomalies(os.Stdout,
-		experiments.Anomalies(experiments.AnomalyConfig{Trials: 2000}))
+	experiments.Anomalies(experiments.AnomalyConfig{Trials: 2000}).Render(os.Stdout)
 	fmt.Println()
 	fmt.Println("== Method comparison (500 benchmarks/size) ==")
-	experiments.RenderCompare(os.Stdout,
-		experiments.Compare(experiments.CompareConfig{Benchmarks: 500}))
+	experiments.Compare(experiments.CompareConfig{Benchmarks: 500}).Render(os.Stdout)
 }

@@ -1,0 +1,43 @@
+// Command ctrlschedd is the ctrlsched analysis daemon: a long-running
+// HTTP service over the experiment engine and the single-task-set
+// analyzers (rta, jitter, lqg, assign).
+//
+//	ctrlschedd [-addr :8080] [-workers N] [-concurrency C] [-cache-entries E] [-max-items M]
+//
+// API:
+//
+//	GET  /healthz                — liveness, counters, available kinds
+//	POST /v1/experiments/{kind}  — {kind} ∈ table1, fig2, fig4, fig5,
+//	                               anomalies, compare; body = JSON config
+//	                               (empty = paper defaults); ?stream=1
+//	                               switches to chunked progress + result
+//	POST /v1/analyze             — one task set (priority assignment +
+//	                               exact RTA + stability) or one plant
+//	                               (LQG cost + jitter margin)
+//
+// Responses are canonical JSON: identical requests return byte-identical
+// bodies, whether computed fresh, served from the LRU cache (see the
+// X-Cache header), or computed with a different worker count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ctrlsched/internal/service"
+)
+
+func main() {
+	fs := flag.NewFlagSet("ctrlschedd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cfg := service.RegisterFlags(fs)
+	_ = fs.Parse(os.Args[1:])
+
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	if err := service.Serve(*addr, *cfg, log.Printf); err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlschedd:", err)
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,7 @@ package experiments
 // the CI race job runs this package with the race detector on.
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestTable1WorkerInvariance(t *testing.T) {
 			Gen:             sharedGen,
 			DiagnoseRescues: true,
 			Workers:         workers,
-		})
+		}).Rows
 	}
 	a, b := run(1), run(8)
 	if !reflect.DeepEqual(a, b) {
@@ -38,7 +39,7 @@ func TestCompareWorkerInvariance(t *testing.T) {
 			Seed:       13,
 			Gen:        sharedGen,
 			Workers:    workers,
-		})
+		}).Rows
 	}
 	a, b := run(1), run(8)
 	if !reflect.DeepEqual(a, b) {
@@ -54,7 +55,7 @@ func TestAnomaliesWorkerInvariance(t *testing.T) {
 			Seed:    17,
 			Gen:     sharedGen,
 			Workers: workers,
-		})
+		}).Rows
 	}
 	a, b := run(1), run(8)
 	if !reflect.DeepEqual(a, b) {
@@ -66,18 +67,15 @@ func TestFig5WorkerInvariance(t *testing.T) {
 	// Wall-clock fields are inherently non-deterministic; zero them and
 	// compare the suite-derived counts, which must be identical.
 	run := func(workers int) []Fig5Row {
-		rows := Fig5(Fig5Config{
+		res := Fig5(Fig5Config{
 			Benchmarks: 40,
 			Sizes:      []int{4, 8},
 			Seed:       19,
 			Gen:        sharedGen,
 			Workers:    workers,
 		})
-		for i := range rows {
-			rows[i].UnsafeSeconds = 0
-			rows[i].BacktrackingSeconds = 0
-		}
-		return rows
+		res.StripTimings()
+		return res.Rows
 	}
 	a, b := run(1), run(8)
 	if !reflect.DeepEqual(a, b) {
@@ -104,9 +102,31 @@ func TestFig2WorkerInvariance(t *testing.T) {
 func TestSizeRowsIndependentOfSizesList(t *testing.T) {
 	// A row's numbers are keyed by (Seed, n) alone: the n=6 row must be
 	// the same whether the campaign also ran n=4 or not.
-	both := Table1(Table1Config{Benchmarks: 100, Sizes: []int{4, 6}, Seed: 23, Gen: sharedGen})
-	solo := Table1(Table1Config{Benchmarks: 100, Sizes: []int{6}, Seed: 23, Gen: sharedGen})
+	both := Table1(Table1Config{Benchmarks: 100, Sizes: []int{4, 6}, Seed: 23, Gen: sharedGen}).Rows
+	solo := Table1(Table1Config{Benchmarks: 100, Sizes: []int{6}, Seed: 23, Gen: sharedGen}).Rows
 	if !reflect.DeepEqual(both[1], solo[0]) {
 		t.Fatalf("n=6 row depends on the rest of Sizes:\nwith n=4: %+v\nalone: %+v", both[1], solo[0])
+	}
+}
+
+func TestEncodedBytesWorkerInvariance(t *testing.T) {
+	// The service layer's acceptance bar: the canonical JSON encoding —
+	// not just the rows — must be byte-identical across worker counts.
+	encode := func(workers int) string {
+		var buf bytes.Buffer
+		res := Table1(Table1Config{
+			Benchmarks: 80,
+			Sizes:      []int{4},
+			Seed:       29,
+			GenSpec:    GenSpec{GridPoints: 4},
+			Workers:    workers,
+		})
+		if err := EncodeJSON(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := encode(1), encode(8); a != b {
+		t.Fatalf("encoded bytes differ across worker counts:\n%s\n%s", a, b)
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -83,15 +84,25 @@ func TestFig4CurvesAndBounds(t *testing.T) {
 }
 
 func TestTable1SmallCampaign(t *testing.T) {
-	rows := Table1(Table1Config{
+	res := Table1(Table1Config{
 		Benchmarks:      300,
 		Sizes:           []int{4, 6},
 		Seed:            7,
 		Gen:             sharedGen,
 		DiagnoseRescues: true,
 	})
+	rows := res.Rows
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows", len(rows))
+	}
+	if res.Meta.Kind != KindTable1 || res.Meta.Schema != SchemaVersion || res.Meta.Seed != 7 {
+		t.Fatalf("bad meta: %+v", res.Meta)
+	}
+	if res.Meta.Items != 2*300 {
+		t.Fatalf("items = %d, want 600", res.Meta.Items)
+	}
+	if res.Config.Gen != nil || res.Config.Workers != 0 {
+		t.Fatalf("result config not normalized: %+v", res.Config)
 	}
 	for _, r := range rows {
 		if r.Benchmarks != 300 {
@@ -109,15 +120,16 @@ func TestTable1SmallCampaign(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	RenderTable1(&buf, rows, true)
-	WriteCSVTable1(&buf, rows)
+	res.Render(&buf)
+	res.WriteCSV(&buf)
 	if !strings.Contains(buf.String(), "Table I") {
 		t.Fatal("render malformed")
 	}
 }
 
 func TestFig5RuntimesPopulated(t *testing.T) {
-	rows := Fig5(Fig5Config{Benchmarks: 60, Sizes: []int{4, 8}, Seed: 3, Gen: sharedGen})
+	res := Fig5(Fig5Config{Benchmarks: 60, Sizes: []int{4, 8}, Seed: 3, Gen: sharedGen})
+	rows := res.Rows
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows", len(rows))
 	}
@@ -136,15 +148,16 @@ func TestFig5RuntimesPopulated(t *testing.T) {
 		t.Fatalf("UQ evals at n=4: %d, want %d", rows[0].UnsafeEvaluations, want)
 	}
 	var buf bytes.Buffer
-	RenderFig5(&buf, rows)
-	WriteCSVFig5(&buf, rows)
+	res.Render(&buf)
+	res.WriteCSV(&buf)
 	if !strings.Contains(buf.String(), "Fig. 5") {
 		t.Fatal("render malformed")
 	}
 }
 
 func TestAnomaliesExperiment(t *testing.T) {
-	rows := Anomalies(AnomalyConfig{Trials: 400, Sizes: []int{4, 6}, Seed: 5, Gen: sharedGen})
+	res := Anomalies(AnomalyConfig{Trials: 400, Sizes: []int{4, 6}, Seed: 5, Gen: sharedGen})
+	rows := res.Rows
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows", len(rows))
 	}
@@ -162,15 +175,16 @@ func TestAnomaliesExperiment(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	RenderAnomalies(&buf, rows)
-	WriteCSVAnomalies(&buf, rows)
+	res.Render(&buf)
+	res.WriteCSV(&buf)
 	if !strings.Contains(buf.String(), "Anomaly frequency") {
 		t.Fatal("render malformed")
 	}
 }
 
 func TestCompareExperiment(t *testing.T) {
-	rows := Compare(CompareConfig{Benchmarks: 150, Sizes: []int{4, 8}, Seed: 9, Gen: sharedGen})
+	res := Compare(CompareConfig{Benchmarks: 150, Sizes: []int{4, 8}, Seed: 9, Gen: sharedGen})
+	rows := res.Rows
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows", len(rows))
 	}
@@ -187,10 +201,38 @@ func TestCompareExperiment(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	RenderCompare(&buf, rows)
-	WriteCSVCompare(&buf, rows)
+	res.Render(&buf)
+	res.WriteCSV(&buf)
 	if !strings.Contains(buf.String(), "valid-assignment rate") {
 		t.Fatal("render malformed")
+	}
+}
+
+func TestNonFiniteEncoding(t *testing.T) {
+	// CSV and JSON must agree on the spelling of non-finite floats.
+	var buf bytes.Buffer
+	writeCSV(&buf, math.Inf(1), math.Inf(-1), math.NaN(), 1.5, Float(math.Inf(-1)))
+	if got := strings.TrimSpace(buf.String()); got != "inf,-inf,nan,1.5,-inf" {
+		t.Fatalf("CSV non-finite encoding = %q", got)
+	}
+	pt := Fig2Point{H: 0.1, Cost: math.Inf(1)}
+	b, err := json.Marshal(pt)
+	if err != nil {
+		t.Fatalf("marshal infinite cost: %v", err)
+	}
+	if string(b) != `{"h":0.1,"cost":"inf"}` {
+		t.Fatalf("point JSON = %s", b)
+	}
+	var back Fig2Point
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.H != 0.1 || !math.IsInf(back.Cost, 1) {
+		t.Fatalf("round trip = %+v", back)
+	}
+	var f Float
+	if err := json.Unmarshal([]byte(`"nan"`), &f); err != nil || !math.IsNaN(float64(f)) {
+		t.Fatalf("nan round trip: %v %v", f, err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -17,20 +18,43 @@ type Fig2Point struct {
 	Cost float64 // stationary LQG cost density; +Inf at pathological periods
 }
 
+// fig2PointJSON is the serialized shape of Fig2Point: Cost can be +Inf
+// at exactly pathological periods, which encoding/json rejects for plain
+// float64, so it travels as a Float.
+type fig2PointJSON struct {
+	H    float64 `json:"h"`
+	Cost Float   `json:"cost"`
+}
+
+// MarshalJSON encodes the point with a non-finite-safe cost.
+func (p Fig2Point) MarshalJSON() ([]byte, error) {
+	return json.Marshal(fig2PointJSON{H: p.H, Cost: Float(p.Cost)})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (p *Fig2Point) UnmarshalJSON(b []byte) error {
+	var v fig2PointJSON
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	p.H, p.Cost = v.H, float64(v.Cost)
+	return nil
+}
+
 // Fig2Result reproduces the paper's Fig. 2: the "general increasing trend
 // of control cost with sampling period, despite non-monotonicity". The
 // primary series uses a harmonic-oscillator plant, whose pathological
 // sampling periods h = kπ/ω make the cost diverge (the spikes of the
 // figure); a DC-servo series shows the same trend without spikes.
 type Fig2Result struct {
-	Plant  string
-	Points []Fig2Point
+	Plant  string      `json:"plant"`
+	Points []Fig2Point `json:"points"`
 
 	// Diagnostics extracted for EXPERIMENTS.md:
-	Spikes        []float64 // periods where the cost is infinite/huge
-	NonMonotone   int       // adjacent finite pairs where cost decreases with larger h
-	TrendRatio    float64   // mean cost of the top period quartile / bottom quartile
-	FiniteSamples int
+	Spikes        []float64 `json:"spikes"`       // periods where the cost is infinite/huge
+	NonMonotone   int       `json:"non_monotone"` // adjacent finite pairs where cost decreases with larger h
+	TrendRatio    float64   `json:"trend_ratio"`  // mean cost of the top period quartile / bottom quartile
+	FiniteSamples int       `json:"finite_samples"`
 }
 
 // spikeFactor classifies a sample as a pathological-period spike when its
@@ -45,7 +69,7 @@ func Fig2(p *plant.Plant, hMin, hMax float64, points int) Fig2Result {
 	return Fig2Sweep(Fig2Config{Plant: p, HMin: hMin, HMax: hMax, Points: points})
 }
 
-// Fig2Config parameterizes the period sweep.
+// Fig2Config parameterizes one plant's period sweep.
 type Fig2Config struct {
 	Plant      *plant.Plant
 	HMin, HMax float64
@@ -54,6 +78,15 @@ type Fig2Config struct {
 	// grid point is an independent LQG design, so the sweep and its
 	// refinement fan out; results are worker-count invariant.
 	Workers int
+	// Progress, when non-nil, receives base-grid progress (refinement
+	// samples, whose count is data-dependent, are not reported).
+	Progress ProgressFunc
+	// Abort, when non-nil and closed, stops the sweep early; the partial
+	// result must then be discarded by the caller.
+	Abort <-chan struct{}
+	// progressOffset and progressTotal place this sweep inside a larger
+	// run (Fig2Run evaluates several plants).
+	progressOffset, progressTotal int
 }
 
 // Fig2Sweep runs the cost-versus-period sweep: the base grid and the
@@ -62,7 +95,11 @@ type Fig2Config struct {
 // sequentially exactly as before.
 func Fig2Sweep(cfg Fig2Config) Fig2Result {
 	p, hMin, hMax, points := cfg.Plant, cfg.HMin, cfg.HMax, cfg.Points
-	opts := campaign.Options{Workers: cfg.Workers}
+	total := cfg.progressTotal
+	if total == 0 {
+		total = points
+	}
+	opts := campaign.Options{Workers: cfg.Workers, Abort: cfg.Abort}
 	res := Fig2Result{Plant: p.Name}
 	if points <= 0 {
 		return res
@@ -73,7 +110,9 @@ func Fig2Sweep(cfg Fig2Config) Fig2Result {
 	for i := 1; i < points; i++ {
 		grid[i] = hMin + (hMax-hMin)*float64(i)/float64(points-1)
 	}
-	costs, _ := campaign.MapPlain(points, opts, func(i int) float64 {
+	baseOpts := opts
+	baseOpts.OnProgress = cfg.Progress.offset(cfg.progressOffset, total)
+	costs, _ := campaign.MapPlain(points, baseOpts, func(i int) float64 {
 		return lqg.Cost(p, grid[i])
 	})
 
@@ -173,25 +212,86 @@ func trimmedMean(xs []float64) float64 {
 	return mean(keep)
 }
 
-// Fig2Default runs the canonical pair of sweeps used by the CLI and the
-// benchmark: a 10 rad/s oscillator over (0, 1] s (three pathological
-// periods at ≈0.314, 0.628, 0.942 s) and the DC servo over its usable
-// range, using all CPUs.
-func Fig2Default(points int) []Fig2Result {
-	return Fig2DefaultWorkers(points, 0)
+// Fig2RunConfig parameterizes the canonical Fig. 2 run: a 10 rad/s
+// oscillator over (0, 1] s (three pathological periods at ≈0.314, 0.628,
+// 0.942 s) and the DC servo over its usable range.
+type Fig2RunConfig struct {
+	Points int `json:"points"`
+	// Workers is the campaign worker-pool size; 0 means all CPUs.
+	Workers int `json:"-"`
+	// Progress, when non-nil, receives monotone base-grid progress across
+	// both sweeps.
+	Progress ProgressFunc `json:"-"`
+	// Abort, when non-nil and closed, stops the run early; the partial
+	// result must then be discarded by the caller.
+	Abort <-chan struct{} `json:"-"`
 }
 
-// Fig2DefaultWorkers is Fig2Default with an explicit worker-pool size.
-func Fig2DefaultWorkers(points, workers int) []Fig2Result {
+// Normalized returns the request identity of this configuration (see
+// Table1Config.Normalized).
+func (c Fig2RunConfig) Normalized() Fig2RunConfig {
+	if c.Points == 0 {
+		c.Points = 400
+	}
+	c.Workers, c.Progress, c.Abort = 0, nil, nil
+	return c
+}
+
+// Fig2Set is the typed outcome of the canonical Fig. 2 run: one sweep
+// per plant.
+type Fig2Set struct {
+	Meta   Meta          `json:"meta"`
+	Config Fig2RunConfig `json:"config"`
+	Sweeps []Fig2Result  `json:"sweeps"`
+}
+
+// Fig2Run evaluates the canonical pair of sweeps used by the CLI, the
+// HTTP service and the benchmarks. The sweep involves no randomness, so
+// Meta.Seed is always zero; Meta.Items counts every evaluated sample
+// including the data-dependent spike refinement.
+func Fig2Run(cfg Fig2RunConfig) Fig2Set {
+	c := cfg.Normalized()
+	c.Workers, c.Progress, c.Abort = cfg.Workers, cfg.Progress, cfg.Abort
 	osc := plant.HarmonicOscillator(10)
 	servo := plant.DCServo()
-	return []Fig2Result{
-		Fig2Sweep(Fig2Config{Plant: osc, HMin: 0.01, HMax: 1.0, Points: points, Workers: workers}),
-		Fig2Sweep(Fig2Config{Plant: servo, HMin: 0.002, HMax: 0.030, Points: points, Workers: workers}),
+	sweeps := []Fig2Result{
+		Fig2Sweep(Fig2Config{Plant: osc, HMin: 0.01, HMax: 1.0, Points: c.Points, Workers: c.Workers,
+			Progress: c.Progress, Abort: c.Abort, progressOffset: 0, progressTotal: 2 * c.Points}),
+		Fig2Sweep(Fig2Config{Plant: servo, HMin: 0.002, HMax: 0.030, Points: c.Points, Workers: c.Workers,
+			Progress: c.Progress, Abort: c.Abort, progressOffset: c.Points, progressTotal: 2 * c.Points}),
+	}
+	items := 0
+	for _, s := range sweeps {
+		items += len(s.Points)
+	}
+	return Fig2Set{
+		Meta:   Meta{Kind: KindFig2, Schema: SchemaVersion, Items: items},
+		Config: c.Normalized(),
+		Sweeps: sweeps,
 	}
 }
 
-// WriteCSV emits h,cost rows.
+// Kind identifies the experiment that produced this result.
+func (r Fig2Set) Kind() string { return KindFig2 }
+
+// Render prints the ASCII version of every sweep.
+func (r Fig2Set) Render(w io.Writer) {
+	for _, s := range r.Sweeps {
+		s.Render(w)
+	}
+}
+
+// WriteCSV emits one header and the rows of every sweep.
+func (r Fig2Set) WriteCSV(w io.Writer) {
+	writeCSV(w, "plant", "h_seconds", "cost")
+	for _, s := range r.Sweeps {
+		for _, pt := range s.Points {
+			writeCSV(w, s.Plant, pt.H, pt.Cost)
+		}
+	}
+}
+
+// WriteCSV emits h,cost rows for a single sweep.
 func (r Fig2Result) WriteCSV(w io.Writer) {
 	writeCSV(w, "plant", "h_seconds", "cost")
 	for _, pt := range r.Points {

@@ -11,30 +11,58 @@ import (
 
 // Fig4Curve is one stability curve with its fitted linear lower bound.
 type Fig4Curve struct {
-	Label   string
-	H       float64   // controller sampling period
-	Latency []float64 // curve abscissae
-	JMax    []float64 // curve ordinates (max tolerable jitter)
-	A, B    float64   // linear bound L + A·J ≤ B
+	Label   string    `json:"label"`
+	H       float64   `json:"h"`       // controller sampling period
+	Latency []float64 `json:"latency"` // curve abscissae
+	JMax    []float64 `json:"jmax"`    // curve ordinates (max tolerable jitter)
+	A       float64   `json:"a"`       // linear bound L + A·J ≤ B
+	B       float64   `json:"b"`
 }
 
-// Fig4 reproduces the paper's Fig. 4: jitter-margin stability curves and
-// their linear lower bounds for the DC servo process 1000/(s²+s) with a
-// discrete LQG controller at 6 ms (the paper's configuration) plus a
-// second period for the "curves" plural.
-func Fig4() ([]Fig4Curve, error) {
-	var out []Fig4Curve
+// Fig4Config parameterizes the stability-curve figure. The zero value is
+// the paper's configuration: the DC servo at 6 ms plus a 4 ms companion
+// curve, 40 latency grid points.
+type Fig4Config struct {
+	Periods       []float64 `json:"periods"`
+	LatencyPoints int       `json:"latency_points"`
+}
+
+// Normalized returns the request identity of this configuration (see
+// Table1Config.Normalized).
+func (c Fig4Config) Normalized() Fig4Config {
+	if c.Periods == nil {
+		c.Periods = []float64{0.006, 0.004}
+	}
+	if c.LatencyPoints == 0 {
+		c.LatencyPoints = 40
+	}
+	return c
+}
+
+// Fig4Result is the typed outcome of the stability-curve figure.
+type Fig4Result struct {
+	Meta   Meta        `json:"meta"`
+	Config Fig4Config  `json:"config"`
+	Curves []Fig4Curve `json:"curves"`
+}
+
+// Fig4Run reproduces the paper's Fig. 4: jitter-margin stability curves
+// and their linear lower bounds for the DC servo process 1000/(s²+s)
+// with a discrete LQG controller at each configured period.
+func Fig4Run(cfg Fig4Config) (Fig4Result, error) {
+	c := cfg.Normalized()
 	p := plant.DCServo()
-	for _, h := range []float64{0.006, 0.004} {
+	curves := make([]Fig4Curve, 0, len(c.Periods))
+	for _, h := range c.Periods {
 		d, err := lqg.Synthesize(p, h)
 		if err != nil {
-			return nil, fmt.Errorf("fig4: design at h=%v: %w", h, err)
+			return Fig4Result{}, fmt.Errorf("fig4: design at h=%v: %w", h, err)
 		}
-		m, err := jitter.Analyze(d, jitter.Options{LatencyPoints: 40})
+		m, err := jitter.Analyze(d, jitter.Options{LatencyPoints: c.LatencyPoints})
 		if err != nil {
-			return nil, fmt.Errorf("fig4: margin at h=%v: %w", h, err)
+			return Fig4Result{}, fmt.Errorf("fig4: margin at h=%v: %w", h, err)
 		}
-		out = append(out, Fig4Curve{
+		curves = append(curves, Fig4Curve{
 			Label:   fmt.Sprintf("%s @ h=%.0f ms", p.Name, h*1000),
 			H:       h,
 			Latency: m.Latency,
@@ -43,13 +71,45 @@ func Fig4() ([]Fig4Curve, error) {
 			B:       m.B,
 		})
 	}
-	return out, nil
+	return Fig4Result{
+		Meta:   Meta{Kind: KindFig4, Schema: SchemaVersion, Items: len(c.Periods) * c.LatencyPoints},
+		Config: c,
+		Curves: curves,
+	}, nil
+}
+
+// Fig4 runs the default configuration and returns the bare curves.
+func Fig4() ([]Fig4Curve, error) {
+	r, err := Fig4Run(Fig4Config{})
+	return r.Curves, err
+}
+
+// Kind identifies the experiment that produced this result.
+func (r Fig4Result) Kind() string { return KindFig4 }
+
+// Render prints every curve and bound as ASCII.
+func (r Fig4Result) Render(w io.Writer) {
+	for _, c := range r.Curves {
+		c.Render(w)
+	}
+}
+
+// WriteCSV emits one header and every curve's rows.
+func (r Fig4Result) WriteCSV(w io.Writer) {
+	writeCSV(w, "curve", "latency_s", "jmax_s", "linear_bound_s")
+	for _, c := range r.Curves {
+		c.writeCSVRows(w)
+	}
 }
 
 // WriteCSV emits label,L,Jmax,Jbound rows (Jbound is the linear bound at
 // that latency, clamped at 0).
 func (c Fig4Curve) WriteCSV(w io.Writer) {
 	writeCSV(w, "curve", "latency_s", "jmax_s", "linear_bound_s")
+	c.writeCSVRows(w)
+}
+
+func (c Fig4Curve) writeCSVRows(w io.Writer) {
 	for i := range c.Latency {
 		bound := (c.B - c.Latency[i]) / c.A
 		if bound < 0 {

@@ -16,15 +16,15 @@ import (
 // priority-assignment algorithm needs for a whole benchmark campaign at
 // one task-set size, plus the evaluation counts that explain the scaling.
 type Fig5Row struct {
-	N          int
-	Benchmarks int
+	N          int `json:"n"`
+	Benchmarks int `json:"benchmarks"`
 
-	UnsafeSeconds       float64
-	BacktrackingSeconds float64
+	UnsafeSeconds       float64 `json:"unsafe_seconds"`
+	BacktrackingSeconds float64 `json:"backtracking_seconds"`
 
-	UnsafeEvaluations       int64 // total exact RTA evaluations
-	BacktrackingEvaluations int64
-	Backtracks              int64
+	UnsafeEvaluations       int64 `json:"unsafe_evals"` // total exact RTA evaluations
+	BacktrackingEvaluations int64 `json:"backtracking_evals"`
+	Backtracks              int64 `json:"backtracks"`
 }
 
 // Fig5Config parameterizes the runtime experiment. Zero values default to
@@ -32,28 +32,67 @@ type Fig5Row struct {
 // paper used 10 000 on a 3.6 GHz quad-core; scale up via the CLI flag to
 // match).
 type Fig5Config struct {
-	Benchmarks int
-	Sizes      []int
-	Seed       int64
-	Gen        *taskgen.Generator
+	Benchmarks int   `json:"benchmarks"`
+	Sizes      []int `json:"sizes"`
+	Seed       int64 `json:"seed"`
+	// Gen overrides the benchmark generator; nil builds one from GenSpec.
+	Gen     *taskgen.Generator `json:"-"`
+	GenSpec GenSpec            `json:"gen"`
 	// Workers is the campaign worker-pool size; 0 means all CPUs. The
 	// suite and the evaluation counts are worker-count invariant; the
 	// measured seconds are the wall-clock time of the parallel campaign,
 	// so they shrink with Workers.
-	Workers int
+	Workers int `json:"-"`
+	// Progress, when non-nil, receives monotone whole-run progress across
+	// all three passes (suite generation plus the two timed phases).
+	Progress ProgressFunc `json:"-"`
+	// Abort, when non-nil and closed, stops the campaign early; the
+	// partial result must then be discarded by the caller.
+	Abort <-chan struct{} `json:"-"`
 }
 
-func (c Fig5Config) withDefaults() Fig5Config {
+// Normalized returns the request identity of this configuration (see
+// Table1Config.Normalized).
+func (c Fig5Config) Normalized() Fig5Config {
 	if c.Benchmarks == 0 {
 		c.Benchmarks = 1000
 	}
 	if c.Sizes == nil {
 		c.Sizes = []int{4, 6, 8, 10, 12, 14, 16, 18, 20}
 	}
+	c.GenSpec = c.GenSpec.Normalized()
+	c.Gen, c.Workers, c.Progress, c.Abort = nil, 0, nil, nil
+	return c
+}
+
+func (c Fig5Config) withDefaults() Fig5Config {
+	gen, workers, progress, abort := c.Gen, c.Workers, c.Progress, c.Abort
+	c = c.Normalized()
+	c.Gen, c.Workers, c.Progress, c.Abort = gen, workers, progress, abort
 	if c.Gen == nil {
-		c.Gen = taskgen.NewGenerator(taskgen.Config{})
+		c.Gen = c.GenSpec.Generator()
 	}
 	return c
+}
+
+// Fig5Result is the typed outcome of the runtime experiment. The
+// seconds columns are genuine wall-clock measurements and therefore the
+// one non-deterministic part of any result in this package; StripTimings
+// removes them when byte-stable output is required (golden files).
+type Fig5Result struct {
+	Meta   Meta       `json:"meta"`
+	Config Fig5Config `json:"config"`
+	Rows   []Fig5Row  `json:"rows"`
+}
+
+// StripTimings zeroes the wall-clock columns, leaving only the
+// deterministic suite-derived counts. Golden regression files and
+// cross-worker-count comparisons use the stripped form.
+func (r *Fig5Result) StripTimings() {
+	for i := range r.Rows {
+		r.Rows[i].UnsafeSeconds = 0
+		r.Rows[i].BacktrackingSeconds = 0
+	}
 }
 
 // Fig5 measures the campaign runtime of Unsafe Quadratic versus the
@@ -68,18 +107,23 @@ func (c Fig5Config) withDefaults() Fig5Config {
 // exhaustive infeasibility proofs, which the paper's figure clearly does
 // not include (its backtracking curve stays within 2 s at n = 20). The
 // filter uses a budgeted memoized search whose time is NOT counted.
-func Fig5(cfg Fig5Config) []Fig5Row {
+func Fig5(cfg Fig5Config) Fig5Result {
 	c := cfg.withDefaults()
 	c.Gen.WarmWorkers(c.Workers)
+	// Three passes per size: suite generation and the two timed phases.
+	total := len(c.Sizes) * c.Benchmarks * 3
 	rows := make([]Fig5Row, 0, len(c.Sizes))
-	for _, n := range c.Sizes {
+	for si, n := range c.Sizes {
+		base := si * c.Benchmarks * 3
 		row := Fig5Row{N: n, Benchmarks: c.Benchmarks}
 		// Rejection-sample the suite on the worker pool: benchmark k keeps
 		// drawing from its own deterministic RNG until a solvable instance
 		// appears, so the suite is identical for every worker count.
 		suite, _ := campaign.Map(c.Benchmarks, campaign.Options{
-			Workers: c.Workers,
-			Seed:    campaign.ItemSeed(c.Seed, n),
+			Workers:    c.Workers,
+			Seed:       campaign.ItemSeed(c.Seed, n),
+			OnProgress: c.Progress.offset(base, total),
+			Abort:      c.Abort,
 		}, func(_ int, rng *rand.Rand) []rta.Task {
 			for {
 				tasks := c.Gen.TaskSet(rng, n)
@@ -96,7 +140,8 @@ func Fig5(cfg Fig5Config) []Fig5Row {
 		// The timed phases run on the same pool via MapPlain: both
 		// algorithms are deterministic, and skipping per-item RNG
 		// construction keeps generator setup out of the measured window.
-		timed := campaign.Options{Workers: c.Workers}
+		timed := campaign.Options{Workers: c.Workers, Abort: c.Abort,
+			OnProgress: c.Progress.offset(base+c.Benchmarks, total)}
 		start := time.Now()
 		uqEvals, _ := campaign.MapPlain(len(suite), timed, func(i int) int64 {
 			return int64(assign.UnsafeQuadratic(suite[i]).Stats.Evaluations)
@@ -106,6 +151,7 @@ func Fig5(cfg Fig5Config) []Fig5Row {
 			row.UnsafeEvaluations += e
 		}
 
+		timed.OnProgress = c.Progress.offset(base+2*c.Benchmarks, total)
 		start = time.Now()
 		btStats, _ := campaign.MapPlain(len(suite), timed, func(i int) [2]int64 {
 			res := assign.Backtracking(suite[i])
@@ -118,37 +164,44 @@ func Fig5(cfg Fig5Config) []Fig5Row {
 		}
 		rows = append(rows, row)
 	}
-	return rows
-}
-
-// WriteCSVFig5 emits the rows as CSV.
-func WriteCSVFig5(w io.Writer, rows []Fig5Row) {
-	writeCSV(w, "n_tasks", "benchmarks", "unsafe_seconds", "backtracking_seconds",
-		"unsafe_evals", "backtracking_evals", "backtracks")
-	for _, r := range rows {
-		writeCSV(w, r.N, r.Benchmarks, r.UnsafeSeconds, r.BacktrackingSeconds,
-			r.UnsafeEvaluations, r.BacktrackingEvaluations, r.Backtracks)
+	return Fig5Result{
+		Meta:   Meta{Kind: KindFig5, Schema: SchemaVersion, Seed: c.Seed, Items: total},
+		Config: c.Normalized(),
+		Rows:   rows,
 	}
 }
 
-// RenderFig5 prints the runtime comparison with the paper's layout: both
+// Kind identifies the experiment that produced this result.
+func (r Fig5Result) Kind() string { return KindFig5 }
+
+// WriteCSV emits the rows as CSV.
+func (r Fig5Result) WriteCSV(w io.Writer) {
+	writeCSV(w, "n_tasks", "benchmarks", "unsafe_seconds", "backtracking_seconds",
+		"unsafe_evals", "backtracking_evals", "backtracks")
+	for _, row := range r.Rows {
+		writeCSV(w, row.N, row.Benchmarks, row.UnsafeSeconds, row.BacktrackingSeconds,
+			row.UnsafeEvaluations, row.BacktrackingEvaluations, row.Backtracks)
+	}
+}
+
+// Render prints the runtime comparison with the paper's layout: both
 // series against the number of tasks.
-func RenderFig5(w io.Writer, rows []Fig5Row) {
+func (r Fig5Result) Render(w io.Writer) {
 	fmt.Fprintln(w, "Fig. 5 — campaign execution time (s) vs number of tasks")
 	fmt.Fprintf(w, "  %4s %12s %14s %14s %14s %12s\n",
 		"n", "benchmarks", "UnsafeQuad(s)", "Backtrack(s)", "BT evals", "backtracks")
-	for _, r := range rows {
+	for _, row := range r.Rows {
 		fmt.Fprintf(w, "  %4d %12d %14.4f %14.4f %14d %12d\n",
-			r.N, r.Benchmarks, r.UnsafeSeconds, r.BacktrackingSeconds,
-			r.BacktrackingEvaluations, r.Backtracks)
+			row.N, row.Benchmarks, row.UnsafeSeconds, row.BacktrackingSeconds,
+			row.BacktrackingEvaluations, row.Backtracks)
 	}
-	xs := make([]float64, len(rows))
-	y1 := make([]float64, len(rows))
-	y2 := make([]float64, len(rows))
-	for i, r := range rows {
-		xs[i] = float64(r.N)
-		y1[i] = r.UnsafeSeconds
-		y2[i] = r.BacktrackingSeconds
+	xs := make([]float64, len(r.Rows))
+	y1 := make([]float64, len(r.Rows))
+	y2 := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		xs[i] = float64(row.N)
+		y1[i] = row.UnsafeSeconds
+		y2[i] = row.BacktrackingSeconds
 	}
 	asciiPlot(w, xs, y1, 60, 10, false, "  Unsafe Quadratic")
 	asciiPlot(w, xs, y2, 60, 10, false, "  Backtracking (Algorithm 1)")

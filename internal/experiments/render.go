@@ -4,16 +4,38 @@
 // with linear lower bounds), Table I (fraction of invalid assignments
 // produced by the monotonicity-assuming baseline), and Fig. 5 (runtime of
 // the backtracking assignment versus the baseline). Each experiment
-// returns plain data rows plus ASCII/CSV renderers, so the cmd/ctrlsched
-// CLI and the benchmark harness share one implementation.
+// returns a typed, JSON-serializable result (rows plus seed/config/
+// campaign metadata — see result.go); the ASCII and CSV renderers are
+// thin views over that struct, so the cmd/ctrlsched CLI, the ctrlschedd
+// HTTP daemon, and the benchmark harness share one implementation.
 package experiments
 
 import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 	"strings"
 )
+
+// formatFloat renders a float cell with the same non-finite spellings
+// the JSON encoding uses (experiments.Float): "inf", "-inf", "nan".
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsNaN(v):
+		return "nan"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteCSVRow writes one CSV line, rendering float64/Float cells with
+// formatFloat so non-finite values spell "inf"/"-inf"/"nan" everywhere.
+// Exported for result types living outside this package (service).
+func WriteCSVRow(w io.Writer, cells ...interface{}) { writeCSV(w, cells...) }
 
 // writeCSV writes one CSV line from float/string cells.
 func writeCSV(w io.Writer, cells ...interface{}) {
@@ -21,11 +43,9 @@ func writeCSV(w io.Writer, cells ...interface{}) {
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			if math.IsInf(v, 1) {
-				parts[i] = "inf"
-			} else {
-				parts[i] = fmt.Sprintf("%g", v)
-			}
+			parts[i] = formatFloat(v)
+		case Float:
+			parts[i] = formatFloat(float64(v))
 		default:
 			parts[i] = fmt.Sprint(v)
 		}

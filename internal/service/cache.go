@@ -1,0 +1,90 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+)
+
+// cacheKey identifies one canonical analysis request: a SHA-256 over the
+// schema version, the request kind, and the canonicalized configuration
+// bytes. Using the digest as the map key keeps the cache's memory
+// footprint independent of request size.
+type cacheKey [sha256.Size]byte
+
+func makeKey(kind string, canonical []byte) cacheKey {
+	h := sha256.New()
+	h.Write([]byte{byte(schemaTag)})
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(canonical)
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// lruCache is a mutex-guarded LRU over encoded result bytes, bounded
+// both by entry count and by total stored bytes (a single fig2 sweep
+// can be tens of MB, so counting entries alone would let the cache grow
+// without bound). Values are immutable once stored (the service never
+// mutates a cached response), so get returns the stored slice without
+// copying.
+type lruCache struct {
+	mu       sync.Mutex
+	max      int
+	maxBytes int64
+	bytes    int64
+	order    *list.List // front = most recently used
+	items    map[cacheKey]*list.Element
+}
+
+type lruEntry struct {
+	key cacheKey
+	val []byte
+}
+
+func newLRUCache(max int, maxBytes int64) *lruCache {
+	return &lruCache{max: max, maxBytes: maxBytes, order: list.New(), items: make(map[cacheKey]*list.Element)}
+}
+
+func (c *lruCache) get(k cacheKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) put(k cacheKey, v []byte) {
+	// A response so large it would evict most of the cache is served
+	// but never stored.
+	if int64(len(v)) > c.maxBytes/4 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		// Deterministic encoding means a concurrent writer stored the
+		// same bytes; refreshing recency is all that is left to do.
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.order.PushFront(&lruEntry{key: k, val: v})
+	c.bytes += int64(len(v))
+	for c.order.Len() > c.max || c.bytes > c.maxBytes {
+		back := c.order.Back()
+		c.order.Remove(back)
+		e := back.Value.(*lruEntry)
+		c.bytes -= int64(len(e.val))
+		delete(c.items, e.key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

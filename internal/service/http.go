@@ -1,0 +1,230 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies; analysis configs are tiny.
+const maxBodyBytes = 1 << 20
+
+// Handler mounts the service's HTTP API:
+//
+//	GET  /healthz                    — liveness + counters
+//	POST /v1/experiments/{kind}      — run (or serve cached) experiment
+//	POST /v1/analyze                 — single task-set / plant analysis
+//
+// Experiment and analyze responses are the canonical JSON result bytes;
+// identical requests return identical bytes whether computed or cached
+// (the X-Cache header says which). Appending ?stream=1 to an experiment
+// request switches to chunked JSON: progress lines followed by a final
+// result line.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/experiments/", s.handleExperiment)
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	return mux
+}
+
+// writeError emits the uniform JSON error envelope.
+func writeError(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(HTTPStatus(err))
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, badRequest("read body: %v", err)
+	}
+	return body, nil
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Msg: "use GET"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": s.Uptime().Seconds(),
+		"kinds":          Kinds(),
+		"stats":          s.Stats(),
+		"pool": map[string]int{
+			"workers":        s.cfg.Workers,
+			"max_concurrent": s.cfg.MaxConcurrent,
+		},
+	})
+}
+
+func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Msg: "use POST"})
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	b, hit, err := s.Analyze(r.Context(), body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResult(w, b, hit)
+}
+
+func (s *Service) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	kind := strings.TrimPrefix(r.URL.Path, "/v1/experiments/")
+	if kind == "" || strings.Contains(kind, "/") {
+		writeError(w, &Error{Status: http.StatusNotFound, Msg: "use /v1/experiments/{kind}"})
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Msg: "use POST"})
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+		s.streamExperiment(w, r, kind, body)
+		return
+	}
+	b, hit, err := s.Experiment(r.Context(), kind, body, nil)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResult(w, b, hit)
+}
+
+func writeResult(w http.ResponseWriter, b []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	_, _ = w.Write(b)
+}
+
+// streamExperiment serves one experiment as chunked JSON lines:
+//
+//	{"progress":{"done":128,"total":50000}}
+//	...
+//	{"result":{...}}
+//
+// Progress events are throttled to ~1% granularity. Errors discovered
+// after streaming began arrive as a final {"error":...} line (the 200
+// status is already on the wire — clients must treat an error line as
+// failure).
+func (s *Service) streamExperiment(w http.ResponseWriter, r *http.Request, kind string, body []byte) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &Error{Status: http.StatusNotImplemented, Msg: "streaming unsupported by this connection"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Accel-Buffering", "no")
+	// Headers freeze at the first progress write, which only happens on
+	// the miss path; a hit (no progress) can still overwrite this below.
+	w.Header().Set("X-Cache", "miss")
+
+	var mu sync.Mutex
+	started := false
+	lastPct := -1
+	progress := func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		pct := -1
+		if total > 0 {
+			pct = done * 100 / total
+		}
+		if pct == lastPct && done != total {
+			return
+		}
+		lastPct = pct
+		started = true
+		fmt.Fprintf(w, `{"progress":{"done":%d,"total":%d}}`+"\n", done, total)
+		flusher.Flush()
+	}
+
+	b, hit, err := s.Experiment(r.Context(), kind, body, progress)
+	mu.Lock()
+	defer mu.Unlock()
+	if err != nil {
+		if !started {
+			writeError(w, err)
+			return
+		}
+		fmt.Fprintf(w, `{"error":%s}`+"\n", mustJSONString(err.Error()))
+		flusher.Flush()
+		return
+	}
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	}
+	fmt.Fprintf(w, `{"result":%s}`+"\n", bytes.TrimRight(b, "\n"))
+	flusher.Flush()
+}
+
+func mustJSONString(s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return []byte(`"internal error"`)
+	}
+	return b
+}
+
+// Serve runs the HTTP API on addr until SIGINT/SIGTERM, then shuts down
+// gracefully. Both the ctrlschedd daemon and `ctrlsched serve` are thin
+// wrappers around it.
+func Serve(addr string, cfg Config, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := New(cfg)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logf("ctrlschedd listening on %s (workers=%d, max_concurrent=%d, cache=%d entries, kinds: %s)",
+		addr, s.cfg.Workers, s.cfg.MaxConcurrent, s.cfg.CacheEntries, strings.Join(Kinds(), " "))
+
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		logf("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}

@@ -1,0 +1,207 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ctrlsched/internal/experiments"
+)
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestHTTPExperimentRoundTrip(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 2})
+	url := srv.URL + "/v1/experiments/table1"
+
+	resp, first := post(t, url, smallTable1)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, first)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("X-Cache = %q on first request", got)
+	}
+	var res experiments.Table1Result
+	if err := json.Unmarshal(first, &res); err != nil {
+		t.Fatalf("response is not a Table1Result: %v\n%s", err, first)
+	}
+	if res.Meta.Kind != experiments.KindTable1 || len(res.Rows) != 1 || res.Rows[0].N != 4 {
+		t.Fatalf("unexpected result: %s", first)
+	}
+
+	resp, second := post(t, url, smallTable1)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("X-Cache = %q on repeat request", got)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("repeat request returned different bytes")
+	}
+}
+
+func TestHTTPWorkerInvariance(t *testing.T) {
+	one := newTestServer(t, Config{Workers: 1})
+	eight := newTestServer(t, Config{Workers: 8})
+	_, a := post(t, one.URL+"/v1/experiments/table1", smallTable1)
+	_, b := post(t, eight.URL+"/v1/experiments/table1", smallTable1)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("daemon responses differ across worker counts:\n%s\n%s", a, b)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name, method, path, body string
+		status                   int
+	}{
+		{"unknown kind", "POST", "/v1/experiments/table9", "{}", http.StatusNotFound},
+		{"empty kind", "POST", "/v1/experiments/", "{}", http.StatusNotFound},
+		{"nested path", "POST", "/v1/experiments/table1/extra", "{}", http.StatusNotFound},
+		{"GET experiment", "GET", "/v1/experiments/table1", "", http.StatusMethodNotAllowed},
+		{"malformed config", "POST", "/v1/experiments/table1", `{"benchmarks":"many"}`, http.StatusBadRequest},
+		{"unknown field", "POST", "/v1/experiments/table1", `{"benchmark":1}`, http.StatusBadRequest},
+		{"malformed analyze", "POST", "/v1/analyze", `{"tasks":[`, http.StatusBadRequest},
+		{"empty analyze", "POST", "/v1/analyze", `{}`, http.StatusBadRequest},
+		{"GET analyze", "GET", "/v1/analyze", "", http.StatusMethodNotAllowed},
+		{"POST healthz", "POST", "/healthz", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+		}
+		var env map[string]string
+		if err := json.Unmarshal(body, &env); err != nil || env["error"] == "" {
+			t.Fatalf("%s: error envelope malformed: %s", tc.name, body)
+		}
+	}
+}
+
+func TestHTTPAnalyze(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1})
+	resp, body := post(t, srv.URL+"/v1/analyze",
+		`{"tasks":[{"bcet":0.05,"wcet":0.1,"period":1}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res AnalyzeResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatalf("single light task not schedulable: %s", body)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1})
+	post(t, srv.URL+"/v1/experiments/table1", smallTable1)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h struct {
+		Status string   `json:"status"`
+		Kinds  []string `json:"kinds"`
+		Stats  Stats    `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || len(h.Kinds) != 6 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if h.Stats.Requests < 1 || h.Stats.CacheEntries < 1 {
+		t.Fatalf("healthz stats empty: %+v", h.Stats)
+	}
+}
+
+func TestHTTPStreamedProgress(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 2})
+	url := srv.URL + "/v1/experiments/table1?stream=1"
+	resp, err := http.Post(url, "application/json", strings.NewReader(smallTable1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var progressLines int
+	var result json.RawMessage
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line struct {
+			Progress *struct{ Done, Total int } `json:"progress"`
+			Result   json.RawMessage            `json:"result"`
+			Error    string                     `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case line.Error != "":
+			t.Fatalf("stream error: %s", line.Error)
+		case line.Progress != nil:
+			progressLines++
+			if line.Progress.Total != 50 {
+				t.Fatalf("progress total = %d", line.Progress.Total)
+			}
+		case line.Result != nil:
+			result = line.Result
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if progressLines == 0 {
+		t.Fatal("no progress lines streamed")
+	}
+	if result == nil {
+		t.Fatal("no result line streamed")
+	}
+	// The streamed result must be the same canonical bytes the plain
+	// endpoint returns.
+	_, plain := post(t, srv.URL+"/v1/experiments/table1", smallTable1)
+	if !bytes.Equal(bytes.TrimSpace(plain), bytes.TrimSpace(result)) {
+		t.Fatalf("streamed result differs from plain response")
+	}
+}

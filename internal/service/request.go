@@ -1,0 +1,532 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ctrlsched/internal/assign"
+	"ctrlsched/internal/experiments"
+	"ctrlsched/internal/jitter"
+	"ctrlsched/internal/lqg"
+	"ctrlsched/internal/plant"
+	"ctrlsched/internal/rta"
+)
+
+// kindAnalyze is the request kind of the single-task-set endpoint; the
+// experiment kinds live in package experiments.
+const kindAnalyze = "analyze"
+
+// maxAnalyzeTasks mirrors the priority-assignment engine's task-set
+// bound (assign uses a uint32 candidate mask).
+const maxAnalyzeTasks = 31
+
+// decodeStrict parses raw into T, rejecting unknown fields and trailing
+// data so configuration typos surface as 400s instead of silently
+// running a default campaign. An empty body means all defaults.
+func decodeStrict[T any](raw []byte) (T, error) {
+	var v T
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return v, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		return v, badRequest("bad request body: %v", err)
+	}
+	if dec.More() {
+		return v, badRequest("bad request body: trailing data after JSON value")
+	}
+	return v, nil
+}
+
+// canonicalBytes is the deterministic encoding request identity is
+// hashed from: compact JSON of the normalized value.
+func canonicalBytes(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("service: canonicalize: %w", err)
+	}
+	return b, nil
+}
+
+// runFunc executes one prepared request on the caller's goroutine.
+// abort, when non-nil and closed, stops the underlying campaign early;
+// the service then discards the partial result (it is never cached).
+type runFunc func(progress experiments.ProgressFunc, abort <-chan struct{}) (experiments.Result, error)
+
+// kindSpec canonicalizes and prepares one experiment kind. prepare
+// returns the canonical config bytes (the cache identity) and a closure
+// that runs the experiment on the service's shared pool settings.
+type kindSpec struct {
+	prepare func(s *Service, raw []byte) ([]byte, runFunc, error)
+}
+
+// prepareKind is the shared decode → normalize → validate → canonicalize
+// sequence every experiment kind goes through; only the config type, the
+// validation, and the run step differ per kind.
+func prepareKind[T any](
+	normalize func(T) T,
+	validate func(s *Service, norm T) error,
+	run func(s *Service, norm T, p experiments.ProgressFunc, abort <-chan struct{}) (experiments.Result, error),
+) kindSpec {
+	return kindSpec{prepare: func(s *Service, raw []byte) ([]byte, runFunc, error) {
+		cfg, err := decodeStrict[T](raw)
+		if err != nil {
+			return nil, nil, err
+		}
+		norm := normalize(cfg)
+		if err := validate(s, norm); err != nil {
+			return nil, nil, err
+		}
+		canonical, err := canonicalBytes(norm)
+		if err != nil {
+			return nil, nil, err
+		}
+		return canonical, func(p experiments.ProgressFunc, abort <-chan struct{}) (experiments.Result, error) {
+			return run(s, norm, p, abort)
+		}, nil
+	}}
+}
+
+// experimentKinds routes POST /v1/experiments/{kind}.
+var experimentKinds = map[string]kindSpec{
+	experiments.KindTable1: prepareKind(
+		experiments.Table1Config.Normalized,
+		func(s *Service, n experiments.Table1Config) error {
+			return s.checkCampaign(n.Benchmarks, n.Sizes, 1, n.GenSpec)
+		},
+		func(s *Service, c experiments.Table1Config, p experiments.ProgressFunc, abort <-chan struct{}) (experiments.Result, error) {
+			c.Gen, c.Workers, c.Progress, c.Abort = s.generator(c.GenSpec), s.cfg.Workers, p, abort
+			return experiments.Table1(c), nil
+		}),
+	experiments.KindAnomalies: prepareKind(
+		experiments.AnomalyConfig.Normalized,
+		func(s *Service, n experiments.AnomalyConfig) error {
+			return s.checkCampaign(n.Trials, n.Sizes, 1, n.GenSpec)
+		},
+		func(s *Service, c experiments.AnomalyConfig, p experiments.ProgressFunc, abort <-chan struct{}) (experiments.Result, error) {
+			c.Gen, c.Workers, c.Progress, c.Abort = s.generator(c.GenSpec), s.cfg.Workers, p, abort
+			return experiments.Anomalies(c), nil
+		}),
+	experiments.KindCompare: prepareKind(
+		experiments.CompareConfig.Normalized,
+		func(s *Service, n experiments.CompareConfig) error {
+			return s.checkCampaign(n.Benchmarks, n.Sizes, 1, n.GenSpec)
+		},
+		func(s *Service, c experiments.CompareConfig, p experiments.ProgressFunc, abort <-chan struct{}) (experiments.Result, error) {
+			c.Gen, c.Workers, c.Progress, c.Abort = s.generator(c.GenSpec), s.cfg.Workers, p, abort
+			return experiments.Compare(c), nil
+		}),
+	experiments.KindFig5: prepareKind(
+		experiments.Fig5Config.Normalized,
+		func(s *Service, n experiments.Fig5Config) error {
+			// Three passes per benchmark: suite generation plus two timed runs.
+			return s.checkCampaign(n.Benchmarks, n.Sizes, 3, n.GenSpec)
+		},
+		func(s *Service, c experiments.Fig5Config, p experiments.ProgressFunc, abort <-chan struct{}) (experiments.Result, error) {
+			c.Gen, c.Workers, c.Progress, c.Abort = s.generator(c.GenSpec), s.cfg.Workers, p, abort
+			r := experiments.Fig5(c)
+			// The wall-clock columns are the one non-deterministic part of
+			// any experiment; the service's byte-identical-response promise
+			// requires serving only the deterministic counts.
+			r.StripTimings()
+			return &r, nil
+		}),
+	experiments.KindFig2: prepareKind(
+		experiments.Fig2RunConfig.Normalized,
+		func(s *Service, n experiments.Fig2RunConfig) error {
+			if n.Points < 2 {
+				return badRequest("fig2: points %d below the 2-point minimum", n.Points)
+			}
+			// Division avoids the overflow a 2*Points product could hit.
+			if n.Points > s.cfg.MaxItems/2 {
+				return badRequest("fig2: %d grid points exceed the service limit of %d items", n.Points, s.cfg.MaxItems)
+			}
+			return nil
+		},
+		func(s *Service, c experiments.Fig2RunConfig, p experiments.ProgressFunc, abort <-chan struct{}) (experiments.Result, error) {
+			c.Workers, c.Progress, c.Abort = s.cfg.Workers, p, abort
+			return experiments.Fig2Run(c), nil
+		}),
+	experiments.KindFig4: prepareKind(
+		experiments.Fig4Config.Normalized,
+		func(s *Service, n experiments.Fig4Config) error {
+			if len(n.Periods) > 32 {
+				return badRequest("fig4: %d periods exceed the 32-curve limit", len(n.Periods))
+			}
+			for _, h := range n.Periods {
+				if !(h > 0 && h <= 10) {
+					return badRequest("fig4: period %v outside (0, 10] seconds", h)
+				}
+			}
+			if n.LatencyPoints < 2 || n.LatencyPoints > 2000 {
+				return badRequest("fig4: latency_points %d outside [2, 2000]", n.LatencyPoints)
+			}
+			return nil
+		},
+		func(s *Service, c experiments.Fig4Config, _ experiments.ProgressFunc, _ <-chan struct{}) (experiments.Result, error) {
+			return experiments.Fig4Run(c)
+		}),
+}
+
+// Kinds lists the experiment kinds the service routes, sorted.
+func Kinds() []string {
+	out := make([]string, 0, len(experimentKinds))
+	for k := range experimentKinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkCampaign bounds one Monte-Carlo request: positive per-size item
+// count, task-set sizes the assignment engine can represent, a sane
+// generator spec, and a total item count within the service limit.
+func (s *Service) checkCampaign(perSize int, sizes []int, passes int, gen experiments.GenSpec) error {
+	if perSize < 1 {
+		return badRequest("campaign needs at least 1 item per size, got %d", perSize)
+	}
+	if len(sizes) == 0 {
+		return badRequest("campaign needs at least one task-set size")
+	}
+	for _, n := range sizes {
+		if n < 1 || n > maxAnalyzeTasks {
+			return badRequest("task-set size %d outside [1, %d]", n, maxAnalyzeTasks)
+		}
+	}
+	// Division instead of perSize*len(sizes)*passes: the product can
+	// overflow int for attacker-sized counts and slip past the limit.
+	if perSize > s.cfg.MaxItems/(len(sizes)*passes) {
+		return badRequest("campaign of %d×%d×%d items exceeds the service limit of %d",
+			perSize, len(sizes), passes, s.cfg.MaxItems)
+	}
+	if !(gen.UMin > 0 && gen.UMin <= gen.UMax && gen.UMax <= 1) {
+		return badRequest("gen: utilization range [%v, %v] outside 0 < u_min ≤ u_max ≤ 1", gen.UMin, gen.UMax)
+	}
+	if !(gen.BCETMin > 0 && gen.BCETMin <= gen.BCETMax && gen.BCETMax <= 1) {
+		return badRequest("gen: BCET ratio range [%v, %v] outside 0 < bcet_min ≤ bcet_max ≤ 1", gen.BCETMin, gen.BCETMax)
+	}
+	if gen.GridPoints < 1 || gen.GridPoints > 500 {
+		return badRequest("gen: grid_points %d outside [1, 500]", gen.GridPoints)
+	}
+	return nil
+}
+
+// plantRegistry indexes the benchmark plant library by name for the
+// /v1/analyze plant route.
+var plantRegistry = func() map[string]*plant.Plant {
+	m := make(map[string]*plant.Plant)
+	for _, p := range plant.Library() {
+		m[p.Name] = p
+	}
+	return m
+}()
+
+func plantNames() string {
+	names := make([]string, 0, len(plantRegistry))
+	for n := range plantRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// TaskSpec is one control task of an /v1/analyze request. The stability
+// constraint L + con_a·J ≤ con_b can be given explicitly, derived from a
+// named plant's jitter margin at the task's period (set "plant"), or
+// omitted entirely — then it defaults to the implicit deadline
+// L + J ≤ period, making the query a pure schedulability question.
+type TaskSpec struct {
+	Name   string  `json:"name"`
+	Plant  string  `json:"plant,omitempty"`
+	BCET   float64 `json:"bcet"`
+	WCET   float64 `json:"wcet"`
+	Period float64 `json:"period"`
+	ConA   float64 `json:"con_a,omitempty"`
+	ConB   float64 `json:"con_b,omitempty"`
+}
+
+// AnalyzeRequest is a single task-set or single plant analysis query.
+// Exactly one of Tasks or Plant must be set.
+//
+//   - Tasks: priority assignment by Method plus exact response-time and
+//     stability analysis of the resulting order.
+//   - Plant (+Period): LQG cost and jitter-margin stability curve of the
+//     named benchmark plant sampled at Period.
+type AnalyzeRequest struct {
+	Tasks  []TaskSpec `json:"tasks,omitempty"`
+	Method string     `json:"method,omitempty"`
+	Plant  string     `json:"plant,omitempty"`
+	Period float64    `json:"period,omitempty"`
+}
+
+// methodFunc maps an assignment method name to its implementation; nil
+// for unknown names. The backtracking search is memoized and budgeted so
+// a single pathological request cannot stall a pool slot indefinitely.
+func methodFunc(m string) func([]rta.Task) assign.Result {
+	switch m {
+	case "backtracking":
+		return func(ts []rta.Task) assign.Result {
+			return assign.BacktrackingOpts(ts, assign.Options{Memoize: true, MaxEvaluations: 2_000_000})
+		}
+	case "unsafe":
+		return assign.UnsafeQuadratic
+	case "rm":
+		return assign.RateMonotonic
+	case "slackmono":
+		return assign.SlackMonotonic
+	case "audsley":
+		return assign.AudsleyGreedy
+	}
+	return nil
+}
+
+// normalize validates the request and fills defaults, returning the
+// canonical form requests are cached under.
+func (r AnalyzeRequest) normalize() (AnalyzeRequest, error) {
+	hasTasks, hasPlant := len(r.Tasks) > 0, r.Plant != ""
+	if hasTasks == hasPlant {
+		return r, badRequest("provide exactly one of tasks or plant")
+	}
+	if hasPlant {
+		if _, ok := plantRegistry[r.Plant]; !ok {
+			return r, badRequest("unknown plant %q (have: %s)", r.Plant, plantNames())
+		}
+		if !(r.Period > 0) {
+			return r, badRequest("plant analysis needs period > 0, got %v", r.Period)
+		}
+		if r.Method != "" {
+			return r, badRequest("method applies only to task-set analysis")
+		}
+		return r, nil
+	}
+	if r.Period != 0 {
+		return r, badRequest("period applies only to plant analysis")
+	}
+	if len(r.Tasks) > maxAnalyzeTasks {
+		return r, badRequest("%d tasks exceed the %d-task limit", len(r.Tasks), maxAnalyzeTasks)
+	}
+	if r.Method == "" {
+		r.Method = "backtracking"
+	}
+	if methodFunc(r.Method) == nil {
+		return r, badRequest("unknown method %q (have: backtracking, unsafe, rm, slackmono, audsley)", r.Method)
+	}
+	tasks := append([]TaskSpec(nil), r.Tasks...)
+	r.Tasks = tasks
+	for i := range tasks {
+		t := &tasks[i]
+		if t.Name == "" {
+			t.Name = fmt.Sprintf("task%d", i+1)
+		}
+		if !(t.BCET > 0 && t.BCET <= t.WCET && t.WCET <= t.Period) {
+			return r, badRequest("task %s: need 0 < bcet ≤ wcet ≤ period, got [%v, %v] at period %v",
+				t.Name, t.BCET, t.WCET, t.Period)
+		}
+		if t.Plant != "" {
+			if _, ok := plantRegistry[t.Plant]; !ok {
+				return r, badRequest("task %s: unknown plant %q (have: %s)", t.Name, t.Plant, plantNames())
+			}
+			if t.ConA != 0 || t.ConB != 0 {
+				return r, badRequest("task %s: give either plant or an explicit constraint, not both", t.Name)
+			}
+			continue
+		}
+		if t.ConA == 0 && t.ConB == 0 {
+			// No constraint given: default to the implicit deadline
+			// L + J ≤ period (a pure schedulability query).
+			t.ConA, t.ConB = 1, t.Period
+		}
+		if t.ConA < 1 || t.ConB < 0 {
+			return r, badRequest("task %s: constraint a=%v b=%v outside a ≥ 1, b ≥ 0", t.Name, t.ConA, t.ConB)
+		}
+	}
+	return r, nil
+}
+
+// TaskAnalysis is the exact response-time and stability verdict of one
+// task under the chosen priority assignment.
+type TaskAnalysis struct {
+	Name        string            `json:"name"`
+	Priority    int               `json:"priority"`
+	ConA        float64           `json:"con_a"`
+	ConB        float64           `json:"con_b"`
+	WCRT        experiments.Float `json:"wcrt"`
+	BCRT        float64           `json:"bcrt"`
+	Latency     float64           `json:"latency"`
+	Jitter      experiments.Float `json:"jitter"`
+	DeadlineMet bool              `json:"deadline_met"`
+	Stable      bool              `json:"stable"`
+	Slack       experiments.Float `json:"slack"` // con_b − (L + con_a·J)
+}
+
+// PlantAnalysis answers a plant query: the stationary LQG cost density
+// at the requested period and the jitter-margin stability curve with
+// its fitted linear bound.
+type PlantAnalysis struct {
+	Name                string            `json:"name"`
+	Period              float64           `json:"period"`
+	Cost                experiments.Float `json:"cost"`
+	ConA                float64           `json:"con_a,omitempty"`
+	ConB                float64           `json:"con_b,omitempty"`
+	JitterMarginAtZeroL float64           `json:"jitter_margin_zero_latency,omitempty"`
+	Latency             []float64         `json:"latency,omitempty"`
+	JMax                []float64         `json:"jmax,omitempty"`
+	Error               string            `json:"error,omitempty"`
+}
+
+// AnalyzeResult is the typed response of /v1/analyze. It satisfies
+// experiments.Result, so it shares the canonical JSON encoding and the
+// CLI render path with the campaign experiments.
+type AnalyzeResult struct {
+	Meta        experiments.Meta `json:"meta"`
+	Request     AnalyzeRequest   `json:"request"`
+	Schedulable bool             `json:"schedulable"`
+	Aborted     bool             `json:"aborted,omitempty"`
+	Priorities  []int            `json:"priorities,omitempty"`
+	Utilization float64          `json:"utilization,omitempty"`
+	Evaluations int              `json:"evaluations,omitempty"`
+	Backtracks  int              `json:"backtracks,omitempty"`
+	Tasks       []TaskAnalysis   `json:"tasks,omitempty"`
+	Plant       *PlantAnalysis   `json:"plant,omitempty"`
+}
+
+// Kind identifies the request kind that produced this result.
+func (r AnalyzeResult) Kind() string { return kindAnalyze }
+
+// Render prints a human-readable verdict.
+func (r AnalyzeResult) Render(w io.Writer) {
+	if r.Plant != nil {
+		fmt.Fprintf(w, "Plant %s @ h=%v s\n", r.Plant.Name, r.Plant.Period)
+		fmt.Fprintf(w, "  LQG cost density: %v\n", float64(r.Plant.Cost))
+		if r.Plant.Error != "" {
+			fmt.Fprintf(w, "  jitter margin: unavailable (%s)\n", r.Plant.Error)
+			return
+		}
+		fmt.Fprintf(w, "  stability constraint: L + %.4g·J ≤ %.4g\n", r.Plant.ConA, r.Plant.ConB)
+		fmt.Fprintf(w, "  jitter margin at zero latency: %.4g s\n", r.Plant.JitterMarginAtZeroL)
+		return
+	}
+	verdict := "NOT SCHEDULABLE"
+	if r.Schedulable {
+		verdict = "SCHEDULABLE"
+	}
+	if r.Aborted {
+		verdict += " (search budget exhausted)"
+	}
+	fmt.Fprintf(w, "Task-set analysis — method %s: %s (U=%.3f, evaluations %d, backtracks %d)\n",
+		r.Request.Method, verdict, r.Utilization, r.Evaluations, r.Backtracks)
+	if len(r.Tasks) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  %-12s %5s %10s %10s %10s %10s %9s %7s %10s\n",
+		"task", "prio", "wcrt", "bcrt", "latency", "jitter", "deadline", "stable", "slack")
+	for _, t := range r.Tasks {
+		fmt.Fprintf(w, "  %-12s %5d %10.5g %10.5g %10.5g %10.5g %9v %7v %10.5g\n",
+			t.Name, t.Priority, float64(t.WCRT), t.BCRT, t.Latency, float64(t.Jitter),
+			t.DeadlineMet, t.Stable, float64(t.Slack))
+	}
+}
+
+// WriteCSV emits the per-task rows (or the plant stability curve).
+// Non-finite cells go through the shared formatter, so they spell
+// "inf"/"-inf"/"nan" exactly as the JSON encoding does.
+func (r AnalyzeResult) WriteCSV(w io.Writer) {
+	if r.Plant != nil {
+		experiments.WriteCSVRow(w, "plant", "period_s", "cost", "con_a", "con_b", "latency_s", "jmax_s")
+		for i := range r.Plant.Latency {
+			experiments.WriteCSVRow(w, r.Plant.Name, r.Plant.Period,
+				r.Plant.Cost, r.Plant.ConA, r.Plant.ConB, r.Plant.Latency[i], r.Plant.JMax[i])
+		}
+		return
+	}
+	experiments.WriteCSVRow(w, "task", "priority", "wcrt", "bcrt", "latency", "jitter", "deadline_met", "stable", "slack")
+	for _, t := range r.Tasks {
+		experiments.WriteCSVRow(w, t.Name, t.Priority, t.WCRT,
+			t.BCRT, t.Latency, t.Jitter, t.DeadlineMet, t.Stable, t.Slack)
+	}
+}
+
+// runAnalyze executes a normalized analyze request.
+func (s *Service) runAnalyze(req AnalyzeRequest) (experiments.Result, error) {
+	if req.Plant != "" {
+		return s.runPlantAnalyze(req)
+	}
+	tasks := make([]rta.Task, len(req.Tasks))
+	for i, ts := range req.Tasks {
+		t := rta.Task{Name: ts.Name, BCET: ts.BCET, WCET: ts.WCET, Period: ts.Period, ConA: ts.ConA, ConB: ts.ConB}
+		if ts.Plant != "" {
+			m, err := jitter.ForPlant(plantRegistry[ts.Plant], ts.Period)
+			if err != nil {
+				return nil, badRequest("task %s: jitter margin of %s at h=%v: %v", ts.Name, ts.Plant, ts.Period, err)
+			}
+			t.ConA, t.ConB = m.A, m.B
+		}
+		if err := t.Validate(); err != nil {
+			return nil, badRequest("%v", err)
+		}
+		tasks[i] = t
+	}
+	res := methodFunc(req.Method)(tasks)
+	out := AnalyzeResult{
+		Meta:        experiments.Meta{Kind: kindAnalyze, Schema: experiments.SchemaVersion, Items: len(tasks)},
+		Request:     req,
+		Schedulable: res.Valid,
+		Aborted:     res.Aborted,
+		Priorities:  res.Priorities,
+		Utilization: rta.TotalUtilization(tasks),
+		Evaluations: res.Stats.Evaluations,
+		Backtracks:  res.Stats.Backtracks,
+	}
+	if res.Priorities != nil {
+		rs := rta.AnalyzeAll(tasks, res.Priorities)
+		out.Tasks = make([]TaskAnalysis, len(tasks))
+		for i, t := range tasks {
+			out.Tasks[i] = TaskAnalysis{
+				Name:        t.Name,
+				Priority:    res.Priorities[i],
+				ConA:        t.ConA,
+				ConB:        t.ConB,
+				WCRT:        experiments.Float(rs[i].WCRT),
+				BCRT:        rs[i].BCRT,
+				Latency:     rs[i].Latency,
+				Jitter:      experiments.Float(rs[i].Jitter),
+				DeadlineMet: rs[i].DeadlineMet,
+				Stable:      rs[i].Stable,
+				Slack:       experiments.Float(t.Slack(rs[i].Latency, rs[i].Jitter)),
+			}
+		}
+	}
+	return out, nil
+}
+
+// runPlantAnalyze answers the plant route: LQG cost plus jitter margin.
+func (s *Service) runPlantAnalyze(req AnalyzeRequest) (experiments.Result, error) {
+	p := plantRegistry[req.Plant]
+	pa := &PlantAnalysis{
+		Name:   p.Name,
+		Period: req.Period,
+		// Cost is +Inf at pathological periods — a valid answer, not an
+		// error (it is exactly what Fig. 2's spikes plot).
+		Cost: experiments.Float(lqg.Cost(p, req.Period)),
+	}
+	if m, err := jitter.ForPlant(p, req.Period); err != nil {
+		pa.Error = err.Error()
+	} else {
+		pa.ConA, pa.ConB = m.A, m.B
+		pa.Latency, pa.JMax = m.Latency, m.JMax
+		if len(m.JMax) > 0 {
+			pa.JitterMarginAtZeroL = m.JMax[0]
+		}
+	}
+	return AnalyzeResult{
+		Meta:    experiments.Meta{Kind: kindAnalyze, Schema: experiments.SchemaVersion, Items: 1},
+		Request: req,
+		Plant:   pa,
+	}, nil
+}

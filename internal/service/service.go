@@ -1,0 +1,366 @@
+// Package service is the analysis layer between the experiment engine
+// and its consumers (the ctrlschedd HTTP daemon, the `ctrlsched serve`
+// subcommand, and any future RPC surface). It canonicalizes an analysis
+// request — an experiment kind plus configuration, or a single task-set
+// query routed through rta/jitter/lqg/assign — derives a deterministic
+// cache key from the canonical form, answers from an LRU result cache
+// when possible, and otherwise schedules the work on a shared bounded
+// campaign pool with per-request progress reporting.
+//
+// Because every experiment is deterministic for a fixed (seed, config)
+// and its JSON encoding is canonical (see internal/experiments), the
+// service can promise byte-identical responses for identical requests,
+// across repetitions, worker counts, and cache hits alike. That promise
+// is what makes the layer safe to shard or replicate later: any node
+// computes the same bytes.
+package service
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ctrlsched/internal/experiments"
+	"ctrlsched/internal/taskgen"
+)
+
+// schemaTag versions every cache key, so a schema bump can never serve
+// stale bytes.
+const schemaTag = experiments.SchemaVersion
+
+// Config tunes a Service. The zero value is production-safe defaults.
+type Config struct {
+	// Workers is the campaign worker-pool width every experiment run is
+	// executed with; 0 means all CPUs. Results never depend on it.
+	Workers int
+	// MaxConcurrent bounds how many experiment runs execute at once;
+	// further requests queue (FIFO on the semaphore). 0 means 2.
+	MaxConcurrent int
+	// CacheEntries is the LRU result-cache capacity; 0 means 256.
+	CacheEntries int
+	// CacheBytes bounds the total bytes the result cache retains (large
+	// sweeps produce multi-MB responses); responses over a quarter of it
+	// are served uncached. 0 means 256 MiB.
+	CacheBytes int64
+	// MaxItems rejects requests whose campaign would exceed this many
+	// items (benchmarks × sizes, trials × sizes, grid points …) with a
+	// 400 rather than letting one request monopolize the pool. 0 means
+	// 2 000 000.
+	MaxItems int
+}
+
+// RegisterFlags registers the shared daemon tuning flags on fs and
+// returns the Config they populate. cmd/ctrlschedd and `ctrlsched
+// serve` both use it, so the flag set cannot diverge between the two.
+func RegisterFlags(fs *flag.FlagSet) *Config {
+	cfg := &Config{}
+	fs.IntVar(&cfg.Workers, "workers", runtime.NumCPU(), "campaign worker goroutines per run (results are worker-count invariant)")
+	fs.IntVar(&cfg.MaxConcurrent, "concurrency", 2, "experiment runs executing at once; further requests queue")
+	fs.IntVar(&cfg.CacheEntries, "cache-entries", 256, "LRU result-cache capacity")
+	fs.Int64Var(&cfg.CacheBytes, "cache-bytes", 256<<20, "total bytes the result cache may retain")
+	fs.IntVar(&cfg.MaxItems, "max-items", 2_000_000, "reject campaigns above this many total items")
+	return cfg
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxItems <= 0 {
+		c.MaxItems = 2_000_000
+	}
+	return c
+}
+
+// Error is a service failure with an associated HTTP status. Request
+// canonicalization failures are 400s; unknown kinds 404; queue
+// cancellations 503.
+type Error struct {
+	Status int
+	Msg    string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+func badRequest(format string, args ...any) *Error {
+	return &Error{Status: http.StatusBadRequest, Msg: fmt.Sprintf(format, args...)}
+}
+
+// HTTPStatus maps an error to its HTTP status (500 for non-service
+// errors).
+func HTTPStatus(err error) int {
+	if se, ok := err.(*Error); ok {
+		return se.Status
+	}
+	return http.StatusInternalServerError
+}
+
+// Stats is a snapshot of the service counters.
+type Stats struct {
+	Requests     int64 `json:"requests"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	Errors       int64 `json:"errors"`
+	Active       int64 `json:"active"`
+	CacheEntries int   `json:"cache_entries"`
+}
+
+// Service answers analysis requests. Safe for concurrent use.
+type Service struct {
+	cfg   Config
+	sem   chan struct{}
+	cache *lruCache
+	start time.Time
+
+	genMu sync.Mutex
+	gens  map[experiments.GenSpec]*taskgen.Generator
+
+	flightMu sync.Mutex
+	flights  map[cacheKey]*flight
+
+	requests, hits, misses, errs, active atomic.Int64
+}
+
+// flight is one in-progress computation identical requests coalesce on:
+// the leader fills b/err and closes done; joiners wait on done instead
+// of burning a pool slot recomputing the same deterministic bytes. Every
+// party's progress callback subscribes to the flight, so a streaming
+// joiner keeps receiving progress lines from the leader's campaign.
+type flight struct {
+	done chan struct{}
+	b    []byte
+	err  error
+
+	mu   sync.Mutex
+	subs []experiments.ProgressFunc
+}
+
+func (f *flight) subscribe(p experiments.ProgressFunc) {
+	if p == nil {
+		return
+	}
+	f.mu.Lock()
+	f.subs = append(f.subs, p)
+	f.mu.Unlock()
+}
+
+// notify fans one progress event out to every subscriber; it is the
+// ProgressFunc the leader's campaign actually runs with.
+func (f *flight) notify(done, total int) {
+	f.mu.Lock()
+	subs := append([]experiments.ProgressFunc(nil), f.subs...)
+	f.mu.Unlock()
+	for _, p := range subs {
+		p(done, total)
+	}
+}
+
+// New builds a Service with the given configuration.
+func New(cfg Config) *Service {
+	c := cfg.withDefaults()
+	return &Service{
+		cfg:     c,
+		sem:     make(chan struct{}, c.MaxConcurrent),
+		cache:   newLRUCache(c.CacheEntries, c.CacheBytes),
+		gens:    make(map[experiments.GenSpec]*taskgen.Generator),
+		flights: make(map[cacheKey]*flight),
+		start:   time.Now(),
+	}
+}
+
+// Workers returns the campaign pool width the service runs with.
+func (s *Service) Workers() int { return s.cfg.Workers }
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Requests:     s.requests.Load(),
+		CacheHits:    s.hits.Load(),
+		CacheMisses:  s.misses.Load(),
+		Errors:       s.errs.Load(),
+		Active:       s.active.Load(),
+		CacheEntries: s.cache.len(),
+	}
+}
+
+// Uptime reports how long the service has been running.
+func (s *Service) Uptime() time.Duration { return time.Since(s.start) }
+
+// maxPooledGenerators bounds the per-GenSpec generator pool: the spec's
+// float fields are client-controlled, so without a cap a client cycling
+// parameters would grow daemon memory monotonically (each generator
+// carries a warmed coefficient cache).
+const maxPooledGenerators = 32
+
+// generator returns the pooled generator for a normalized GenSpec, so
+// repeated requests share one warmed jitter-margin coefficient cache
+// instead of re-synthesizing controllers per request.
+func (s *Service) generator(spec experiments.GenSpec) *taskgen.Generator {
+	spec = spec.Normalized()
+	s.genMu.Lock()
+	defer s.genMu.Unlock()
+	if g, ok := s.gens[spec]; ok {
+		return g
+	}
+	if len(s.gens) >= maxPooledGenerators {
+		// Drop an arbitrary entry; pooling is a warm-cache optimization,
+		// not a correctness requirement.
+		for k := range s.gens {
+			delete(s.gens, k)
+			break
+		}
+	}
+	g := spec.Generator()
+	s.gens[spec] = g
+	return g
+}
+
+// Experiment answers one experiment request: kind names the experiment
+// (experiments.KindTable1 …) and rawCfg is its JSON configuration (empty
+// means all defaults). It returns the canonical JSON response bytes,
+// whether they came from the cache, and an error carrying an HTTP
+// status on failure. progress, when non-nil, receives per-request
+// campaign progress (cache hits never call it).
+func (s *Service) Experiment(ctx context.Context, kind string, rawCfg []byte, progress experiments.ProgressFunc) ([]byte, bool, error) {
+	spec, ok := experimentKinds[kind]
+	if !ok {
+		s.errs.Add(1)
+		return nil, false, &Error{Status: http.StatusNotFound, Msg: fmt.Sprintf("unknown experiment kind %q", kind)}
+	}
+	canonical, run, err := spec.prepare(s, rawCfg)
+	if err != nil {
+		s.errs.Add(1)
+		return nil, false, err
+	}
+	return s.serve(ctx, makeKey(kind, canonical), progress, run)
+}
+
+// Analyze answers one single-task-set analysis request (see
+// AnalyzeRequest): priority assignment plus exact response-time and
+// stability analysis, or an LQG/jitter-margin plant query.
+func (s *Service) Analyze(ctx context.Context, raw []byte) ([]byte, bool, error) {
+	req, err := decodeStrict[AnalyzeRequest](raw)
+	if err != nil {
+		s.errs.Add(1)
+		return nil, false, err
+	}
+	norm, err := req.normalize()
+	if err != nil {
+		s.errs.Add(1)
+		return nil, false, err
+	}
+	canonical, err := canonicalBytes(norm)
+	if err != nil {
+		s.errs.Add(1)
+		return nil, false, err
+	}
+	return s.serve(ctx, makeKey(kindAnalyze, canonical), nil, func(_ experiments.ProgressFunc, _ <-chan struct{}) (experiments.Result, error) {
+		return s.runAnalyze(norm)
+	})
+}
+
+// serve is the shared request path: cache lookup, coalescing with any
+// identical in-flight request, bounded-pool admission, execution,
+// canonical encoding, cache fill.
+func (s *Service) serve(ctx context.Context, key cacheKey, progress experiments.ProgressFunc, run runFunc) ([]byte, bool, error) {
+	s.requests.Add(1)
+	for {
+		if b, ok := s.cache.get(key); ok {
+			s.hits.Add(1)
+			return b, true, nil
+		}
+		s.flightMu.Lock()
+		if f, ok := s.flights[key]; ok {
+			// An identical request is already computing; wait for its
+			// bytes instead of burning a second pool slot on them. The
+			// joiner's progress keeps flowing from the leader's campaign.
+			f.subscribe(progress)
+			s.flightMu.Unlock()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					s.hits.Add(1)
+					return f.b, true, nil
+				}
+				// The leader failed — possibly just its own client's
+				// cancellation. Start over as an independent request.
+				continue
+			case <-ctx.Done():
+				s.errs.Add(1)
+				return nil, false, &Error{Status: http.StatusServiceUnavailable, Msg: "canceled while coalesced: " + ctx.Err().Error()}
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		f.subscribe(progress)
+		s.flights[key] = f
+		s.flightMu.Unlock()
+
+		b, hit, err := s.execute(ctx, key, f.notify, run)
+		f.b, f.err = b, err
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		close(f.done)
+		return b, hit, err
+	}
+}
+
+// execute runs one request as the flight leader: pool admission, the
+// campaign itself, canonical encoding, cache fill.
+func (s *Service) execute(ctx context.Context, key cacheKey, progress experiments.ProgressFunc, run runFunc) ([]byte, bool, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.errs.Add(1)
+		return nil, false, &Error{Status: http.StatusServiceUnavailable, Msg: "canceled while queued: " + ctx.Err().Error()}
+	}
+	defer func() { <-s.sem }()
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	// Double-check after the queue wait: a previous leader may have
+	// filled the cache between this request's lookup and its flight
+	// registration.
+	if b, ok := s.cache.get(key); ok {
+		s.hits.Add(1)
+		return b, true, nil
+	}
+	s.misses.Add(1)
+
+	// The request context doubles as the campaign abort signal: when the
+	// client disconnects mid-run, workers stop instead of burning the
+	// pool slot to completion. An aborted run yields a partial result,
+	// which must never be encoded or cached.
+	res, err := run(progress, ctx.Done())
+	if err != nil {
+		s.errs.Add(1)
+		return nil, false, err
+	}
+	if err := ctx.Err(); err != nil {
+		s.errs.Add(1)
+		return nil, false, &Error{Status: http.StatusServiceUnavailable, Msg: "canceled during execution: " + err.Error()}
+	}
+	var buf bytes.Buffer
+	if err := experiments.EncodeJSON(&buf, res); err != nil {
+		s.errs.Add(1)
+		return nil, false, err
+	}
+	b := buf.Bytes()
+	s.cache.put(key, b)
+	return b, false, nil
+}

@@ -1,0 +1,456 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+
+	"ctrlsched/internal/experiments"
+)
+
+// smallTable1 is the cheap fixed-seed campaign the cache tests run:
+// low-resolution generator, one size, 50 benchmarks.
+const smallTable1 = `{"benchmarks":50,"sizes":[4],"seed":1,"gen":{"grid_points":4}}`
+
+func newTestService() *Service {
+	return New(Config{Workers: 2, MaxConcurrent: 2, CacheEntries: 8})
+}
+
+func mustExperiment(t *testing.T, s *Service, kind, body string) ([]byte, bool) {
+	t.Helper()
+	b, hit, err := s.Experiment(context.Background(), kind, []byte(body), nil)
+	if err != nil {
+		t.Fatalf("Experiment(%s, %s): %v", kind, body, err)
+	}
+	return b, hit
+}
+
+func TestExperimentCacheHitDeterminism(t *testing.T) {
+	s := newTestService()
+	first, hit := mustExperiment(t, s, experiments.KindTable1, smallTable1)
+	if hit {
+		t.Fatal("first request reported a cache hit")
+	}
+	second, hit := mustExperiment(t, s, experiments.KindTable1, smallTable1)
+	if !hit {
+		t.Fatal("identical request missed the cache")
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cache hit returned different bytes:\n%s\n%s", first, second)
+	}
+	// Semantically identical spellings (defaults made explicit, key
+	// order permuted) canonicalize to the same entry.
+	respelled, hit := mustExperiment(t, s, experiments.KindTable1,
+		`{"seed":1,"gen":{"grid_points":4},"sizes":[4],"benchmarks":50,"diagnose_rescues":false}`)
+	if !hit {
+		t.Fatal("canonically-equal request missed the cache")
+	}
+	if !bytes.Equal(first, respelled) {
+		t.Fatal("canonically-equal request returned different bytes")
+	}
+	// A different seed is a different request.
+	other, hit := mustExperiment(t, s, experiments.KindTable1,
+		`{"benchmarks":50,"sizes":[4],"seed":2,"gen":{"grid_points":4}}`)
+	if hit {
+		t.Fatal("different seed hit the cache")
+	}
+	if bytes.Equal(first, other) {
+		t.Fatal("different seed returned identical bytes (seed not applied?)")
+	}
+	if st := s.Stats(); st.CacheHits != 2 || st.CacheMisses != 2 || st.Requests != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestExperimentWorkerCountInvariance(t *testing.T) {
+	// The acceptance bar: responses are byte-identical across services
+	// configured with different campaign pool widths.
+	a, _ := mustExperiment(t, New(Config{Workers: 1}), experiments.KindTable1, smallTable1)
+	b, _ := mustExperiment(t, New(Config{Workers: 8}), experiments.KindTable1, smallTable1)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("bytes differ across worker counts:\n%s\n%s", a, b)
+	}
+}
+
+func TestFig5ResponseDeterministic(t *testing.T) {
+	// fig5 is the one experiment with wall-clock measurements; the
+	// service strips them, so fresh computations on independent services
+	// (and across worker counts) still return identical bytes.
+	body := `{"benchmarks":20,"sizes":[4],"seed":1,"gen":{"grid_points":4}}`
+	a, _ := mustExperiment(t, New(Config{Workers: 1}), experiments.KindFig5, body)
+	b, _ := mustExperiment(t, New(Config{Workers: 8}), experiments.KindFig5, body)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("fresh fig5 responses differ (timings not stripped?):\n%s\n%s", a, b)
+	}
+	if bytes.Contains(a, []byte(`"unsafe_seconds":0.`)) {
+		t.Fatalf("fig5 response carries wall-clock seconds:\n%s", a)
+	}
+}
+
+func TestExperimentErrors(t *testing.T) {
+	s := newTestService()
+	cases := []struct {
+		name, kind, body string
+		status           int
+	}{
+		{"unknown kind", "table9", "{}", http.StatusNotFound},
+		{"unknown field", experiments.KindTable1, `{"bench":50}`, http.StatusBadRequest},
+		{"malformed JSON", experiments.KindTable1, `{"benchmarks":`, http.StatusBadRequest},
+		{"trailing data", experiments.KindTable1, `{} {}`, http.StatusBadRequest},
+		{"oversized task set", experiments.KindTable1, `{"benchmarks":10,"sizes":[40]}`, http.StatusBadRequest},
+		{"negative benchmarks", experiments.KindTable1, `{"benchmarks":-5}`, http.StatusBadRequest},
+		{"over item budget", experiments.KindTable1, `{"benchmarks":100000000}`, http.StatusBadRequest},
+		{"item budget overflow", experiments.KindTable1, `{"benchmarks":2305843009213693952,"sizes":[4,8,12,16]}`, http.StatusBadRequest},
+		{"empty sizes", experiments.KindTable1, `{"benchmarks":10,"sizes":[]}`, http.StatusBadRequest},
+		{"fig2 points overflow", experiments.KindFig2, `{"points":4611686018427387904}`, http.StatusBadRequest},
+		{"bad gen spec", experiments.KindTable1, `{"benchmarks":10,"gen":{"u_min":0.9,"u_max":0.5}}`, http.StatusBadRequest},
+		{"fig2 one point", experiments.KindFig2, `{"points":1}`, http.StatusBadRequest},
+		{"fig4 bad period", experiments.KindFig4, `{"periods":[-0.004]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		_, _, err := s.Experiment(context.Background(), tc.kind, []byte(tc.body), nil)
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if got := HTTPStatus(err); got != tc.status {
+			t.Fatalf("%s: status %d, want %d (%v)", tc.name, got, tc.status, err)
+		}
+	}
+}
+
+func TestExperimentProgress(t *testing.T) {
+	s := newTestService()
+	var mu sync.Mutex
+	var dones []int
+	total := -1
+	progress := func(done, tot int) {
+		mu.Lock()
+		defer mu.Unlock()
+		dones = append(dones, done)
+		total = tot
+	}
+	if _, _, err := s.Experiment(context.Background(), experiments.KindTable1, []byte(smallTable1), progress); err != nil {
+		t.Fatal(err)
+	}
+	if total != 50 {
+		t.Fatalf("progress total = %d, want 50", total)
+	}
+	if len(dones) == 0 || dones[len(dones)-1] != 50 {
+		t.Fatalf("progress never reached total: %v", dones)
+	}
+	for i := 1; i < len(dones); i++ {
+		if dones[i] <= dones[i-1] {
+			t.Fatalf("progress not monotone: %v", dones)
+		}
+	}
+	// Cache hits never re-run the campaign, so no progress arrives.
+	dones = nil
+	if _, hit, err := s.Experiment(context.Background(), experiments.KindTable1, []byte(smallTable1), progress); err != nil || !hit {
+		t.Fatalf("expected cache hit, err=%v", err)
+	}
+	if len(dones) != 0 {
+		t.Fatalf("cache hit reported progress: %v", dones)
+	}
+}
+
+func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
+	s := newTestService()
+	const clients = 8
+	results := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, _, err := s.Experiment(context.Background(), experiments.KindTable1, []byte(smallTable1), nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = b
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(results[0], results[i]) {
+			t.Fatalf("coalesced responses differ")
+		}
+	}
+	// Exactly one leader computed; everyone else joined its flight or hit
+	// the cache.
+	if st := s.Stats(); st.CacheMisses != 1 {
+		t.Fatalf("%d identical concurrent requests caused %d computations, want 1", clients, st.CacheMisses)
+	}
+}
+
+func TestGenSpecPartialRange(t *testing.T) {
+	s := newTestService()
+	// A partially-specified generator range keeps the given bound (the
+	// max defaults independently) instead of silently running the
+	// default campaign.
+	custom, _ := mustExperiment(t, s, experiments.KindTable1,
+		`{"benchmarks":50,"sizes":[4],"seed":1,"gen":{"u_min":0.6,"grid_points":4}}`)
+	def, _ := mustExperiment(t, s, experiments.KindTable1, smallTable1)
+	if bytes.Equal(custom, def) {
+		t.Fatal("u_min=0.6 returned the default campaign's bytes (partial range discarded)")
+	}
+	if !bytes.Contains(custom, []byte(`"u_min":0.6`)) {
+		t.Fatalf("normalized config lost u_min=0.6:\n%s", custom)
+	}
+	// An inconsistent partial range (min above the defaulted max) is a 400.
+	_, _, err := s.Experiment(context.Background(), experiments.KindTable1,
+		[]byte(`{"benchmarks":50,"sizes":[4],"gen":{"u_min":0.9}}`), nil)
+	if err == nil || HTTPStatus(err) != http.StatusBadRequest {
+		t.Fatalf("u_min=0.9 with defaulted u_max=0.85: err=%v, want 400", err)
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := newLRUCache(100, 100)
+	big := make([]byte, 40)
+	c.put(makeKey("k", []byte("oversized")), big) // 40 > 100/4: never stored
+	if c.len() != 0 {
+		t.Fatalf("oversized entry was cached")
+	}
+	for i := 0; i < 10; i++ {
+		c.put(makeKey("k", []byte{byte(i)}), make([]byte, 20))
+	}
+	if c.bytes > 100 {
+		t.Fatalf("cache retains %d bytes, bound is 100", c.bytes)
+	}
+	if c.len() != 5 {
+		t.Fatalf("cache holds %d entries, want 5 at 20 bytes each under a 100-byte bound", c.len())
+	}
+}
+
+func TestCancellationAbortsRun(t *testing.T) {
+	s := newTestService()
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel mid-campaign, from the first progress callback.
+	progress := func(done, total int) { cancel() }
+	_, _, err := s.Experiment(ctx, experiments.KindTable1, []byte(smallTable1), progress)
+	if err == nil {
+		t.Fatal("canceled request returned no error")
+	}
+	if got := HTTPStatus(err); got != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (%v)", got, err)
+	}
+	// The aborted partial result must not have been cached: the same
+	// request served fresh is a miss and completes normally.
+	if _, hit, err := s.Experiment(context.Background(), experiments.KindTable1, []byte(smallTable1), nil); err != nil || hit {
+		t.Fatalf("after cancellation: hit=%v err=%v, want fresh miss", hit, err)
+	}
+}
+
+func TestAnalyzeCSVNonFinite(t *testing.T) {
+	// An unschedulable task's WCRT/Jitter/Slack are non-finite; the CSV
+	// view must spell them like the JSON encoding ("inf"/"-inf"/"nan").
+	res := AnalyzeResult{Tasks: []TaskAnalysis{{
+		Name: "t1", WCRT: experiments.Float(math.Inf(1)),
+		Jitter: experiments.Float(math.Inf(1)), Slack: experiments.Float(math.Inf(-1)),
+	}}}
+	var buf bytes.Buffer
+	res.WriteCSV(&buf)
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte(",inf,")) || !bytes.Contains(buf.Bytes(), []byte(",-inf")) {
+		t.Fatalf("CSV does not use the shared non-finite spellings:\n%s", out)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("Inf")) {
+		t.Fatalf("CSV leaked Go's +Inf spelling:\n%s", out)
+	}
+}
+
+func TestAnalyzeTaskSet(t *testing.T) {
+	s := newTestService()
+	req := `{"tasks":[
+		{"name":"a","bcet":0.05,"wcet":0.1,"period":1},
+		{"name":"b","bcet":0.1,"wcet":0.2,"period":2}
+	]}`
+	b, hit, err := s.Analyze(context.Background(), []byte(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first analyze hit the cache")
+	}
+	var res AnalyzeResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatalf("decode %s: %v", b, err)
+	}
+	if !res.Schedulable {
+		t.Fatalf("trivially schedulable set rejected: %s", b)
+	}
+	if res.Request.Method != "backtracking" {
+		t.Fatalf("method default = %q", res.Request.Method)
+	}
+	if len(res.Tasks) != 2 || len(res.Priorities) != 2 {
+		t.Fatalf("missing per-task analyses: %s", b)
+	}
+	for _, ta := range res.Tasks {
+		if !ta.Stable || !ta.DeadlineMet {
+			t.Fatalf("task %s unstable in a schedulable set", ta.Name)
+		}
+		if float64(ta.WCRT) < ta.BCRT {
+			t.Fatalf("task %s: wcrt %v < bcrt %v", ta.Name, ta.WCRT, ta.BCRT)
+		}
+	}
+	// Identical request: byte-identical cache hit.
+	b2, hit, err := s.Analyze(context.Background(), []byte(req))
+	if err != nil || !hit || !bytes.Equal(b, b2) {
+		t.Fatalf("analyze cache hit broken: hit=%v err=%v equal=%v", hit, err, bytes.Equal(b, b2))
+	}
+	// An unschedulable set: full utilization twice over.
+	b3, _, err := s.Analyze(context.Background(),
+		[]byte(`{"tasks":[{"bcet":1,"wcet":1,"period":1},{"bcet":1,"wcet":1,"period":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res3 AnalyzeResult
+	if err := json.Unmarshal(b3, &res3); err != nil {
+		t.Fatal(err)
+	}
+	if res3.Schedulable {
+		t.Fatalf("over-utilized set reported schedulable: %s", b3)
+	}
+}
+
+func TestAnalyzePlantRoutes(t *testing.T) {
+	s := newTestService()
+	b, _, err := s.Analyze(context.Background(), []byte(`{"plant":"dc-servo","period":0.006}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res AnalyzeResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Plant == nil {
+		t.Fatalf("no plant analysis: %s", b)
+	}
+	if c := float64(res.Plant.Cost); !(c > 0) || math.IsInf(c, 1) {
+		t.Fatalf("dc-servo cost at 6 ms = %v", c)
+	}
+	if res.Plant.ConA < 1 || res.Plant.ConB <= 0 {
+		t.Fatalf("jitter constraint a=%v b=%v", res.Plant.ConA, res.Plant.ConB)
+	}
+	if res.Plant.JitterMarginAtZeroL <= 0 || len(res.Plant.Latency) == 0 {
+		t.Fatalf("margin curve missing: %s", b)
+	}
+	// A task whose constraint is derived from a plant's jitter margin.
+	b2, _, err := s.Analyze(context.Background(),
+		[]byte(`{"tasks":[{"plant":"dc-servo","bcet":0.0005,"wcet":0.001,"period":0.006}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res2 AnalyzeResult
+	if err := json.Unmarshal(b2, &res2); err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Schedulable || len(res2.Tasks) != 1 {
+		t.Fatalf("plant-derived task analysis: %s", b2)
+	}
+	if res2.Tasks[0].ConA < 1 {
+		t.Fatalf("derived constraint a=%v", res2.Tasks[0].ConA)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	s := newTestService()
+	cases := []struct{ name, body string }{
+		{"empty", `{}`},
+		{"both modes", `{"plant":"dc-servo","period":0.01,"tasks":[{"bcet":1,"wcet":1,"period":2}]}`},
+		{"unknown plant", `{"plant":"warp-core","period":0.01}`},
+		{"plant without period", `{"plant":"dc-servo"}`},
+		{"unknown method", `{"method":"magic","tasks":[{"bcet":1,"wcet":1,"period":2}]}`},
+		{"bad execution times", `{"tasks":[{"bcet":2,"wcet":1,"period":3}]}`},
+		{"bad constraint", `{"tasks":[{"bcet":0.1,"wcet":0.2,"period":1,"con_a":0.5,"con_b":1}]}`},
+		{"constraint and plant", `{"tasks":[{"plant":"dc-servo","bcet":0.1,"wcet":0.2,"period":1,"con_a":1,"con_b":1}]}`},
+		{"period on task mode", `{"period":0.01,"tasks":[{"bcet":1,"wcet":1,"period":2}]}`},
+	}
+	for _, tc := range cases {
+		_, _, err := s.Analyze(context.Background(), []byte(tc.body))
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if got := HTTPStatus(err); got != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400 (%v)", tc.name, got, err)
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := New(Config{Workers: 1, CacheEntries: 2})
+	req := func(seed int) string {
+		return fmt.Sprintf(`{"benchmarks":5,"sizes":[4],"seed":%d,"gen":{"grid_points":4}}`, seed)
+	}
+	mustExperiment(t, s, experiments.KindTable1, req(1))
+	mustExperiment(t, s, experiments.KindTable1, req(2))
+	mustExperiment(t, s, experiments.KindTable1, req(3)) // evicts seed 1
+	if _, hit := mustExperiment(t, s, experiments.KindTable1, req(3)); !hit {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, hit := mustExperiment(t, s, experiments.KindTable1, req(1)); hit {
+		t.Fatal("evicted entry still served from cache")
+	}
+	if n := s.cache.len(); n > 2 {
+		t.Fatalf("cache grew to %d entries, cap 2", n)
+	}
+}
+
+// TestConcurrentHammer drives the service from many goroutines mixing
+// distinct requests; the -race CI job runs it under the race detector.
+// Every response for a given request must be byte-identical.
+func TestConcurrentHammer(t *testing.T) {
+	s := New(Config{Workers: 2, MaxConcurrent: 3, CacheEntries: 4})
+	reqs := []string{
+		`{"benchmarks":20,"sizes":[4],"seed":1,"gen":{"grid_points":4}}`,
+		`{"benchmarks":20,"sizes":[4],"seed":2,"gen":{"grid_points":4}}`,
+		`{"benchmarks":20,"sizes":[5],"seed":3,"gen":{"grid_points":4}}`,
+	}
+	want := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		want[i], _ = mustExperiment(t, s, experiments.KindTable1, r)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				k := (g + i) % len(reqs)
+				b, _, err := s.Experiment(context.Background(), experiments.KindTable1, []byte(reqs[k]), nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(b, want[k]) {
+					errs <- fmt.Errorf("request %d returned different bytes under load", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorPoolReuse(t *testing.T) {
+	s := newTestService()
+	g1 := s.generator(experiments.GenSpec{GridPoints: 4})
+	g2 := s.generator(experiments.GenSpec{GridPoints: 4})
+	if g1 != g2 {
+		t.Fatal("identical specs built distinct generators")
+	}
+	if g3 := s.generator(experiments.GenSpec{GridPoints: 5}); g3 == g1 {
+		t.Fatal("distinct specs shared a generator")
+	}
+}

@@ -58,12 +58,28 @@ type Config struct {
 	Plants []*plant.Plant
 }
 
+// WithDefaults returns the configuration with every zero field replaced
+// by the campaign default. It is exported so callers that canonicalize
+// configurations (the analysis service's cache keys) share one
+// defaulting rule with the generator itself.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
+	// Each field defaults independently, so a partially-specified range
+	// (say UMin alone) keeps the given bound instead of being silently
+	// replaced; an inconsistent result (min > max) is the caller's to
+	// reject.
+	if c.UMin == 0 {
+		c.UMin = 0.40
+	}
 	if c.UMax == 0 {
-		c.UMin, c.UMax = 0.40, 0.85
+		c.UMax = 0.85
+	}
+	if c.BCETMin == 0 {
+		c.BCETMin = 0.40
 	}
 	if c.BCETMax == 0 {
-		c.BCETMin, c.BCETMax = 0.40, 1.0
+		c.BCETMax = 1.0
 	}
 	if c.GridPoints == 0 {
 		c.GridPoints = 12

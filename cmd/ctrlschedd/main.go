@@ -17,7 +17,8 @@
 //
 // Responses are canonical JSON: identical requests return byte-identical
 // bodies, whether computed fresh, served from the LRU cache (see the
-// X-Cache header), or computed with a different worker count.
+// X-Cache header, or the {"cache":...} line on streamed responses), or
+// computed with a different worker count.
 package main
 
 import (

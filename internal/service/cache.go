@@ -3,18 +3,22 @@ package service
 import (
 	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"sync"
 )
 
 // cacheKey identifies one canonical analysis request: a SHA-256 over the
-// schema version, the request kind, and the canonicalized configuration
-// bytes. Using the digest as the map key keeps the cache's memory
-// footprint independent of request size.
+// schema version (fixed-width, so no two versions ever hash alike), the
+// request kind, and the canonicalized configuration bytes. Using the
+// digest as the map key keeps the cache's memory footprint independent
+// of request size.
 type cacheKey [sha256.Size]byte
 
 func makeKey(kind string, canonical []byte) cacheKey {
 	h := sha256.New()
-	h.Write([]byte{byte(schemaTag)})
+	var tag [4]byte
+	binary.BigEndian.PutUint32(tag[:], uint32(schemaTag))
+	h.Write(tag[:])
 	h.Write([]byte(kind))
 	h.Write([]byte{0})
 	h.Write(canonical)

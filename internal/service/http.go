@@ -26,10 +26,12 @@ const maxBodyBytes = 1 << 20
 //	POST /v1/analyze                 — single task-set / plant analysis
 //
 // Experiment and analyze responses are the canonical JSON result bytes;
-// identical requests return identical bytes whether computed or cached
-// (the X-Cache header says which). Appending ?stream=1 to an experiment
-// request switches to chunked JSON: progress lines followed by a final
-// result line.
+// identical requests return identical bytes whether computed or cached.
+// Plain responses say which via the X-Cache header. Appending ?stream=1
+// to an experiment request switches to chunked JSON — progress lines, a
+// cache-status line, then a final result line; there the cache status
+// travels in-band because a coalesced joiner's headers are already on
+// the wire before its cache status is known.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
@@ -48,6 +50,10 @@ func writeError(w http.ResponseWriter, err error) {
 func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, &Error{Status: http.StatusRequestEntityTooLarge, Msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
+		}
 		return nil, badRequest("read body: %v", err)
 	}
 	return body, nil
@@ -130,12 +136,16 @@ func writeResult(w http.ResponseWriter, b []byte, hit bool) {
 //
 //	{"progress":{"done":128,"total":50000}}
 //	...
+//	{"cache":"miss"}
 //	{"result":{...}}
 //
-// Progress events are throttled to ~1% granularity. Errors discovered
-// after streaming began arrive as a final {"error":...} line (the 200
-// status is already on the wire — clients must treat an error line as
-// failure).
+// The cache line replaces the plain endpoint's X-Cache header: a
+// coalesced joiner receives the leader's progress lines before its own
+// cache status is known, and by then response headers are frozen on
+// the wire. Progress events are throttled to ~1% granularity. Errors
+// discovered after streaming began arrive as a final {"error":...}
+// line (the 200 status is already on the wire — clients must treat an
+// error line as failure).
 func (s *Service) streamExperiment(w http.ResponseWriter, r *http.Request, kind string, body []byte) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -144,9 +154,6 @@ func (s *Service) streamExperiment(w http.ResponseWriter, r *http.Request, kind 
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Accel-Buffering", "no")
-	// Headers freeze at the first progress write, which only happens on
-	// the miss path; a hit (no progress) can still overwrite this below.
-	w.Header().Set("X-Cache", "miss")
 
 	var mu sync.Mutex
 	started := false
@@ -179,9 +186,11 @@ func (s *Service) streamExperiment(w http.ResponseWriter, r *http.Request, kind 
 		flusher.Flush()
 		return
 	}
+	cache := "miss"
 	if hit {
-		w.Header().Set("X-Cache", "hit")
+		cache = "hit"
 	}
+	fmt.Fprintf(w, `{"cache":%q}`+"\n", cache)
 	fmt.Fprintf(w, `{"result":%s}`+"\n", bytes.TrimRight(b, "\n"))
 	flusher.Flush()
 }

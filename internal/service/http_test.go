@@ -85,6 +85,7 @@ func TestHTTPErrors(t *testing.T) {
 		{"malformed config", "POST", "/v1/experiments/table1", `{"benchmarks":"many"}`, http.StatusBadRequest},
 		{"unknown field", "POST", "/v1/experiments/table1", `{"benchmark":1}`, http.StatusBadRequest},
 		{"malformed analyze", "POST", "/v1/analyze", `{"tasks":[`, http.StatusBadRequest},
+		{"oversized body", "POST", "/v1/analyze", `{"pad":"` + strings.Repeat("x", maxBodyBytes) + `"}`, http.StatusRequestEntityTooLarge},
 		{"empty analyze", "POST", "/v1/analyze", `{}`, http.StatusBadRequest},
 		{"GET analyze", "GET", "/v1/analyze", "", http.StatusMethodNotAllowed},
 		{"POST healthz", "POST", "/healthz", "", http.StatusMethodNotAllowed},
@@ -153,10 +154,11 @@ func TestHTTPHealthz(t *testing.T) {
 	}
 }
 
-func TestHTTPStreamedProgress(t *testing.T) {
-	srv := newTestServer(t, Config{Workers: 2})
-	url := srv.URL + "/v1/experiments/table1?stream=1"
-	resp, err := http.Post(url, "application/json", strings.NewReader(smallTable1))
+// readStream posts one streamed experiment request and decodes the
+// chunked JSON lines, failing the test on an error line.
+func readStream(t *testing.T, url, body string) (progressLines int, cache string, result json.RawMessage) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,13 +166,12 @@ func TestHTTPStreamedProgress(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var progressLines int
-	var result json.RawMessage
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		var line struct {
 			Progress *struct{ Done, Total int } `json:"progress"`
+			Cache    string                     `json:"cache"`
 			Result   json.RawMessage            `json:"result"`
 			Error    string                     `json:"error"`
 		}
@@ -185,6 +186,8 @@ func TestHTTPStreamedProgress(t *testing.T) {
 			if line.Progress.Total != 50 {
 				t.Fatalf("progress total = %d", line.Progress.Total)
 			}
+		case line.Cache != "":
+			cache = line.Cache
 		case line.Result != nil:
 			result = line.Result
 		}
@@ -192,8 +195,18 @@ func TestHTTPStreamedProgress(t *testing.T) {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
+	return progressLines, cache, result
+}
+
+func TestHTTPStreamedProgress(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 2})
+	url := srv.URL + "/v1/experiments/table1?stream=1"
+	progressLines, cache, result := readStream(t, url, smallTable1)
 	if progressLines == 0 {
 		t.Fatal("no progress lines streamed")
+	}
+	if cache != "miss" {
+		t.Fatalf("first streamed request reported cache %q", cache)
 	}
 	if result == nil {
 		t.Fatal("no result line streamed")
@@ -203,5 +216,17 @@ func TestHTTPStreamedProgress(t *testing.T) {
 	_, plain := post(t, srv.URL+"/v1/experiments/table1", smallTable1)
 	if !bytes.Equal(bytes.TrimSpace(plain), bytes.TrimSpace(result)) {
 		t.Fatalf("streamed result differs from plain response")
+	}
+	// A repeat streamed request is answered from the cache: no campaign,
+	// no progress, same bytes, and the in-band cache status says so.
+	progressLines, cache, cached := readStream(t, url, smallTable1)
+	if progressLines != 0 {
+		t.Fatalf("cache hit streamed %d progress lines", progressLines)
+	}
+	if cache != "hit" {
+		t.Fatalf("repeat streamed request reported cache %q", cache)
+	}
+	if !bytes.Equal(result, cached) {
+		t.Fatal("repeat streamed request returned different bytes")
 	}
 }

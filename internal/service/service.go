@@ -147,26 +147,60 @@ type flight struct {
 	err  error
 
 	mu   sync.Mutex
-	subs []experiments.ProgressFunc
+	subs []*subscriber
 }
 
-func (f *flight) subscribe(p experiments.ProgressFunc) {
-	if p == nil {
+// subscriber wraps one party's ProgressFunc so it can be detached from
+// the flight again. A joiner that stops waiting (client disconnect,
+// leader-failure retry) must stop its subscriber before returning: on
+// the HTTP streaming path the callback writes to that request's
+// ResponseWriter, which must never be touched after its handler
+// returns.
+type subscriber struct {
+	mu sync.Mutex
+	fn experiments.ProgressFunc // nil once stopped
+}
+
+func (sub *subscriber) call(done, total int) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.fn != nil {
+		sub.fn(done, total)
+	}
+}
+
+// stop detaches the callback: once stop returns, the callback is not
+// running and will never be invoked again.
+func (sub *subscriber) stop() {
+	if sub == nil { // subscribe(nil) hands out a nil subscriber
 		return
 	}
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	sub.fn = nil
+}
+
+func (f *flight) subscribe(p experiments.ProgressFunc) *subscriber {
+	if p == nil {
+		return nil
+	}
+	sub := &subscriber{fn: p}
 	f.mu.Lock()
-	f.subs = append(f.subs, p)
+	f.subs = append(f.subs, sub)
 	f.mu.Unlock()
+	return sub
 }
 
 // notify fans one progress event out to every subscriber; it is the
-// ProgressFunc the leader's campaign actually runs with.
+// ProgressFunc the leader's campaign actually runs with. Stopped
+// subscribers stay in the list as no-ops — flights are short-lived, so
+// compacting the slice is not worth the bookkeeping.
 func (f *flight) notify(done, total int) {
 	f.mu.Lock()
-	subs := append([]experiments.ProgressFunc(nil), f.subs...)
+	subs := append([]*subscriber(nil), f.subs...)
 	f.mu.Unlock()
-	for _, p := range subs {
-		p(done, total)
+	for _, sub := range subs {
+		sub.call(done, total)
 	}
 }
 
@@ -288,11 +322,15 @@ func (s *Service) serve(ctx context.Context, key cacheKey, progress experiments.
 		if f, ok := s.flights[key]; ok {
 			// An identical request is already computing; wait for its
 			// bytes instead of burning a second pool slot on them. The
-			// joiner's progress keeps flowing from the leader's campaign.
-			f.subscribe(progress)
+			// joiner's progress keeps flowing from the leader's campaign
+			// until the subscriber is stopped — on every exit from this
+			// wait, or the leader would keep invoking a callback whose
+			// request is over (a use-after-return on the streaming path).
+			sub := f.subscribe(progress)
 			s.flightMu.Unlock()
 			select {
 			case <-f.done:
+				sub.stop()
 				if f.err == nil {
 					s.hits.Add(1)
 					return f.b, true, nil
@@ -301,6 +339,7 @@ func (s *Service) serve(ctx context.Context, key cacheKey, progress experiments.
 				// cancellation. Start over as an independent request.
 				continue
 			case <-ctx.Done():
+				sub.stop()
 				s.errs.Add(1)
 				return nil, false, &Error{Status: http.StatusServiceUnavailable, Msg: "canceled while coalesced: " + ctx.Err().Error()}
 			}

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ctrlsched/internal/experiments"
@@ -185,6 +186,50 @@ func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 	// the cache.
 	if st := s.Stats(); st.CacheMisses != 1 {
 		t.Fatalf("%d identical concurrent requests caused %d computations, want 1", clients, st.CacheMisses)
+	}
+}
+
+// TestCoalescedJoinerStopsProgressOnCancel pins the streaming-path
+// contract: once a coalesced joiner gives up (client disconnect), its
+// progress callback must never fire again — on the HTTP path that
+// callback writes to a ResponseWriter, which is invalid the moment the
+// joiner's handler returns.
+func TestCoalescedJoinerStopsProgressOnCancel(t *testing.T) {
+	s := newTestService()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	leaderProgress := func(done, total int) {
+		once.Do(func() {
+			close(started)
+			<-release // hold the leader mid-campaign while the joiner comes and goes
+		})
+	}
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		if _, _, err := s.Experiment(context.Background(), experiments.KindTable1, []byte(smallTable1), leaderProgress); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started // the leader's flight is registered and mid-campaign
+
+	var joinerCalls atomic.Int64
+	joinerCtx, cancel := context.WithCancel(context.Background())
+	cancel() // the joiner's client is already gone
+	_, _, err := s.Experiment(joinerCtx, experiments.KindTable1, []byte(smallTable1),
+		func(done, total int) { joinerCalls.Add(1) })
+	if err == nil {
+		t.Fatal("canceled joiner returned no error")
+	}
+	if got := HTTPStatus(err); got != http.StatusServiceUnavailable {
+		t.Fatalf("joiner status %d, want 503 (%v)", got, err)
+	}
+	frozen := joinerCalls.Load()
+	close(release) // the leader now finishes its remaining campaign items
+	<-leaderDone
+	if got := joinerCalls.Load(); got != frozen {
+		t.Fatalf("joiner progress fired %d more times after its request returned", got-frozen)
 	}
 }
 

@@ -30,8 +30,13 @@
 package ctrlsched_bench
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"ctrlsched/internal/assign"
@@ -39,6 +44,8 @@ import (
 	"ctrlsched/internal/jitter"
 	"ctrlsched/internal/lqg"
 	"ctrlsched/internal/plant"
+	"ctrlsched/internal/rta"
+	"ctrlsched/internal/service"
 	"ctrlsched/internal/taskgen"
 )
 
@@ -206,6 +213,110 @@ func BenchmarkAblationBacktrackingSlackOrder(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		assign.BacktrackingOpts(tasks, assign.Options{OrderBySlack: true})
 	}
+}
+
+// BenchmarkRTAAnalyzeAll20 measures one full-task-set exact analysis
+// (n = 20), the innermost kernel of every assignment search and batch
+// query; run with -benchmem to see the workspace savings.
+func BenchmarkRTAAnalyzeAll20(b *testing.B) {
+	sharedGen.Warm()
+	rng := rand.New(rand.NewSource(9))
+	tasks := sharedGen.TaskSet(rng, 20)
+	prio := make([]int, 20)
+	for i := range prio {
+		prio[i] = i + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rta.AnalyzeAll(tasks, prio)
+	}
+}
+
+// BenchmarkRTAAnalyzeAllInto20 is the reusable-workspace variant: with a
+// warm workspace and a retained result slice it runs allocation-free.
+func BenchmarkRTAAnalyzeAllInto20(b *testing.B) {
+	sharedGen.Warm()
+	rng := rand.New(rand.NewSource(9))
+	tasks := sharedGen.TaskSet(rng, 20)
+	prio := make([]int, 20)
+	for i := range prio {
+		prio[i] = i + 1
+	}
+	var ws rta.Workspace
+	var out []rta.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = rta.AnalyzeAllInto(&ws, tasks, prio, out)
+	}
+}
+
+// benchPeriod hands every benchmark item a distinct sampling period, so
+// the service cache cannot short-circuit the work being measured.
+var benchPeriod atomic.Int64
+
+func nextBenchPeriod() float64 {
+	return 0.004 + float64(benchPeriod.Add(1))*1e-8
+}
+
+// benchBatchItems builds n fresh plant-analysis items (the heaviest
+// analyze kernel: LQG synthesis plus a jitter-margin sweep each).
+func benchBatchItems(n int) []string {
+	items := make([]string, n)
+	for i := range items {
+		items[i] = fmt.Sprintf(`{"plant":"dc-servo","period":%g}`, nextBenchPeriod())
+	}
+	return items
+}
+
+func benchPost(b *testing.B, url string, body []byte) {
+	b.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	var sink [4096]byte
+	for {
+		if _, err := resp.Body.Read(sink[:]); err != nil {
+			break
+		}
+	}
+}
+
+// BenchmarkAnalyzeSequential64 is the baseline of the batch acceptance
+// target: 64 fresh plant analyses as 64 sequential /v1/analyze round
+// trips. Every item is distinct, so nothing is served from the cache.
+func BenchmarkAnalyzeSequential64(b *testing.B) {
+	s := service.New(service.Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, item := range benchBatchItems(64) {
+			benchPost(b, srv.URL+"/v1/analyze", []byte(item))
+		}
+	}
+	b.ReportMetric(float64(64*b.N)/b.Elapsed().Seconds(), "items/s")
+}
+
+// BenchmarkAnalyzeBatch64 answers the same 64 fresh items as one
+// /v1/analyze/batch request, fanned out over the worker pool. The
+// acceptance target is ≥2× the sequential throughput at N=64 on
+// multicore hardware (single-core machines see only the round-trip
+// saving; determinism is pinned by the service tests either way).
+func BenchmarkAnalyzeBatch64(b *testing.B) {
+	s := service.New(service.Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := []byte(`{"items":[` + strings.Join(benchBatchItems(64), ",") + `]}`)
+		benchPost(b, srv.URL+"/v1/analyze/batch", body)
+	}
+	b.ReportMetric(float64(64*b.N)/b.Elapsed().Seconds(), "items/s")
 }
 
 // BenchmarkAnomalySearch measures the anomaly-frequency experiment.

@@ -9,7 +9,7 @@
 //	ctrlsched table1   [-benchmarks N] [-sizes 4,8,12,16,20] [-seed S] [-diagnose] [-workers W] [-csv|-json]
 //	ctrlsched fig5     [-benchmarks N] [-sizes 4,6,...,20] [-seed S] [-workers W] [-csv|-json]
 //	ctrlsched anomalies [-trials N] [-sizes ...] [-seed S] [-workers W] [-csv|-json]
-//	ctrlsched analyze  [-csv|-json] < request.json
+//	ctrlsched analyze  [-batch] [-workers W] [-csv|-json] < request.json
 //	ctrlsched serve    [-addr :8080] [-workers W] [-concurrency C] ...
 //	ctrlsched all      (quick versions of everything)
 //
@@ -111,7 +111,8 @@ commands:
   fig5       campaign runtime: Unsafe Quadratic vs backtracking Algorithm 1
   anomalies  frequency of jitter/priority anomalies on random benchmarks
   compare    valid-assignment rate: RM vs slack-monotonic vs unsafe vs Alg. 1
-  analyze    one task set or plant (JSON request on stdin; see README)
+  analyze    one task set or plant (JSON request on stdin; see README);
+             -batch fans a {"items":[...]} request out over the worker pool
   serve      run the HTTP analysis service in-process (same API as ctrlschedd)
   all        quick versions of all of the above`)
 }
@@ -219,11 +220,14 @@ func runCompare(args []string) {
 	}), *csv, *json)
 }
 
-// runAnalyze answers one /v1/analyze-shaped request from stdin, through
-// the same service layer the daemon uses.
+// runAnalyze answers one /v1/analyze-shaped request from stdin — or,
+// with -batch, one /v1/analyze/batch-shaped request ({"items":[...]})
+// fanned out over the worker pool — through the same service layer the
+// daemon uses.
 func runAnalyze(args []string) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	workers := workersFlag(fs)
+	batch := fs.Bool("batch", false, `treat stdin as a batch request ({"items":[...]}) and fan the items out over the worker pool`)
 	csv, jsonOut := outputFlags(fs)
 	fs.Parse(args)
 	body, err := io.ReadAll(os.Stdin)
@@ -232,6 +236,24 @@ func runAnalyze(args []string) {
 		os.Exit(1)
 	}
 	svc := service.New(service.Config{Workers: *workers})
+	if *batch {
+		b, _, err := svc.AnalyzeBatch(context.Background(), body, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ctrlsched:", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			os.Stdout.Write(b)
+			return
+		}
+		var res service.BatchResult
+		if err := json.Unmarshal(b, &res); err != nil {
+			fmt.Fprintln(os.Stderr, "ctrlsched: decode result:", err)
+			os.Exit(1)
+		}
+		emit(res, *csv, false)
+		return
+	}
 	b, _, err := svc.Analyze(context.Background(), body)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ctrlsched:", err)

@@ -14,6 +14,10 @@
 //	POST /v1/analyze             — one task set (priority assignment +
 //	                               exact RTA + stability) or one plant
 //	                               (LQG cost + jitter margin)
+//	POST /v1/analyze/batch       — {"items":[...]} of analyze queries,
+//	                               fanned out over the worker pool with
+//	                               per-item caching; ?stream=1 emits one
+//	                               chunked line per item, in item order
 //
 // Responses are canonical JSON: identical requests return byte-identical
 // bodies, whether computed fresh, served from the LRU cache (see the

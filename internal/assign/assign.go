@@ -79,37 +79,78 @@ type Options struct {
 	MaxEvaluations int
 }
 
-// feasible runs the exact analysis of tasks[i] at the lowest priority
-// among the subset `set` (hp = set \ {i}) and reports stability.
-func feasible(tasks []rta.Task, set uint32, i int, stats *Stats) bool {
-	stats.Evaluations++
-	res := rta.Analyze(tasks[i], members(tasks, set&^(1<<uint(i))))
-	return res.Stable
+// evalRecord is the exact per-level analysis outcome of one (candidate
+// set, task) pair: the stability slack b − (L + a·J) at the lowest
+// priority of the set (−Inf when unschedulable or past the deadline) and
+// the stability verdict. The verdict uses the same tolerance as Validate
+// so the two never disagree on borderline instances.
+type evalRecord struct {
+	slack  float64
+	stable bool
+}
+
+// evaluator runs the exact response-time evaluations of one assignment
+// search. It owns the reusable rta workspace (so candidate evaluation
+// performs no per-call heap allocation) and, when memoization is on, a
+// cache of full evalRecords keyed by (candidate set, task) — the slack
+// ordering heuristic and the feasibility test share entries, so a WCRT
+// established once is never recomputed anywhere in the search.
+type evaluator struct {
+	tasks []rta.Task
+	ws    rta.Workspace
+	memo  map[uint64]evalRecord // nil disables memoization
+	stats *Stats
+}
+
+func newEvaluator(tasks []rta.Task, memoize bool, stats *Stats) *evaluator {
+	e := &evaluator{tasks: tasks, stats: stats}
+	if memoize {
+		e.memo = make(map[uint64]evalRecord)
+	}
+	return e
+}
+
+// record computes (or recalls) the exact analysis record of tasks[i] at
+// the lowest priority among the subset `set` (hp = set \ {i}).
+func (e *evaluator) record(set uint32, i int) evalRecord {
+	key := uint64(set)<<8 | uint64(i)
+	if e.memo != nil {
+		if rec, ok := e.memo[key]; ok {
+			return rec
+		}
+	}
+	e.stats.Evaluations++
+	hp := e.ws.HP(len(e.tasks))
+	mask := set &^ (1 << uint(i))
+	for j := range e.tasks {
+		if mask&(1<<uint(j)) != 0 {
+			hp = append(hp, e.tasks[j])
+		}
+	}
+	res := rta.Analyze(e.tasks[i], hp)
+	var rec evalRecord
+	if math.IsInf(res.WCRT, 1) || !res.DeadlineMet {
+		rec = evalRecord{slack: math.Inf(-1), stable: false}
+	} else {
+		rec = evalRecord{slack: e.tasks[i].Slack(res.Latency, res.Jitter), stable: res.Stable}
+	}
+	if e.memo != nil {
+		e.memo[key] = rec
+	}
+	return rec
+}
+
+// feasible reports whether tasks[i] is stable at the lowest priority of
+// `set`.
+func (e *evaluator) feasible(set uint32, i int) bool {
+	return e.record(set, i).stable
 }
 
 // slack returns the stability slack of tasks[i] at the lowest priority of
-// `set` together with the exact stability verdict at that level; the slack
-// is −Inf when unschedulable or past the deadline. The verdict uses the
-// same tolerance as Validate so the two never disagree on borderline
-// instances.
-func slack(tasks []rta.Task, set uint32, i int, stats *Stats) (float64, bool) {
-	stats.Evaluations++
-	res := rta.Analyze(tasks[i], members(tasks, set&^(1<<uint(i))))
-	if math.IsInf(res.WCRT, 1) || !res.DeadlineMet {
-		return math.Inf(-1), false
-	}
-	return tasks[i].Slack(res.Latency, res.Jitter), res.Stable
-}
-
-// members extracts the tasks whose bits are set.
-func members(tasks []rta.Task, set uint32) []rta.Task {
-	out := make([]rta.Task, 0, len(tasks))
-	for j := range tasks {
-		if set&(1<<uint(j)) != 0 {
-			out = append(out, tasks[j])
-		}
-	}
-	return out
+// `set` together with the exact stability verdict at that level.
+func (e *evaluator) slack(set uint32, i int) (float64, bool) {
+	rec := e.record(set, i)
+	return rec.slack, rec.stable
 }
 
 // Validate checks an assignment exactly: every task must meet its
@@ -153,9 +194,14 @@ func BacktrackingOpts(tasks []rta.Task, opt Options) Result {
 	}
 	prio := make([]int, n)
 	res := Result{}
-	var memo map[uint64]bool
-	if opt.Memoize {
-		memo = make(map[uint64]bool)
+	ev := newEvaluator(tasks, opt.Memoize, &res.Stats)
+
+	// Per-level candidate buffers (one row per recursion depth) and the
+	// slack lookup are allocated once for the whole search.
+	orderBuf := make([]int, n*n)
+	var slackBuf []float64
+	if opt.OrderBySlack {
+		slackBuf = make([]float64, n)
 	}
 
 	// nodes counts recursion entries. With memoization a search can walk
@@ -173,34 +219,20 @@ func BacktrackingOpts(tasks []rta.Task, opt Options) Result {
 			res.Aborted = true
 			return false
 		}
-		order := make([]int, 0, n)
+		order := orderBuf[(level-1)*n : (level-1)*n : level*n]
 		for i := 0; i < n; i++ {
 			if remaining&(1<<uint(i)) != 0 {
 				order = append(order, i)
 			}
 		}
 		if opt.OrderBySlack {
-			sl := make(map[int]float64, len(order))
 			for _, i := range order {
-				sl[i], _ = slack(tasks, remaining, i, &res.Stats)
+				slackBuf[i], _ = ev.slack(remaining, i)
 			}
-			sort.SliceStable(order, func(a, b int) bool { return sl[order[a]] > sl[order[b]] })
+			sort.SliceStable(order, func(a, b int) bool { return slackBuf[order[a]] > slackBuf[order[b]] })
 		}
 		for _, i := range order {
-			ok := false
-			if memo != nil {
-				key := uint64(remaining)<<8 | uint64(i)
-				cached, hit := memo[key]
-				if hit {
-					ok = cached
-				} else {
-					ok = feasible(tasks, remaining, i, &res.Stats)
-					memo[key] = ok
-				}
-			} else {
-				ok = feasible(tasks, remaining, i, &res.Stats)
-			}
-			if !ok {
+			if !ev.feasible(remaining, i) {
 				continue
 			}
 			prio[i] = level
@@ -236,6 +268,7 @@ func UnsafeQuadratic(tasks []rta.Task) Result {
 	if n > maxTasks {
 		panic("assign: too many tasks for bitmask representation")
 	}
+	ev := newEvaluator(tasks, false, &res.Stats)
 	remaining := uint32(1)<<uint(n) - 1
 	valid := true
 	for level := 1; level <= n; level++ {
@@ -244,7 +277,7 @@ func UnsafeQuadratic(tasks []rta.Task) Result {
 			if remaining&(1<<uint(i)) == 0 {
 				continue
 			}
-			if s, stable := slack(tasks, remaining, i, &res.Stats); s > bestSlack || best < 0 {
+			if s, stable := ev.slack(remaining, i); s > bestSlack || best < 0 {
 				best, bestSlack, bestStable = i, s, stable
 			}
 		}
@@ -272,6 +305,10 @@ func AudsleyGreedy(tasks []rta.Task) Result {
 		panic("assign: too many tasks for bitmask representation")
 	}
 	prio := make([]int, n)
+	// No memo: the greedy candidate set strictly shrinks each level, so a
+	// (set, task) pair can never recur — the shared rta workspace is what
+	// makes the n² exact evaluations allocation-free.
+	ev := newEvaluator(tasks, false, &res.Stats)
 	remaining := uint32(1)<<uint(n) - 1
 	for level := 1; level <= n; level++ {
 		assigned := false
@@ -279,7 +316,7 @@ func AudsleyGreedy(tasks []rta.Task) Result {
 			if remaining&(1<<uint(i)) == 0 {
 				continue
 			}
-			if feasible(tasks, remaining, i, &res.Stats) {
+			if ev.feasible(remaining, i) {
 				prio[i] = level
 				remaining &^= 1 << uint(i)
 				assigned = true

@@ -1,0 +1,192 @@
+package cosim
+
+// Differential test: the jitter-margin analysis (package jitter) against
+// simulated closed-loop trajectories. The margin promises that any delay
+// realization inside the constraint region is stable; its constant-delay
+// boundary lMax is exact (Schur eigenvalue test), so delays beyond it are
+// genuinely unstable. Both directions are checked here against an
+// event-driven co-simulation in the same controller semantics as
+// cosim.Run — samples at kh, predictor update, actuation at kh + d_k —
+// generalized to delay schedules that may exceed a period:
+//
+//   - points inside the margin (half the curve's jitter tolerance, under
+//     worst-case alternating and random delay realizations) must keep
+//     the state bounded;
+//   - constant delays 25% and 50% beyond the exact stability boundary
+//     must blow the state up.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ctrlsched/internal/jitter"
+	"ctrlsched/internal/lqg"
+	"ctrlsched/internal/plant"
+)
+
+// delayEvent is one scheduled occurrence in the delayed-actuation
+// simulation: a sampling instant (sample ≥ 0) or an actuation (encoded
+// as -1-k for sample k, so every event carries its job index).
+type delayEvent struct {
+	t      float64
+	sample int
+}
+
+// simulateDelayed integrates one closed loop for `periods` sampling
+// periods with the control input of job k applied at kh + delay(k), and
+// returns the largest |x|∞ along the trajectory (capped at 1e9 — the
+// blow-up detector). Deterministic: no process or measurement noise, the
+// plant starts at x = e₁.
+func simulateDelayed(d *lqg.Design, delay func(k int) float64, periods int) float64 {
+	sys := d.Plant.Sys
+	n := sys.Order()
+	h := d.H
+	events := make([]delayEvent, 0, 2*periods)
+	uNext := make([]float64, periods)
+	for k := 0; k < periods; k++ {
+		events = append(events, delayEvent{t: float64(k) * h, sample: k})
+		events = append(events, delayEvent{t: float64(k)*h + delay(k), sample: -1 - k})
+	}
+	// Stable sort: at equal times the sample precedes the actuation it
+	// releases (delay 0 actuates the value computed at that sample).
+	sort.SliceStable(events, func(i, j int) bool { return events[i].t < events[j].t })
+
+	x := make([]float64, n)
+	xhat := make([]float64, n)
+	x[0] = 1
+	u := 0.0
+	maxState := 1.0
+	now := 0.0
+	dt := h / 40
+	integrate := func(to float64) {
+		for now < to-1e-12 {
+			step := dt
+			if now+step > to {
+				step = to - now
+			}
+			rk4Step(sys.A, sys.B, x, u, step)
+			for _, v := range x {
+				if a := math.Abs(v); a > maxState {
+					maxState = a
+				}
+			}
+			now += step
+			if maxState > 1e9 {
+				return
+			}
+		}
+	}
+	for _, ev := range events {
+		if maxState > 1e9 {
+			break
+		}
+		integrate(ev.t)
+		if ev.sample >= 0 {
+			// Sample y, run the predictor update, stage the next input.
+			k := ev.sample
+			y := dot(sys.C, x)
+			un := -dotRow(d.L, xhat)
+			innov := y - dot(sys.C, xhat)
+			phiX := d.Phi.MulVec(xhat)
+			for r := 0; r < n; r++ {
+				xhat[r] = phiX[r] + d.Gamma.At(r, 0)*un + d.Kf.At(r, 0)*innov
+			}
+			uNext[k] = un
+		} else {
+			u = uNext[-1-ev.sample]
+		}
+	}
+	return maxState
+}
+
+// marginCase is one (plant, period) pair of the differential sweep.
+type marginCase struct {
+	p *plant.Plant
+	h float64
+}
+
+func differentialCases() []marginCase {
+	return []marginCase{
+		{plant.DCServo(), 0.006},
+		{plant.DCServo(), 0.004},
+		{plant.FastServo(), 0.004},
+		{plant.StableLag(), 0.05},
+		{plant.InvertedPendulum(), 0.01},
+	}
+}
+
+func mustMargin(t *testing.T, c marginCase) (*lqg.Design, *jitter.Margin) {
+	t.Helper()
+	d, err := lqg.Synthesize(c.p, c.h)
+	if err != nil {
+		t.Fatalf("%s @ h=%g: %v", c.p.Name, c.h, err)
+	}
+	m, err := jitter.Analyze(d, jitter.Options{})
+	if err != nil {
+		t.Fatalf("%s @ h=%g: %v", c.p.Name, c.h, err)
+	}
+	return d, m
+}
+
+// TestMarginInteriorIsSimStable: (latency, jitter) points inside the
+// analyzed margin must never destabilize the simulated loop, under both
+// the worst-case alternating realization d_k ∈ {L, L+J} and random
+// realizations d_k ~ U[L, L+J].
+func TestMarginInteriorIsSimStable(t *testing.T) {
+	const boundedLimit = 100.0 // |x|∞ of a stable deterministic transient from |x₀| = 1
+	for _, c := range differentialCases() {
+		d, m := mustMargin(t, c)
+		rng := rand.New(rand.NewSource(17))
+		for _, i := range []int{0, len(m.Latency) / 4, len(m.Latency) / 2, 3 * len(m.Latency) / 4} {
+			l, j := m.Latency[i], 0.5*m.JMax[i]
+			if l == 0 && j <= 0 {
+				continue
+			}
+			alt := simulateDelayed(d, func(k int) float64 {
+				if k%2 == 0 {
+					return l
+				}
+				return l + j
+			}, 400)
+			if alt > boundedLimit {
+				t.Errorf("%s @ h=%g: inside point L=%g J=%g destabilized under alternating delays (|x|∞=%g)",
+					c.p.Name, c.h, l, j, alt)
+			}
+			rnd := simulateDelayed(d, func(int) float64 { return l + j*rng.Float64() }, 400)
+			if rnd > boundedLimit {
+				t.Errorf("%s @ h=%g: inside point L=%g J=%g destabilized under random delays (|x|∞=%g)",
+					c.p.Name, c.h, l, j, rnd)
+			}
+		}
+	}
+}
+
+// TestBeyondMarginBoundaryDiverges: the constant-delay stability
+// boundary lMax is computed exactly, so constant delays well past it
+// must blow the simulated loop up. Cases whose boundary hits the search
+// cap (the loop is stable across the whole window, so there is no
+// certified unstable region) are skipped.
+func TestBeyondMarginBoundaryDiverges(t *testing.T) {
+	const divergedLimit = 1e3
+	tested := 0
+	for _, c := range differentialCases() {
+		d, m := mustMargin(t, c)
+		lMax := m.Latency[len(m.Latency)-1]
+		if lMax >= 0.99*6*c.h { // jitter.Options default MaxLatencyFactor
+			continue
+		}
+		for _, factor := range []float64{1.25, 1.5} {
+			ms := simulateDelayed(d, func(int) float64 { return factor * lMax }, 800)
+			if ms < divergedLimit {
+				t.Errorf("%s @ h=%g: constant delay %.2f×lMax=%g stayed bounded (|x|∞=%g) though the exact analysis says unstable",
+					c.p.Name, c.h, factor, factor*lMax, ms)
+			}
+		}
+		tested++
+	}
+	if tested == 0 {
+		t.Fatal("no case had an interior stability boundary; the divergence direction went untested")
+	}
+}

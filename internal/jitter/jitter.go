@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"ctrlsched/internal/eig"
 	"ctrlsched/internal/lqg"
@@ -142,8 +143,14 @@ func Analyze(d *lqg.Design, opts Options) (*Margin, error) {
 	}
 	lMax := lo
 
-	m := &Margin{Design: d}
-	freq := newFreqTable(d, ctrl, o.FreqPoints)
+	m := &Margin{
+		Design:  d,
+		Latency: make([]float64, 0, o.LatencyPoints),
+		JMax:    make([]float64, 0, o.LatencyPoints),
+	}
+	freq := freqTablePool.Get().(*freqTable)
+	defer freq.release()
+	freq.fill(d, ctrl, o.FreqPoints)
 	for i := 0; i < o.LatencyPoints; i++ {
 		l := lMax * float64(i) / float64(o.LatencyPoints-1)
 		j := 0.0
@@ -188,26 +195,47 @@ func nominalStable(d *lqg.Design, ctrl *lti.SS, l float64) bool {
 
 // freqTable caches the latency-independent factors of the loop gain:
 // G_L(jω) = P(jω) · H_zoh(jω)/h · C(e^{jωh}) · e^{−jωL}.
+//
+// Tables are pooled: one Analyze fills a table once and evaluates its
+// jitter bound at every latency grid point, and the backing arrays are
+// recycled across analyses (a margin sweep evaluates thousands of them),
+// so the frequency sweep does not grow the heap per call.
 type freqTable struct {
 	w    []float64    // frequency grid (rad/s)
 	base []complex128 // P·Hzoh/h·C at each ω (no latency factor)
+
+	// Reusable frequency-response workspaces for the plant and the
+	// controller (their state orders differ, so each keeps its own).
+	wsPlant, wsCtrl lti.FreqWorkspace
 }
 
-func newFreqTable(d *lqg.Design, ctrl *lti.SS, points int) *freqTable {
+var freqTablePool = sync.Pool{New: func() any { return new(freqTable) }}
+
+// release empties the table and returns it to the pool.
+func (ft *freqTable) release() {
+	ft.w = ft.w[:0]
+	ft.base = ft.base[:0]
+	freqTablePool.Put(ft)
+}
+
+// fill populates the table for one design, reusing any capacity left from
+// a previous analysis.
+func (ft *freqTable) fill(d *lqg.Design, ctrl *lti.SS, points int) {
 	h := d.H
 	wNyq := math.Pi / h
-	ft := &freqTable{}
+	ft.w = ft.w[:0]
+	ft.base = ft.base[:0]
 	// Log-spaced grid from wNyq/1e4 up to the Nyquist frequency. The
 	// small-gain bound 1/(ω|T|) explodes as ω→0, so very low frequencies
 	// never bind and truncating them is safe.
 	for i := 0; i < points; i++ {
 		expo := -4 + 4*float64(i)/float64(points-1)
 		w := wNyq * math.Pow(10, expo)
-		p, err := d.Plant.Sys.FreqResponseSISO(complex(0, w))
+		p, err := d.Plant.Sys.FreqResponseSISOWS(&ft.wsPlant, complex(0, w))
 		if err != nil {
 			continue // exact pole hit: skip the sample
 		}
-		c, err := ctrl.FreqResponseSISO(cmplx.Exp(complex(0, w*h)))
+		c, err := ctrl.FreqResponseSISOWS(&ft.wsCtrl, cmplx.Exp(complex(0, w*h)))
 		if err != nil {
 			continue
 		}
@@ -220,7 +248,6 @@ func newFreqTable(d *lqg.Design, ctrl *lti.SS, points int) *freqTable {
 		ft.w = append(ft.w, w)
 		ft.base = append(ft.base, g)
 	}
-	return ft
 }
 
 // jitterBound returns the small-gain jitter tolerance at latency l:

@@ -255,13 +255,22 @@ func intersampleNoiseCost(a, r1, q1 *mat.Matrix, h float64) float64 {
 	const steps = 64
 	delta := h / steps
 	phiD := mat.Expm(a.Scale(delta))
+	phiDT := phiD.T()
 	wD := SampleNoise(a, r1, delta)
 
-	w := mat.New(a.Rows(), a.Rows())
+	// The stepper reuses two covariance buffers across all 64 steps and
+	// evaluates tr(Q1·W) without forming the product.
+	n := a.Rows()
+	w := mat.New(n, n)
+	t1 := mat.New(n, n)
+	w2 := mat.New(n, n)
 	sum := 0.0 // trapezoid: f(0)/2 + f(δ) + ... + f(h−δ) + f(h)/2, f(0)=0
 	for k := 1; k <= steps; k++ {
-		w = phiD.Mul(w).Mul(phiD.T()).Add(wD)
-		f := q1.Mul(w).Trace()
+		mat.MulInto(t1, phiD, w)
+		mat.MulInto(w2, t1, phiDT)
+		mat.AddInto(w2, w2, wD)
+		w, w2 = w2, w
+		f := mat.MulTrace(q1, w)
 		if k == steps {
 			sum += f / 2
 		} else {

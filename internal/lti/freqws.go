@@ -1,0 +1,103 @@
+package lti
+
+import (
+	"math/cmplx"
+
+	"ctrlsched/internal/cmat"
+)
+
+// FreqWorkspace holds the reusable scratch of repeated SISO frequency-
+// response evaluations: the complex LU working array and the solution
+// column. A zero workspace is ready to use and adapts to any system
+// order; after the first call a frequency sweep over the same system
+// performs no heap allocation. A workspace must not be shared between
+// goroutines.
+type FreqWorkspace struct {
+	lu []complex128
+	x  []complex128
+}
+
+// FreqResponseSISOWS is FreqResponseSISO evaluated through a reusable
+// workspace. It performs the exact arithmetic of the allocating path —
+// assemble pI − A the way Identity.Scale(p).Sub(FromReal(A)) does, run
+// the same partial-pivoting elimination as cmat.Solve, accumulate
+// C·x + D in the same order — so the two return bit-identical values;
+// the jitter-margin frequency sweep relies on that equivalence.
+func (s *SS) FreqResponseSISOWS(ws *FreqWorkspace, p complex128) (complex128, error) {
+	if s.Inputs() != 1 || s.Outputs() != 1 {
+		return 0, ErrNotSISO
+	}
+	n := s.Order()
+	if cap(ws.lu) < n*n {
+		ws.lu = make([]complex128, n*n)
+	}
+	if cap(ws.x) < n {
+		ws.x = make([]complex128, n)
+	}
+	lu := ws.lu[:n*n]
+	x := ws.x[:n]
+
+	// pI − A, with the identity entries multiplied by p exactly as
+	// Scale(p) does (the off-diagonal 0·p products keep the ±0 signs of
+	// the reference path).
+	czero := complex(0, 0) * p
+	cone := complex(1, 0) * p
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := czero
+			if i == j {
+				v = cone
+			}
+			lu[i*n+j] = v - complex(s.A.At(i, j), 0)
+		}
+		x[i] = complex(s.B.At(i, 0), 0)
+	}
+
+	// LU with partial pivoting on the largest modulus; identical loop
+	// structure to cmat.Solve with a single right-hand-side column.
+	for k := 0; k < n; k++ {
+		pi, max := k, cmplx.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := cmplx.Abs(lu[i*n+k]); a > max {
+				pi, max = i, a
+			}
+		}
+		if max == 0 {
+			return 0, cmat.ErrSingular
+		}
+		if pi != k {
+			for j := 0; j < n; j++ {
+				lu[pi*n+j], lu[k*n+j] = lu[k*n+j], lu[pi*n+j]
+			}
+			x[pi], x[k] = x[k], x[pi]
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := lu[i*n+k] / pivot
+			if l == 0 {
+				continue
+			}
+			lu[i*n+k] = l
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= l * lu[k*n+j]
+			}
+			x[i] -= l * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for k := i + 1; k < n; k++ {
+			sum -= lu[i*n+k] * x[k]
+		}
+		x[i] = sum / lu[i*n+i]
+	}
+
+	// C·x + D, skipping exact-zero C entries like cmat.Mul does.
+	g := complex(0, 0)
+	for k := 0; k < n; k++ {
+		if cv := complex(s.C.At(0, k), 0); cv != 0 {
+			g += cv * x[k]
+		}
+	}
+	return g + complex(s.D.At(0, 0), 0), nil
+}

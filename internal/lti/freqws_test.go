@@ -1,0 +1,62 @@
+package lti
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"ctrlsched/internal/mat"
+)
+
+// TestFreqResponseSISOWSBitIdentical pins the workspace evaluation
+// against the allocating path: the jitter-margin sweep (and therefore the
+// committed golden fixtures) depends on the two being bit-identical —
+// not merely close — at every frequency point, including negative-real
+// and near-pole arguments.
+func TestFreqResponseSISOWSBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var ws FreqWorkspace
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		a, b, c := mat.New(n, n), mat.New(n, 1), mat.New(1, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			b.Set(i, 0, rng.NormFloat64())
+			c.Set(0, i, rng.NormFloat64())
+		}
+		if rng.Intn(3) == 0 {
+			c.Set(0, rng.Intn(n), 0) // exercise the zero-entry skip
+		}
+		sys := MustSS(a, b, c, nil, 0)
+		for k := 0; k < 40; k++ {
+			var p complex128
+			switch k % 3 {
+			case 0:
+				p = complex(0, rng.NormFloat64()*10) // jω axis (plant sweep)
+			case 1:
+				p = cmplx.Exp(complex(0, rng.Float64()*6.3)) // unit circle (controller sweep)
+			default:
+				p = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			want, errWant := sys.FreqResponseSISO(p)
+			got, errGot := sys.FreqResponseSISOWS(&ws, p)
+			if (errWant == nil) != (errGot == nil) {
+				t.Fatalf("error mismatch at p=%v: %v vs %v", p, errWant, errGot)
+			}
+			if errWant == nil && got != want {
+				t.Fatalf("trial %d: G(%v) = %v via workspace, %v allocating", trial, p, got, want)
+			}
+		}
+	}
+}
+
+// TestFreqResponseSISOWSNotSISO pins the MIMO rejection.
+func TestFreqResponseSISOWSNotSISO(t *testing.T) {
+	sys := MustSS(mat.Identity(2), mat.New(2, 2), mat.New(1, 2), nil, 0)
+	var ws FreqWorkspace
+	if _, err := sys.FreqResponseSISOWS(&ws, 1i); err != ErrNotSISO {
+		t.Fatalf("want ErrNotSISO, got %v", err)
+	}
+}

@@ -1,0 +1,207 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// In-place variants of the arithmetic kernels, for reusable-workspace hot
+// loops (the Riccati doubling iteration, the LQG intersample stepper, the
+// batch analysis kernels). Each XxxInto writes its result into dst and
+// returns dst; passing a nil dst allocates a fresh result, so call sites
+// can be converted incrementally. The arithmetic — loop structure and
+// operation order — is bit-identical to the allocating variants, so
+// switching a call site to its Into form never changes a result.
+//
+// Aliasing: the element-wise operations (AddInto, SubInto, ScaleInto,
+// CopyInto) accept dst aliasing an operand; MulInto, TransposeInto and
+// SymmetrizeInto read their operands while writing dst and panic when dst
+// shares storage with one.
+
+// intoDims returns dst sized r×c, allocating when dst is nil.
+func intoDims(dst *Matrix, r, c int, op string) *Matrix {
+	if dst == nil {
+		return New(r, c)
+	}
+	if dst.rows != r || dst.cols != c {
+		panic(fmt.Sprintf("mat: %s destination is %d×%d, need %d×%d", op, dst.rows, dst.cols, r, c))
+	}
+	return dst
+}
+
+// shares reports whether two matrices are backed by the same storage.
+func shares(a, b *Matrix) bool {
+	return a != nil && b != nil && len(a.data) > 0 && len(b.data) > 0 && &a.data[0] == &b.data[0]
+}
+
+// MulInto stores a·b into dst. dst must not share storage with a or b.
+func MulInto(dst, a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulInto dimension mismatch %d×%d by %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	dst = intoDims(dst, a.rows, b.cols, "MulInto")
+	if shares(dst, a) || shares(dst, b) {
+		panic("mat: MulInto destination aliases an operand")
+	}
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		drow := dst.data[i*b.cols : (i+1)*b.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// AddInto stores a + b into dst. dst may alias either operand.
+func AddInto(dst, a, b *Matrix) *Matrix {
+	a.sameDims(b, "AddInto")
+	dst = intoDims(dst, a.rows, a.cols, "AddInto")
+	for i, av := range a.data {
+		dst.data[i] = av + b.data[i]
+	}
+	return dst
+}
+
+// SubInto stores a − b into dst. dst may alias either operand.
+func SubInto(dst, a, b *Matrix) *Matrix {
+	a.sameDims(b, "SubInto")
+	dst = intoDims(dst, a.rows, a.cols, "SubInto")
+	for i, av := range a.data {
+		dst.data[i] = av - b.data[i]
+	}
+	return dst
+}
+
+// ScaleInto stores s·a into dst. dst may alias a.
+func ScaleInto(dst, a *Matrix, s float64) *Matrix {
+	dst = intoDims(dst, a.rows, a.cols, "ScaleInto")
+	for i, av := range a.data {
+		dst.data[i] = av * s
+	}
+	return dst
+}
+
+// CopyInto copies a into dst. dst may alias a (a no-op then).
+func CopyInto(dst, a *Matrix) *Matrix {
+	dst = intoDims(dst, a.rows, a.cols, "CopyInto")
+	copy(dst.data, a.data)
+	return dst
+}
+
+// TransposeInto stores aᵀ into dst. dst must not share storage with a.
+func TransposeInto(dst, a *Matrix) *Matrix {
+	dst = intoDims(dst, a.cols, a.rows, "TransposeInto")
+	if shares(dst, a) {
+		panic("mat: TransposeInto destination aliases the operand")
+	}
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			dst.data[j*dst.cols+i] = a.data[i*a.cols+j]
+		}
+	}
+	return dst
+}
+
+// SymmetrizeInto stores (a + aᵀ)/2 into dst. dst must not share storage
+// with a.
+func SymmetrizeInto(dst, a *Matrix) *Matrix {
+	if !a.IsSquare() {
+		panic("mat: SymmetrizeInto of non-square matrix")
+	}
+	dst = intoDims(dst, a.rows, a.cols, "SymmetrizeInto")
+	if shares(dst, a) {
+		panic("mat: SymmetrizeInto destination aliases the operand")
+	}
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			dst.data[i*a.cols+j] = 0.5 * (a.data[i*a.cols+j] + a.data[j*a.cols+i])
+		}
+	}
+	return dst
+}
+
+// MaxAbsDiff returns the largest |a_ij − b_ij|, the quantity the
+// iterative solvers test convergence with, without forming a − b.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	a.sameDims(b, "MaxAbsDiff")
+	var max float64
+	for i, av := range a.data {
+		if d := math.Abs(av - b.data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MulTrace returns tr(a·b) without forming the product. The diagonal
+// entries are accumulated in the same order (ascending k, zero entries of
+// a skipped) as Mul followed by Trace, so the result is bit-identical.
+func MulTrace(a, b *Matrix) float64 {
+	if a.cols != b.rows || a.rows != b.cols {
+		panic(fmt.Sprintf("mat: MulTrace dimension mismatch %d×%d by %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	var t float64
+	for i := 0; i < a.rows; i++ {
+		var d float64
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			d += av * b.data[k*b.cols+i]
+		}
+		t += d
+	}
+	return t
+}
+
+// SolveInto solves A·X = B into dst using the factorization, running
+// every right-hand side through the factorization's own column scratch
+// instead of allocating per column as Solve does. dst must not share
+// storage with b.
+func (f *LU) SolveInto(dst, b *Matrix) *Matrix {
+	n := f.lu.rows
+	if b.rows != n {
+		panic("mat: SolveInto dimension mismatch")
+	}
+	dst = intoDims(dst, n, b.cols, "SolveInto")
+	if shares(dst, b) {
+		panic("mat: SolveInto destination aliases the right-hand side")
+	}
+	if cap(f.scratch) < n {
+		f.scratch = make([]float64, n)
+	}
+	x := f.scratch[:n]
+	for j := 0; j < b.cols; j++ {
+		// Apply the row permutation while gathering the column, then run
+		// the same forward/back substitution as SolveVec.
+		for i := 0; i < n; i++ {
+			x[i] = b.data[f.piv[i]*b.cols+j]
+		}
+		for i := 1; i < n; i++ {
+			for k := 0; k < i; k++ {
+				x[i] -= f.lu.data[i*n+k] * x[k]
+			}
+		}
+		for i := n - 1; i >= 0; i-- {
+			for k := i + 1; k < n; k++ {
+				x[i] -= f.lu.data[i*n+k] * x[k]
+			}
+			x[i] /= f.lu.data[i*n+i]
+		}
+		for i := 0; i < n; i++ {
+			dst.data[i*dst.cols+j] = x[i]
+		}
+	}
+	return dst
+}

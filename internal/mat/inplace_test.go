@@ -1,0 +1,166 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randMat(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// TestIntoVariantsBitIdentical pins the contract the workspace callers
+// (riccati, lqg, lti) rely on: every Into variant returns exactly the
+// bytes of its allocating counterpart, for fresh and for reused (dirty)
+// destinations.
+func TestIntoVariantsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		a, b := randMat(rng, n, m), randMat(rng, n, m)
+		c := randMat(rng, m, n)
+		sq := randMat(rng, n, n)
+		dirty := func(r, c int) *Matrix { return randMat(rng, r, c) }
+
+		if got, want := MulInto(dirty(n, n), a, c), a.Mul(c); !got.Equal(want) {
+			t.Fatalf("MulInto mismatch:\n%v\nvs\n%v", got, want)
+		}
+		if got, want := AddInto(dirty(n, m), a, b), a.Add(b); !got.Equal(want) {
+			t.Fatalf("AddInto mismatch")
+		}
+		if got, want := SubInto(dirty(n, m), a, b), a.Sub(b); !got.Equal(want) {
+			t.Fatalf("SubInto mismatch")
+		}
+		s := rng.NormFloat64()
+		if got, want := ScaleInto(dirty(n, m), a, s), a.Scale(s); !got.Equal(want) {
+			t.Fatalf("ScaleInto mismatch")
+		}
+		if got, want := TransposeInto(dirty(m, n), a), a.T(); !got.Equal(want) {
+			t.Fatalf("TransposeInto mismatch")
+		}
+		if got, want := SymmetrizeInto(dirty(n, n), sq), sq.Symmetrize(); !got.Equal(want) {
+			t.Fatalf("SymmetrizeInto mismatch")
+		}
+		if got, want := MaxAbsDiff(a, b), a.Sub(b).MaxAbs(); got != want {
+			t.Fatalf("MaxAbsDiff = %v, want %v", got, want)
+		}
+		q := randMat(rng, n, n)
+		if got, want := MulTrace(sq, q), sq.Mul(q).Trace(); got != want {
+			t.Fatalf("MulTrace = %v, want %v", got, want)
+		}
+
+		// Aliased element-wise destinations.
+		aa := a.Clone()
+		if got, want := AddInto(aa, aa, b), a.Add(b); !got.Equal(want) {
+			t.Fatalf("aliased AddInto mismatch")
+		}
+
+		// Nil destination allocates.
+		if got := MulInto(nil, a, c); !got.Equal(a.Mul(c)) {
+			t.Fatalf("nil-dst MulInto mismatch")
+		}
+	}
+}
+
+// TestSolveIntoMatchesSolve pins the reusable-buffer LU solve against the
+// per-column allocating one.
+func TestSolveIntoMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(6)
+		a := randMat(rng, n, n)
+		for i := 0; i < n; i++ { // diagonal dominance: keep it solvable
+			a.Set(i, i, a.At(i, i)+5)
+		}
+		b := randMat(rng, n, 1+rng.Intn(4))
+		f, err := Factorize(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.Solve(b)
+		got := f.SolveInto(randMat(rng, n, b.Cols()), b)
+		if !got.Equal(want) {
+			t.Fatalf("SolveInto mismatch:\n%v\nvs\n%v", got, want)
+		}
+	}
+}
+
+// TestFactorizeIntoMatchesFactorize pins storage-reusing refactorization
+// against the allocating path: identical packed factors, permutation,
+// determinant, and solves across a sequence of different matrices run
+// through one reused LU.
+func TestFactorizeIntoMatchesFactorize(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var reused *LU
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(5)
+		a := randMat(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+4)
+		}
+		fresh, err1 := Factorize(a)
+		var err2 error
+		reused, err2 = FactorizeInto(reused, a)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !reused.lu.Equal(fresh.lu) || reused.signs != fresh.signs {
+			t.Fatalf("reused factorization differs from fresh")
+		}
+		for i := range fresh.piv {
+			if reused.piv[i] != fresh.piv[i] {
+				t.Fatalf("pivot rows differ: %v vs %v", reused.piv, fresh.piv)
+			}
+		}
+		b := randMat(rng, n, 2)
+		if got, want := reused.SolveInto(nil, b), fresh.Solve(b); !got.Equal(want) {
+			t.Fatalf("solves differ through reused factorization")
+		}
+	}
+	// Singular input errors without corrupting subsequent use.
+	if _, err := FactorizeInto(reused, New(3, 3)); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+// TestIntoPanics pins the guard rails: dimension mismatches and forbidden
+// aliasing must panic, not corrupt.
+func TestIntoPanics(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("MulInto alias", func() { MulInto(a, a, a.Clone()) })
+	expectPanic("MulInto dims", func() { MulInto(New(3, 3), a, a) })
+	expectPanic("TransposeInto alias", func() { TransposeInto(a, a) })
+	expectPanic("SymmetrizeInto alias", func() { SymmetrizeInto(a, a) })
+	expectPanic("AddInto dims", func() { AddInto(nil, a, New(3, 3)) })
+	expectPanic("MulTrace dims", func() { MulTrace(a, New(3, 3)) })
+}
+
+// TestMulTraceSkipsZeros checks the exact-zero skip matches Mul's: a zero
+// row entry must not turn an Inf in the other operand into a NaN.
+func TestMulTraceSkipsZeros(t *testing.T) {
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	b := FromRows([][]float64{{math.Inf(1), 0}, {0, 1}})
+	if got, want := MulTrace(a, b), a.Mul(b).Trace(); got != want {
+		t.Fatalf("MulTrace with Inf = %v, want %v", got, want)
+	}
+}

@@ -12,23 +12,38 @@ var ErrSingular = errors.New("mat: matrix is singular to working precision")
 
 // LU holds an LU factorization with partial pivoting: P·A = L·U.
 type LU struct {
-	lu    *Matrix // packed L (unit lower) and U
-	piv   []int   // row permutation
-	signs int     // permutation sign, ±1
+	lu      *Matrix   // packed L (unit lower) and U
+	piv     []int     // row permutation
+	signs   int       // permutation sign, ±1
+	scratch []float64 // SolveInto column buffer, grown on demand
 }
 
 // Factorize computes the LU factorization of the square matrix a with
 // partial pivoting. It returns ErrSingular if a pivot vanishes.
 func Factorize(a *Matrix) (*LU, error) {
+	return FactorizeInto(nil, a)
+}
+
+// FactorizeInto is Factorize reusing the receiver's storage: pass the LU
+// returned by a previous call (nil, or of a different order, falls back
+// to a fresh allocation) to refactorize a new matrix without touching
+// the heap. Iterative solvers that factorize a same-sized matrix every
+// step (the Riccati loops) keep one LU alive across the whole iteration.
+// On ErrSingular the passed-in factorization is no longer valid.
+func FactorizeInto(f *LU, a *Matrix) (*LU, error) {
 	if !a.IsSquare() {
 		panic("mat: Factorize requires a square matrix")
 	}
 	n := a.rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	if f == nil || f.lu.rows != n {
+		f = &LU{lu: New(n, n), piv: make([]int, n)}
+	}
+	copy(f.lu.data, a.data)
+	piv := f.piv
 	for i := range piv {
 		piv[i] = i
 	}
+	lu := f.lu
 	sign := 1
 	for k := 0; k < n; k++ {
 		// Partial pivoting: find the largest entry in column k at or
@@ -61,7 +76,8 @@ func Factorize(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, signs: sign}, nil
+	f.signs = sign
+	return f, nil
 }
 
 // Det returns the determinant implied by the factorization.

@@ -1,0 +1,111 @@
+// Native Go fuzz target for the companion-matrix root finder. The
+// harness lives in an external test package so the seed corpus can
+// include characteristic polynomials of the benchmark plant library
+// (plant sits above poly in the import graph).
+//
+// Run locally with
+//
+//	go test ./internal/poly -run '^$' -fuzz '^FuzzRoots$' -fuzztime 30s
+package poly_test
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"ctrlsched/internal/poly"
+)
+
+// residualOK checks |p(z)| against a backward-error-style scale: the sum
+// of the term magnitudes at z. A correctly computed root can carry
+// forward error (clustered roots are genuinely ill-conditioned) but its
+// residual stays a tiny fraction of the evaluation scale.
+func residualOK(p poly.Poly, z complex128) bool {
+	r := cmplx.Abs(p.EvalC(z))
+	scale := 1.0
+	zp := 1.0
+	az := cmplx.Abs(z)
+	for _, c := range p {
+		scale += math.Abs(c) * zp
+		zp *= az
+	}
+	return r <= 1e-6*scale
+}
+
+// FuzzRoots throws arbitrary degree-≤5 real polynomials at Roots and
+// asserts the kernel contract: no panic, exactly degree-many roots, no
+// NaN/Inf components, root residuals below tolerance, and conjugate
+// closure (real coefficients force roots in conjugate pairs).
+func FuzzRoots(f *testing.F) {
+	// Seed corpus: characteristic-polynomial shapes of the benchmark
+	// plants (servo s²(s+a), oscillator s²+ω², lag chains), a clustered
+	// root, and plain low-degree cases.
+	f.Add(0.0, 0.0, 12.0, 1.0, 0.0, 0.0)           // dc-servo denominator s³+12s²·ε…
+	f.Add(100.0, 0.0, 1.0, 0.0, 0.0, 0.0)          // harmonic oscillator s²+100
+	f.Add(-9.8, 0.0, 1.0, 0.0, 0.0, 0.0)           // inverted pendulum s²−g
+	f.Add(1.0, 3.0, 3.0, 1.0, 0.0, 0.0)            // (s+1)³ clustered
+	f.Add(-120.0, 274.0, -225.0, 85.0, -15.0, 1.0) // (s−1)…(s−5)
+	f.Add(2.0, -3.0, 0.0, 0.0, 0.0, 1.0)           // sparse quintic
+	f.Add(0.5, 0.0, 0.0, 0.0, 0.0, 0.0)            // constant: ErrDegenerate
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)            // zero polynomial
+
+	f.Fuzz(func(t *testing.T, c0, c1, c2, c3, c4, c5 float64) {
+		coeffs := []float64{c0, c1, c2, c3, c4, c5}
+		for _, c := range coeffs {
+			if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e6 {
+				return
+			}
+		}
+		p := poly.New(coeffs...)
+		// Keep the monic normalization well-posed: a near-vanishing
+		// leading coefficient under large lower-order ones is a genuinely
+		// ill-posed rootfinding instance, not a kernel bug.
+		if deg := p.Degree(); deg >= 1 {
+			lead := math.Abs(p[deg])
+			for _, c := range p {
+				if lead*1e9 < math.Abs(c) {
+					return
+				}
+			}
+		}
+
+		roots, err := p.Roots()
+		if p.Degree() < 1 {
+			if !errors.Is(err, poly.ErrDegenerate) {
+				t.Fatalf("degree %d: want ErrDegenerate, got %v (roots %v)", p.Degree(), err, roots)
+			}
+			return
+		}
+		if err != nil {
+			// The QR iteration is allowed to give up (ErrNoConvergence
+			// surfaces as a non-nil error); it must not lie.
+			return
+		}
+		if len(roots) != p.Degree() {
+			t.Fatalf("got %d roots for degree %d (%v)", len(roots), p.Degree(), p)
+		}
+		for _, z := range roots {
+			if math.IsNaN(real(z)) || math.IsNaN(imag(z)) || cmplx.IsInf(z) {
+				t.Fatalf("non-finite root %v of %v", z, p)
+			}
+			if !residualOK(p, z) {
+				t.Fatalf("root %v of %v has residual %v", z, p, cmplx.Abs(p.EvalC(z)))
+			}
+			// Conjugate closure: a strictly complex root must have a
+			// partner with matching conjugate within residual noise.
+			if imag(z) != 0 {
+				found := false
+				for _, w := range roots {
+					if w == cmplx.Conj(z) || cmplx.Abs(w-cmplx.Conj(z)) <= 1e-7*(1+cmplx.Abs(z)) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("complex root %v of %v lacks a conjugate partner in %v", z, p, roots)
+				}
+			}
+		}
+	})
+}

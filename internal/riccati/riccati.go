@@ -127,21 +127,44 @@ func sda(a, b, q, r *mat.Matrix) (*mat.Matrix, error) {
 	g := b.Mul(rinvBT)
 	h := q.Clone()
 	ak := a.Clone()
+	// All per-iteration scratch — including the pivoted factorization of
+	// W — is allocated once and ping-ponged with the iterates, so the
+	// (up to 80-step) doubling loop itself is allocation-free.
+	var (
+		eye   = mat.Identity(n)
+		w     = mat.New(n, n)
+		winvA = mat.New(n, n)
+		winvG = mat.New(n, n)
+		akT   = mat.New(n, n)
+		t1    = mat.New(n, n)
+		t2    = mat.New(n, n)
+		a1    = mat.New(n, n)
+		g1    = mat.New(n, n)
+		h1    = mat.New(n, n)
+		wf    *mat.LU
+	)
 	for iter := 0; iter < 80; iter++ {
-		w := mat.Identity(n).Add(g.Mul(h))
-		wf, err := mat.Factorize(w)
+		mat.MulInto(t1, g, h)
+		mat.AddInto(w, eye, t1) // W = I + G·H
+		wf, err = mat.FactorizeInto(wf, w)
 		if err != nil {
 			return nil, ErrNoStabilizingSolution
 		}
-		winvA := wf.Solve(ak) // W⁻¹A
-		winvG := wf.Solve(g)  // W⁻¹G
-		a1 := ak.Mul(winvA)   // A W⁻¹ A
-		g1 := g.Add(ak.Mul(winvG).Mul(ak.T()))
-		h1 := h.Add(ak.T().Mul(h).Mul(winvA)).Symmetrize()
+		wf.SolveInto(winvA, ak) // W⁻¹A
+		wf.SolveInto(winvG, g)  // W⁻¹G
+		mat.MulInto(a1, ak, winvA)
+		mat.TransposeInto(akT, ak)
+		mat.MulInto(t1, ak, winvG)
+		mat.MulInto(t2, t1, akT)
+		mat.AddInto(g1, g, t2) // G₁ = G + A·W⁻¹G·Aᵀ
+		mat.MulInto(t1, akT, h)
+		mat.MulInto(t2, t1, winvA)
+		mat.AddInto(t1, h, t2)
+		mat.SymmetrizeInto(h1, t1) // H₁ = sym(H + Aᵀ·H·W⁻¹A)
 		if a1.HasNaN() || g1.HasNaN() || h1.HasNaN() {
 			return nil, ErrNoStabilizingSolution
 		}
-		if delta := h1.Sub(h).MaxAbs(); delta <= 1e-13*(1+h1.MaxAbs()) {
+		if delta := mat.MaxAbsDiff(h1, h); delta <= 1e-13*(1+h1.MaxAbs()) {
 			return h1, nil
 		}
 		// Monotone blow-up of H signals a non-existent stabilizing
@@ -149,7 +172,9 @@ func sda(a, b, q, r *mat.Matrix) (*mat.Matrix, error) {
 		if h1.MaxAbs() > 1e14 {
 			return nil, ErrNoStabilizingSolution
 		}
-		ak, g, h = a1, g1, h1
+		ak, a1 = a1, ak
+		g, g1 = g1, g
+		h, h1 = h1, h
 	}
 	return nil, ErrNoStabilizingSolution
 }
@@ -160,20 +185,48 @@ func sda(a, b, q, r *mat.Matrix) (*mat.Matrix, error) {
 func fixedPoint(a, b, q, r *mat.Matrix) (*mat.Matrix, error) {
 	p := q.Clone()
 	bt := b.T()
+	at := a.T()
+	n, m := a.Rows(), b.Cols()
+	// Per-iteration scratch, allocated once for the whole (linear-rate,
+	// potentially 20000-step) iteration.
+	var (
+		btp  = mat.New(m, n)
+		btpb = mat.New(m, m)
+		gram = mat.New(m, m)
+		rhs  = mat.New(m, n)
+		k    = mat.New(m, n)
+		atp  = mat.New(n, n)
+		atpa = mat.New(n, n)
+		atpb = mat.New(n, m)
+		t1   = mat.New(n, n)
+		pn   = mat.New(n, n)
+		gf   *mat.LU
+		err  error
+	)
 	for iter := 0; iter < 20000; iter++ {
-		gram := r.Add(bt.Mul(p).Mul(b))
-		k, err := mat.Solve(gram, bt.Mul(p).Mul(a))
+		mat.MulInto(btp, bt, p)
+		mat.MulInto(btpb, btp, b)
+		mat.AddInto(gram, r, btpb) // R + BᵀPB
+		gf, err = mat.FactorizeInto(gf, gram)
 		if err != nil {
 			return nil, ErrNoStabilizingSolution
 		}
-		pn := a.T().Mul(p).Mul(a).Sub(a.T().Mul(p).Mul(b).Mul(k)).Add(q).Symmetrize()
+		mat.MulInto(rhs, btp, a)
+		gf.SolveInto(k, rhs) // K = (R+BᵀPB)⁻¹ BᵀPA
+		mat.MulInto(atp, at, p)
+		mat.MulInto(atpa, atp, a)
+		mat.MulInto(atpb, atp, b)
+		mat.MulInto(t1, atpb, k)
+		mat.SubInto(t1, atpa, t1)
+		mat.AddInto(t1, t1, q)
+		mat.SymmetrizeInto(pn, t1) // sym(AᵀPA − AᵀPB·K + Q)
 		if pn.HasNaN() || pn.MaxAbs() > 1e14 {
 			return nil, ErrNoStabilizingSolution
 		}
-		if pn.Sub(p).MaxAbs() <= 1e-12*(1+pn.MaxAbs()) {
+		if mat.MaxAbsDiff(pn, p) <= 1e-12*(1+pn.MaxAbs()) {
 			return pn, nil
 		}
-		p = pn
+		p, pn = pn, p
 	}
 	return nil, ErrNoStabilizingSolution
 }

@@ -204,22 +204,57 @@ func Analyze(t Task, hp []Task) Result {
 	return res
 }
 
+// Workspace holds the reusable scratch buffers of the analysis kernels.
+// A zero Workspace is ready to use; after the first call its buffers are
+// retained, so a caller that analyzes many task sets (the batch service,
+// the priority-assignment search, campaign workers) performs no per-call
+// heap allocation beyond the result slice it chooses to keep. A Workspace
+// must not be shared between goroutines.
+type Workspace struct {
+	hp []Task
+}
+
+// HP returns the workspace's higher-priority scratch buffer, emptied and
+// grown to capacity n. The returned slice is valid until the next call
+// that uses the workspace.
+func (ws *Workspace) HP(n int) []Task {
+	if cap(ws.hp) < n {
+		ws.hp = make([]Task, 0, n)
+	}
+	ws.hp = ws.hp[:0]
+	return ws.hp
+}
+
 // AnalyzeAll analyzes every task under the priority order given by prio:
 // prio[i] is the priority of tasks[i], where larger numbers mean higher
 // priority (the paper's ρ convention) and all values are distinct. The
 // returned slice is indexed like tasks.
 func AnalyzeAll(tasks []Task, prio []int) []Result {
+	var ws Workspace
+	return AnalyzeAllInto(&ws, tasks, prio, nil)
+}
+
+// AnalyzeAllInto is AnalyzeAll with caller-owned buffers: the workspace's
+// scratch is reused across tasks (and across calls), and the results are
+// appended into out[:0] when its capacity suffices. Passing the same
+// workspace and result slice across calls makes the whole analysis
+// allocation-free. Results are identical to AnalyzeAll's.
+func AnalyzeAllInto(ws *Workspace, tasks []Task, prio []int, out []Result) []Result {
 	if len(prio) != len(tasks) {
 		panic("rta: priority vector length mismatch")
 	}
-	out := make([]Result, len(tasks))
+	if cap(out) < len(tasks) {
+		out = make([]Result, len(tasks))
+	}
+	out = out[:len(tasks)]
 	for i, t := range tasks {
-		var hp []Task
+		hp := ws.HP(len(tasks))
 		for j, u := range tasks {
 			if prio[j] > prio[i] {
 				hp = append(hp, u)
 			}
 		}
+		ws.hp = hp
 		out[i] = Analyze(t, hp)
 	}
 	return out

@@ -1,0 +1,69 @@
+package rta
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randTasks(rng *rand.Rand, n int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		period := 0.01 + rng.Float64()
+		wcet := period * (0.05 + 0.3*rng.Float64())
+		bcet := wcet * (0.3 + 0.7*rng.Float64())
+		tasks[i] = Task{
+			Name: "t", BCET: bcet, WCET: wcet, Period: period,
+			ConA: 1 + rng.Float64(), ConB: period * rng.Float64() * 2,
+		}
+	}
+	return tasks
+}
+
+func randPrio(rng *rand.Rand, n int) []int {
+	prio := rng.Perm(n)
+	for i := range prio {
+		prio[i]++
+	}
+	return prio
+}
+
+// TestAnalyzeAllIntoMatchesAnalyzeAll pins the workspace path against the
+// allocating one: identical results for shared and fresh workspaces, with
+// the result slice reused across task sets of varying size.
+func TestAnalyzeAllIntoMatchesAnalyzeAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var ws Workspace
+	var out []Result
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		tasks := randTasks(rng, n)
+		prio := randPrio(rng, n)
+		want := AnalyzeAll(tasks, prio)
+		out = AnalyzeAllInto(&ws, tasks, prio, out)
+		if len(out) != len(want) {
+			t.Fatalf("length mismatch %d vs %d", len(out), len(want))
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("trial %d task %d: %+v via workspace, want %+v", trial, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAnalyzeAllIntoAllocationFree verifies the steady state: with a
+// warmed workspace and a retained result slice, the analysis does not
+// allocate.
+func TestAnalyzeAllIntoAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tasks := randTasks(rng, 12)
+	prio := randPrio(rng, 12)
+	var ws Workspace
+	out := AnalyzeAllInto(&ws, tasks, prio, nil) // warm
+	allocs := testing.AllocsPerRun(100, func() {
+		out = AnalyzeAllInto(&ws, tasks, prio, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("AnalyzeAllInto allocates %v times per run with a warm workspace", allocs)
+	}
+}

@@ -1,0 +1,252 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ctrlsched/internal/campaign"
+	"ctrlsched/internal/experiments"
+)
+
+// kindAnalyzeBatch is the request kind of the batched analyze endpoint.
+const kindAnalyzeBatch = "analyze_batch"
+
+// MaxBatchItems bounds one /v1/analyze/batch request. Larger workloads
+// split into multiple batches; the per-item cache makes re-sent items
+// free.
+const MaxBatchItems = 1024
+
+// BatchRequest is the body of POST /v1/analyze/batch: up to
+// MaxBatchItems independent analyze queries (each shaped exactly like a
+// /v1/analyze body) answered in one round trip. Items are fanned out on
+// the service's campaign pool and answered in item order; each item has
+// its own cache key, shared with the single /v1/analyze endpoint, so
+// hits are served from the LRU and concurrent identical items coalesce
+// onto one computation.
+type BatchRequest struct {
+	Items []AnalyzeRequest `json:"items"`
+}
+
+// normalize validates the batch envelope and canonicalizes every item.
+func (r BatchRequest) normalize() (BatchRequest, error) {
+	if len(r.Items) == 0 {
+		return r, badRequest("batch needs at least one item")
+	}
+	if len(r.Items) > MaxBatchItems {
+		return r, badRequest("%d items exceed the %d-item batch limit", len(r.Items), MaxBatchItems)
+	}
+	items := make([]AnalyzeRequest, len(r.Items))
+	for i, item := range r.Items {
+		norm, err := item.normalize()
+		if err != nil {
+			return r, badRequest("item %d: %v", i, err)
+		}
+		items[i] = norm
+	}
+	r.Items = items
+	return r, nil
+}
+
+// BatchResult is the typed response of /v1/analyze/batch. Items[i] holds
+// the canonical AnalyzeResult bytes of request item i, or the
+// deterministic error envelope {"error":"..."} when that item fails at
+// run time (an item failure does not fail its siblings). It satisfies
+// experiments.Result, so the CLI shares the render paths.
+type BatchResult struct {
+	Meta  experiments.Meta  `json:"meta"`
+	Items []json.RawMessage `json:"items"`
+}
+
+// Kind identifies the request kind that produced this result.
+func (r BatchResult) Kind() string { return kindAnalyzeBatch }
+
+// batchItemError is the in-band envelope of one failed item.
+type batchItemError struct {
+	Error string `json:"error"`
+}
+
+// decodeItem splits one response slot into its typed result or its error
+// envelope.
+func decodeItem(raw json.RawMessage) (*AnalyzeResult, string, error) {
+	var probe batchItemError
+	if err := json.Unmarshal(raw, &probe); err == nil && probe.Error != "" {
+		return nil, probe.Error, nil
+	}
+	var res AnalyzeResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, "", err
+	}
+	return &res, "", nil
+}
+
+// Render prints every item's verdict in item order.
+func (r BatchResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Batch analysis — %d items\n", len(r.Items))
+	for i, raw := range r.Items {
+		fmt.Fprintf(w, "--- item %d ---\n", i)
+		res, itemErr, err := decodeItem(raw)
+		switch {
+		case err != nil:
+			fmt.Fprintf(w, "  undecodable item: %v\n", err)
+		case itemErr != "":
+			fmt.Fprintf(w, "  error: %s\n", itemErr)
+		default:
+			res.Render(w)
+		}
+	}
+}
+
+// WriteCSV emits every item's rows, prefixed by an item-separator
+// comment row so the concatenation stays splittable.
+func (r BatchResult) WriteCSV(w io.Writer) {
+	for i, raw := range r.Items {
+		fmt.Fprintf(w, "# item %d\n", i)
+		res, itemErr, err := decodeItem(raw)
+		switch {
+		case err != nil:
+			fmt.Fprintf(w, "# undecodable item: %v\n", err)
+		case itemErr != "":
+			experiments.WriteCSVRow(w, "error", itemErr)
+		default:
+			res.WriteCSV(w)
+		}
+	}
+}
+
+// BatchItemFunc observes one completed batch item. Calls arrive in
+// strict item order (0, 1, 2, …) regardless of the completion order of
+// the underlying pool workers; data holds the item's canonical result
+// bytes — or, for a failed item, nil with err set.
+type BatchItemFunc func(index int, data []byte, hit bool, err error)
+
+// batchOutcome is the collected result of one fanned-out item.
+type batchOutcome struct {
+	b   []byte
+	hit bool
+	err error
+}
+
+// AnalyzeBatch answers one batch analysis request. The batch occupies a
+// single campaign-pool slot (like an experiment run) and fans its items
+// out over the service's worker pool; each item goes through the shared
+// per-item cache and flight coalescing. onItem, when non-nil, receives
+// every completed item in item order — the streaming endpoint's per-item
+// framing. The returned bytes are the canonical BatchResult envelope
+// (deterministic: identical batches yield identical bytes, however the
+// items were scheduled or cached); the bool reports whether every item
+// was a cache hit. Cancellation aborts the fan-out: unstarted items are
+// never computed, and since only complete item results are ever cached,
+// an aborted batch leaves no partial state behind.
+func (s *Service) AnalyzeBatch(ctx context.Context, raw []byte, onItem BatchItemFunc) ([]byte, bool, error) {
+	s.requests.Add(1)
+	req, err := decodeStrict[BatchRequest](raw)
+	if err != nil {
+		s.errs.Add(1)
+		return nil, false, err
+	}
+	norm, err := req.normalize()
+	if err != nil {
+		s.errs.Add(1)
+		return nil, false, err
+	}
+	keys := make([]cacheKey, len(norm.Items))
+	for i, item := range norm.Items {
+		if keys[i], err = analyzeKey(item); err != nil {
+			s.errs.Add(1)
+			return nil, false, err
+		}
+	}
+
+	// One pool slot for the whole batch, exactly like an experiment run.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.errs.Add(1)
+		return nil, false, &Error{Status: http.StatusServiceUnavailable, Msg: "canceled while queued: " + ctx.Err().Error()}
+	}
+	defer func() { <-s.sem }()
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	n := len(norm.Items)
+	outcomes := make([]batchOutcome, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	mapDone := make(chan error, 1)
+	go func() {
+		_, mapErr := campaign.MapPlain(n, campaign.Options{
+			Workers: s.cfg.Workers,
+			Abort:   ctx.Done(),
+		}, func(i int) struct{} {
+			b, hit, err := s.serveItem(ctx, keys[i], func() (experiments.Result, error) {
+				return s.runAnalyze(norm.Items[i])
+			})
+			outcomes[i] = batchOutcome{b: b, hit: hit, err: err}
+			close(ready[i])
+			return struct{}{}
+		})
+		mapDone <- mapErr
+	}()
+
+	// Deliver items in strict item order while the pool keeps computing
+	// ahead; bail out as soon as the request context dies.
+	items := make([]json.RawMessage, n)
+	allHit := true
+	for i := 0; i < n; i++ {
+		select {
+		case <-ready[i]:
+		case <-ctx.Done():
+			<-mapDone // workers observe the abort; no goroutine leaks
+			s.errs.Add(1)
+			return nil, false, &Error{Status: http.StatusServiceUnavailable, Msg: "canceled during batch: " + ctx.Err().Error()}
+		}
+		out := outcomes[i]
+		if onItem != nil {
+			onItem(i, out.b, out.hit, out.err)
+		}
+		switch {
+		case out.err != nil:
+			allHit = false
+			// Deterministic in-band error envelope: an item failure (an
+			// unstabilizable plant constraint, say) must not fail its
+			// siblings, and identical batches must keep returning
+			// identical bytes.
+			env, err := json.Marshal(batchItemError{Error: out.err.Error()})
+			if err != nil {
+				<-mapDone
+				return nil, false, err
+			}
+			items[i] = env
+		default:
+			if !out.hit {
+				allHit = false
+			}
+			items[i] = json.RawMessage(bytes.TrimRight(out.b, "\n"))
+		}
+	}
+	if mapErr := <-mapDone; mapErr != nil {
+		s.errs.Add(1)
+		return nil, false, &Error{Status: http.StatusServiceUnavailable, Msg: "canceled during batch: " + mapErr.Error()}
+	}
+	if err := ctx.Err(); err != nil {
+		s.errs.Add(1)
+		return nil, false, &Error{Status: http.StatusServiceUnavailable, Msg: "canceled during batch: " + err.Error()}
+	}
+
+	res := BatchResult{
+		Meta:  experiments.Meta{Kind: kindAnalyzeBatch, Schema: experiments.SchemaVersion, Items: n},
+		Items: items,
+	}
+	var buf bytes.Buffer
+	if err := experiments.EncodeJSON(&buf, res); err != nil {
+		s.errs.Add(1)
+		return nil, false, err
+	}
+	return buf.Bytes(), allHit, nil
+}

@@ -1,0 +1,464 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate golden files instead of comparing")
+
+// batchBody builds a batch of n task-set items with per-item distinct
+// parameters, so every item is its own cache entry.
+func batchBody(n int) []byte {
+	items := make([]string, n)
+	for i := range items {
+		items[i] = fmt.Sprintf(
+			`{"tasks":[{"bcet":0.001,"wcet":0.002,"period":%g},{"bcet":0.002,"wcet":0.005,"period":%g}]}`,
+			0.01+float64(i)*1e-4, 0.05+float64(i)*1e-4)
+	}
+	return []byte(`{"items":[` + strings.Join(items, ",") + `]}`)
+}
+
+func mustBatch(t *testing.T, s *Service, body []byte) ([]byte, bool) {
+	t.Helper()
+	b, hit, err := s.AnalyzeBatch(context.Background(), body, nil)
+	if err != nil {
+		t.Fatalf("AnalyzeBatch: %v", err)
+	}
+	return b, hit
+}
+
+func TestBatchDeterminism(t *testing.T) {
+	body := batchBody(8)
+	s := newTestService()
+	first, hit := mustBatch(t, s, body)
+	if hit {
+		t.Fatal("fresh batch reported all-hit")
+	}
+	// Repeat on the same service: every item now hits the cache, bytes
+	// identical.
+	second, hit := mustBatch(t, s, body)
+	if !hit {
+		t.Fatal("repeated batch did not hit the per-item cache")
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("repeat returned different bytes:\n%s\n%s", first, second)
+	}
+	// Worker-count invariance on fresh services.
+	w1, _ := mustBatch(t, New(Config{Workers: 1}), body)
+	w8, _ := mustBatch(t, New(Config{Workers: 8}), body)
+	if !bytes.Equal(w1, w8) || !bytes.Equal(first, w1) {
+		t.Fatal("batch bytes differ across worker counts")
+	}
+}
+
+// TestBatchItemsMatchSingleAnalyze pins the contract that a batch is
+// exactly its items: slot i of the envelope carries the same canonical
+// bytes the single /v1/analyze endpoint returns for that request, and
+// the two share cache entries in both directions.
+func TestBatchItemsMatchSingleAnalyze(t *testing.T) {
+	s := newTestService()
+	body := batchBody(4)
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		t.Fatal(err)
+	}
+	// Warm item 2 through the single endpoint first.
+	itemRaw, err := json.Marshal(req.Items[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	single2, hit, err := s.Analyze(context.Background(), itemRaw)
+	if err != nil || hit {
+		t.Fatalf("single analyze: hit=%v err=%v", hit, err)
+	}
+
+	var hits []bool
+	b, _, err := s.AnalyzeBatch(context.Background(), body, func(i int, data []byte, hit bool, err error) {
+		if err != nil {
+			t.Errorf("item %d errored: %v", i, err)
+		}
+		if i != len(hits) {
+			t.Errorf("item %d delivered out of order (want %d)", i, len(hits))
+		}
+		hits = append(hits, hit)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 4 || !hits[2] || hits[0] || hits[1] || hits[3] {
+		t.Fatalf("per-item cache status = %v, want only item 2 hit", hits)
+	}
+	var res BatchResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(res.Items[2]), strings.TrimRight(string(single2), "\n"); got != want {
+		t.Fatalf("batch slot differs from single analyze:\n%s\nvs\n%s", got, want)
+	}
+	// And the reverse direction: items computed by the batch serve
+	// subsequent single requests from the cache.
+	item0Raw, _ := json.Marshal(req.Items[0])
+	single0, hit, err := s.Analyze(context.Background(), item0Raw)
+	if err != nil || !hit {
+		t.Fatalf("single analyze after batch: hit=%v err=%v", hit, err)
+	}
+	if got := strings.TrimRight(string(single0), "\n"); got != string(res.Items[0]) {
+		t.Fatal("single analyze after batch returned different bytes")
+	}
+}
+
+// TestBatchItemError pins the in-band error envelope: a deterministic
+// runtime failure in one item (an unstabilizable plant constraint) does
+// not fail its siblings and keeps the whole response deterministic.
+func TestBatchItemError(t *testing.T) {
+	body := []byte(`{"items":[
+		{"tasks":[{"bcet":0.001,"wcet":0.002,"period":0.01}]},
+		{"tasks":[{"bcet":0.01,"wcet":0.02,"period":2,"plant":"inverted-pendulum"}]},
+		{"tasks":[{"bcet":0.001,"wcet":0.002,"period":0.02}]}
+	]}`)
+	s := newTestService()
+	b, allHit, err := s.AnalyzeBatch(context.Background(), body, nil)
+	if err != nil {
+		t.Fatalf("batch with failing item must not fail: %v", err)
+	}
+	if allHit {
+		t.Fatal("errored batch reported all-hit")
+	}
+	var res BatchResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatal(err)
+	}
+	var probe struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(res.Items[1], &probe); err != nil || probe.Error == "" {
+		t.Fatalf("item 1 should carry an error envelope, got %s", res.Items[1])
+	}
+	for _, i := range []int{0, 2} {
+		var ar AnalyzeResult
+		if err := json.Unmarshal(res.Items[i], &ar); err != nil || !ar.Schedulable {
+			t.Fatalf("sibling item %d damaged by the failing item: %s", i, res.Items[i])
+		}
+	}
+	// Errors are never cached, and re-running them stays deterministic.
+	b2, _, err := s.AnalyzeBatch(context.Background(), body, nil)
+	if err != nil || !bytes.Equal(b, b2) {
+		t.Fatalf("errored batch not byte-stable: err=%v", err)
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	s := newTestService()
+	big := `{"items":[` + strings.Repeat(`{"plant":"dc-servo","period":0.006},`, MaxBatchItems) +
+		`{"plant":"dc-servo","period":0.006}]}`
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"empty body", ``, http.StatusBadRequest},
+		{"no items", `{"items":[]}`, http.StatusBadRequest},
+		{"unknown field", `{"item":[]}`, http.StatusBadRequest},
+		{"too many items", big, http.StatusBadRequest},
+		{"bad item", `{"items":[{"tasks":[{"bcet":2,"wcet":1,"period":1}]}]}`, http.StatusBadRequest},
+		{"bad item method", `{"items":[{"tasks":[{"bcet":0.1,"wcet":0.2,"period":1}],"method":"zigzag"}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		_, _, err := s.AnalyzeBatch(context.Background(), []byte(tc.body), nil)
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if got := HTTPStatus(err); got != tc.status {
+			t.Fatalf("%s: status %d, want %d (%v)", tc.name, got, tc.status, err)
+		}
+	}
+	// A bad item names its index.
+	_, _, err := s.AnalyzeBatch(context.Background(),
+		[]byte(`{"items":[{"plant":"dc-servo","period":0.006},{"plant":"nonesuch","period":0.006}]}`), nil)
+	if err == nil || !strings.Contains(err.Error(), "item 1") {
+		t.Fatalf("item error does not name its index: %v", err)
+	}
+}
+
+// TestBatchCancellation cancels a batch mid-flight and verifies the two
+// invariants the streaming path depends on: the call fails with 503, and
+// the cache holds no partial state — a subsequent identical batch
+// returns exactly the bytes an untouched service computes.
+func TestBatchCancellation(t *testing.T) {
+	// Plant items are the slowest analyze kernels (LQG synthesis plus a
+	// jitter-margin sweep each), so the fan-out is reliably still running
+	// when the cancel lands after the first delivered item.
+	items := make([]string, 24)
+	for i := range items {
+		items[i] = fmt.Sprintf(`{"plant":"dc-servo","period":%g}`, 0.004+float64(i)*1e-4)
+	}
+	body := []byte(`{"items":[` + strings.Join(items, ",") + `]}`)
+
+	s := New(Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, _, err := s.AnalyzeBatch(ctx, body, func(i int, data []byte, hit bool, err error) {
+		if i == 0 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("canceled batch returned no error")
+	}
+	if got := HTTPStatus(err); got != http.StatusServiceUnavailable {
+		t.Fatalf("canceled batch status = %d, want 503 (%v)", got, err)
+	}
+
+	// No partial state: the same service must now produce exactly what a
+	// fresh service does, whether an item was cached before the cancel,
+	// computed mid-cancel, or never started.
+	after, _ := mustBatch(t, s, body)
+	fresh, _ := mustBatch(t, New(Config{Workers: 2}), body)
+	if !bytes.Equal(after, fresh) {
+		t.Fatal("post-cancel batch bytes differ from a fresh service's")
+	}
+}
+
+// TestBatchStreamHTTP drives the chunked endpoint: per-item lines arrive
+// in item order with per-item cache status, terminated by a done line.
+func TestBatchStreamHTTP(t *testing.T) {
+	s := newTestService()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body := batchBody(3)
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		t.Fatal(err)
+	}
+	// Warm item 1 through the single endpoint.
+	itemRaw, _ := json.Marshal(req.Items[1])
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", bytes.NewReader(itemRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(srv.URL+"/v1/analyze/batch?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	type line struct {
+		Item   *int            `json:"item"`
+		Cache  string          `json:"cache"`
+		Result json.RawMessage `json:"result"`
+		Error  string          `json:"error"`
+		Done   *int            `json:"done"`
+	}
+	var lines []line
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 3 items + done", len(lines))
+	}
+	for i := 0; i < 3; i++ {
+		l := lines[i]
+		if l.Item == nil || *l.Item != i {
+			t.Fatalf("line %d out of order: %+v", i, l)
+		}
+		want := "miss"
+		if i == 1 {
+			want = "hit"
+		}
+		if l.Cache != want {
+			t.Fatalf("item %d cache = %q, want %q", i, l.Cache, want)
+		}
+		var ar AnalyzeResult
+		if err := json.Unmarshal(l.Result, &ar); err != nil {
+			t.Fatalf("item %d result undecodable: %v", i, err)
+		}
+	}
+	if lines[3].Done == nil || *lines[3].Done != 3 {
+		t.Fatalf("missing done line: %+v", lines[3])
+	}
+
+	// The plain endpoint on the now-fully-cached batch reports X-Cache
+	// hit and returns the canonical envelope.
+	resp, err = http.Post(srv.URL+"/v1/analyze/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("X-Cache = %q after streaming warmed every item", got)
+	}
+}
+
+// TestBatchBodyLimits pins the endpoint's body cap: a batch sized to the
+// documented MaxBatchItems limit (well over the single-analyze 1 MiB
+// cap) must be accepted, and only genuinely oversized bodies get 413.
+func TestBatchBodyLimits(t *testing.T) {
+	s := newTestService()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// 1024 items of 25-task sets ≈ 2.9 MB: legal, and past 1 MiB.
+	var tasks []string
+	for j := 0; j < 25; j++ {
+		tasks = append(tasks, fmt.Sprintf(`{"bcet":0.00001,"wcet":0.00002,"period":%g}`, 0.01+float64(j)*0.01))
+	}
+	item := `{"tasks":[` + strings.Join(tasks, ",") + `],"method":"rm"}`
+	items := make([]string, MaxBatchItems)
+	for i := range items {
+		items[i] = item
+	}
+	body := `{"items":[` + strings.Join(items, ",") + `]}`
+	if len(body) <= maxBodyBytes {
+		t.Fatalf("test body only %d bytes; does not exercise the batch cap", len(body))
+	}
+	resp, err := http.Post(srv.URL+"/v1/analyze/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full-size batch rejected with %d", resp.StatusCode)
+	}
+
+	// Truly oversized bodies still 413.
+	huge := body + strings.Repeat(" ", maxBatchBodyBytes)
+	resp, err = http.Post(srv.URL+"/v1/analyze/batch", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch got %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestBatchHammerRace mixes concurrent batches and single analyzes over
+// an overlapping item set; run under -race this exercises the shared
+// cache, flight map, and pool. Every response for the same request must
+// be byte-identical.
+func TestBatchHammerRace(t *testing.T) {
+	s := New(Config{Workers: 2, MaxConcurrent: 3, CacheEntries: 64})
+	body := batchBody(6)
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := mustBatch(t, New(Config{Workers: 2}), body)
+	singleRefs := make([][]byte, len(req.Items))
+	for i, item := range req.Items {
+		raw, _ := json.Marshal(item)
+		b, _, err := New(Config{Workers: 1}).Analyze(context.Background(), raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singleRefs[i] = b
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				b, _, err := s.AnalyzeBatch(context.Background(), body, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(b, ref) {
+					errs <- fmt.Errorf("batch bytes diverged")
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 6; rep++ {
+				i := (g + rep) % len(req.Items)
+				raw, _ := json.Marshal(req.Items[i])
+				b, _, err := s.Analyze(context.Background(), raw)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(b, singleRefs[i]) {
+					errs <- fmt.Errorf("single analyze bytes diverged for item %d", i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenAnalyzeBatch byte-compares a fixed batch response against the
+// committed fixture, like the experiment goldens: a numerical regression
+// in any analyze kernel (rta, jitter, lqg, assign) fails this test.
+// Regenerate intentionally with
+//
+//	go test ./internal/service -run TestGolden -update
+func TestGoldenAnalyzeBatch(t *testing.T) {
+	body := []byte(`{"items":[
+		{"tasks":[
+			{"name":"a","bcet":0.05,"wcet":0.1,"period":1},
+			{"name":"b","bcet":0.1,"wcet":0.2,"period":2},
+			{"name":"c","bcet":0.2,"wcet":0.4,"period":4}
+		]},
+		{"tasks":[{"bcet":1,"wcet":1,"period":1},{"bcet":1,"wcet":1,"period":1}]},
+		{"plant":"dc-servo","period":0.006},
+		{"tasks":[{"bcet":0.01,"wcet":0.02,"period":2,"plant":"inverted-pendulum"}]},
+		{"tasks":[
+			{"name":"x","bcet":0.002,"wcet":0.004,"period":0.012,"plant":"dc-servo"},
+			{"name":"y","bcet":0.001,"wcet":0.003,"period":0.008,"plant":"fast-servo"}
+		],"method":"unsafe"}
+	]}`)
+	got, _ := mustBatch(t, New(Config{Workers: 2}), body)
+	path := filepath.Join("testdata", "golden", "analyze_batch.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s — regenerate with `go test ./internal/service -run TestGolden -update`: %v", path, err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("batch response deviates from %s.\nIf the change is intentional, regenerate with `go test ./internal/service -run TestGolden -update` and commit the diff.\ngot:\n%s", path, got)
+	}
+}

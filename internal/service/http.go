@@ -16,27 +16,37 @@ import (
 	"time"
 )
 
-// maxBodyBytes bounds request bodies; analysis configs are tiny.
-const maxBodyBytes = 1 << 20
+// maxBodyBytes bounds request bodies; analysis configs are tiny. Batch
+// bodies get a larger cap: a full MaxBatchItems batch of wide task sets
+// runs to several MB, and the documented item limit must be reachable.
+const (
+	maxBodyBytes      = 1 << 20
+	maxBatchBodyBytes = 8 << 20
+)
 
 // Handler mounts the service's HTTP API:
 //
 //	GET  /healthz                    — liveness + counters
 //	POST /v1/experiments/{kind}      — run (or serve cached) experiment
 //	POST /v1/analyze                 — single task-set / plant analysis
+//	POST /v1/analyze/batch           — N analyze queries in one request
 //
 // Experiment and analyze responses are the canonical JSON result bytes;
 // identical requests return identical bytes whether computed or cached.
-// Plain responses say which via the X-Cache header. Appending ?stream=1
-// to an experiment request switches to chunked JSON — progress lines, a
-// cache-status line, then a final result line; there the cache status
-// travels in-band because a coalesced joiner's headers are already on
-// the wire before its cache status is known.
+// Plain responses say which via the X-Cache header (a batch reports
+// "hit" only when every item hit). Appending ?stream=1 to an experiment
+// request switches to chunked JSON — progress lines, a cache-status
+// line, then a final result line; on a batch request it streams one
+// line per item, in item order, each carrying its own cache status. The
+// cache status travels in-band on streamed responses because a
+// coalesced joiner's headers are already on the wire before its cache
+// status is known.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/v1/experiments/", s.handleExperiment)
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/analyze/batch", s.handleAnalyzeBatch)
 	return mux
 }
 
@@ -47,8 +57,8 @@ func writeError(w http.ResponseWriter, err error) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
-func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
@@ -82,7 +92,7 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Msg: "use POST"})
 		return
 	}
-	body, err := readBody(w, r)
+	body, err := readBody(w, r, maxBodyBytes)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -95,6 +105,82 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, b, hit)
 }
 
+func (s *Service) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Msg: "use POST"})
+		return
+	}
+	body, err := readBody(w, r, maxBatchBodyBytes)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+		s.streamAnalyzeBatch(w, r, body)
+		return
+	}
+	b, hit, err := s.AnalyzeBatch(r.Context(), body, nil)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResult(w, b, hit)
+}
+
+// streamAnalyzeBatch serves one batch as chunked JSON lines, one per
+// item in item order, then a terminator:
+//
+//	{"item":0,"cache":"miss","result":{...}}
+//	{"item":1,"cache":"hit","result":{...}}
+//	{"item":2,"error":"..."}
+//	...
+//	{"done":64}
+//
+// Item cache status travels in-band like the experiment stream's cache
+// line: headers freeze before any item's status is known. A batch-level
+// failure after streaming began arrives as a final {"error":...} line
+// (clients must treat it as failure; items already on the wire remain
+// valid individual results).
+func (s *Service) streamAnalyzeBatch(w http.ResponseWriter, r *http.Request, body []byte) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &Error{Status: http.StatusNotImplemented, Msg: "streaming unsupported by this connection"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Accel-Buffering", "no")
+
+	started := false
+	count := 0
+	onItem := func(index int, data []byte, hit bool, err error) {
+		started = true
+		count++
+		if err != nil {
+			fmt.Fprintf(w, `{"item":%d,"error":%s}`+"\n", index, mustJSONString(err.Error()))
+			flusher.Flush()
+			return
+		}
+		cache := "miss"
+		if hit {
+			cache = "hit"
+		}
+		fmt.Fprintf(w, `{"item":%d,"cache":%q,"result":%s}`+"\n", index, cache, bytes.TrimRight(data, "\n"))
+		flusher.Flush()
+	}
+	_, _, err := s.AnalyzeBatch(r.Context(), body, onItem)
+	if err != nil {
+		if !started {
+			writeError(w, err)
+			return
+		}
+		fmt.Fprintf(w, `{"error":%s}`+"\n", mustJSONString(err.Error()))
+		flusher.Flush()
+		return
+	}
+	fmt.Fprintf(w, `{"done":%d}`+"\n", count)
+	flusher.Flush()
+}
+
 func (s *Service) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	kind := strings.TrimPrefix(r.URL.Path, "/v1/experiments/")
 	if kind == "" || strings.Contains(kind, "/") {
@@ -105,7 +191,7 @@ func (s *Service) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Msg: "use POST"})
 		return
 	}
-	body, err := readBody(w, r)
+	body, err := readBody(w, r, maxBodyBytes)
 	if err != nil {
 		writeError(w, err)
 		return

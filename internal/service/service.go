@@ -287,7 +287,15 @@ func (s *Service) Experiment(ctx context.Context, kind string, rawCfg []byte, pr
 // Analyze answers one single-task-set analysis request (see
 // AnalyzeRequest): priority assignment plus exact response-time and
 // stability analysis, or an LQG/jitter-margin plant query.
+//
+// Single-item analyses are lightweight next to experiment campaigns, so
+// they are served on the item path: per-item cache lookup and flight
+// coalescing, but no campaign-pool admission. That keeps their latency
+// flat under pool pressure and — deliberately — means a single analyze
+// and a /v1/analyze/batch item with the same canonical request share one
+// cache key and one flight.
 func (s *Service) Analyze(ctx context.Context, raw []byte) ([]byte, bool, error) {
+	s.requests.Add(1)
 	req, err := decodeStrict[AnalyzeRequest](raw)
 	if err != nil {
 		s.errs.Add(1)
@@ -298,14 +306,24 @@ func (s *Service) Analyze(ctx context.Context, raw []byte) ([]byte, bool, error)
 		s.errs.Add(1)
 		return nil, false, err
 	}
-	canonical, err := canonicalBytes(norm)
+	key, err := analyzeKey(norm)
 	if err != nil {
 		s.errs.Add(1)
 		return nil, false, err
 	}
-	return s.serve(ctx, makeKey(kindAnalyze, canonical), nil, func(_ experiments.ProgressFunc, _ <-chan struct{}) (experiments.Result, error) {
+	return s.serveItem(ctx, key, func() (experiments.Result, error) {
 		return s.runAnalyze(norm)
 	})
+}
+
+// analyzeKey derives the cache key of one normalized analyze item; the
+// single and batch endpoints share it, so their results coalesce.
+func analyzeKey(norm AnalyzeRequest) (cacheKey, error) {
+	canonical, err := canonicalBytes(norm)
+	if err != nil {
+		return cacheKey{}, err
+	}
+	return makeKey(kindAnalyze, canonical), nil
 }
 
 // serve is the shared request path: cache lookup, coalescing with any
@@ -357,6 +375,73 @@ func (s *Service) serve(ctx context.Context, key cacheKey, progress experiments.
 		close(f.done)
 		return b, hit, err
 	}
+}
+
+// serveItem is the request path of one analyze item (a single
+// /v1/analyze request, or one slot of a /v1/analyze/batch fan-out):
+// cache lookup, coalescing with any identical in-flight item, direct
+// execution, canonical encoding, cache fill. Unlike serve it performs no
+// pool admission — items are cheap relative to experiment campaigns, and
+// a batch already holds one pool slot for all of its items. Errors are
+// never cached; an aborted batch therefore leaves only complete item
+// results behind.
+func (s *Service) serveItem(ctx context.Context, key cacheKey, run func() (experiments.Result, error)) ([]byte, bool, error) {
+	for {
+		if b, ok := s.cache.get(key); ok {
+			s.hits.Add(1)
+			return b, true, nil
+		}
+		s.flightMu.Lock()
+		if f, ok := s.flights[key]; ok {
+			s.flightMu.Unlock()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					s.hits.Add(1)
+					return f.b, true, nil
+				}
+				// The leader failed; retry as an independent item (its
+				// failure may have been its own client's cancellation).
+				continue
+			case <-ctx.Done():
+				s.errs.Add(1)
+				return nil, false, &Error{Status: http.StatusServiceUnavailable, Msg: "canceled while coalesced: " + ctx.Err().Error()}
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.flightMu.Unlock()
+
+		b, err := s.executeItem(ctx, key, run)
+		f.b, f.err = b, err
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		close(f.done)
+		return b, false, err
+	}
+}
+
+// executeItem runs one item as its flight leader.
+func (s *Service) executeItem(ctx context.Context, key cacheKey, run func() (experiments.Result, error)) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		s.errs.Add(1)
+		return nil, &Error{Status: http.StatusServiceUnavailable, Msg: "canceled before execution: " + err.Error()}
+	}
+	s.misses.Add(1)
+	res, err := run()
+	if err != nil {
+		s.errs.Add(1)
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := experiments.EncodeJSON(&buf, res); err != nil {
+		s.errs.Add(1)
+		return nil, err
+	}
+	b := buf.Bytes()
+	s.cache.put(key, b)
+	return b, nil
 }
 
 // execute runs one request as the flight leader: pool admission, the

@@ -10,6 +10,7 @@
 //	ctrlsched fig5     [-benchmarks N] [-sizes 4,6,...,20] [-seed S] [-workers W] [-csv|-json]
 //	ctrlsched anomalies [-trials N] [-sizes ...] [-seed S] [-workers W] [-csv|-json]
 //	ctrlsched analyze  [-batch] [-workers W] [-csv|-json] < request.json
+//	ctrlsched codesign [-workers W] [-csv|-json] < request.json
 //	ctrlsched serve    [-addr :8080] [-workers W] [-concurrency C] ...
 //	ctrlsched all      (quick versions of everything)
 //
@@ -90,6 +91,8 @@ func main() {
 		runCompare(args)
 	case "analyze":
 		runAnalyze(args)
+	case "codesign":
+		runCodesign(args)
 	case "serve":
 		runServe(args)
 	case "all":
@@ -113,6 +116,8 @@ commands:
   compare    valid-assignment rate: RM vs slack-monotonic vs unsafe vs Alg. 1
   analyze    one task set or plant (JSON request on stdin; see README);
              -batch fans a {"items":[...]} request out over the worker pool
+  codesign   synthesize sampling periods + priorities for candidate loops
+             (JSON request on stdin; see README) — the co-design engine
   serve      run the HTTP analysis service in-process (same API as ctrlschedd)
   all        quick versions of all of the above`)
 }
@@ -266,6 +271,39 @@ func runAnalyze(args []string) {
 	// The service returns canonical JSON; re-decode into the typed result
 	// for the CSV/ASCII views.
 	var res service.AnalyzeResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched: decode result:", err)
+		os.Exit(1)
+	}
+	emit(res, *csv, false)
+}
+
+// runCodesign answers one /v1/codesign-shaped request from stdin through
+// the same service layer the daemon uses: synthesize the candidate
+// loops' sampling periods and the task set's priorities, minimizing
+// total delay-aware LQG cost under schedulability and jitter-margin
+// stability.
+func runCodesign(args []string) {
+	fs := flag.NewFlagSet("codesign", flag.ExitOnError)
+	workers := workersFlag(fs)
+	csv, jsonOut := outputFlags(fs)
+	fs.Parse(args)
+	body, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched: read stdin:", err)
+		os.Exit(1)
+	}
+	svc := service.New(service.Config{Workers: *workers})
+	b, _, err := svc.Codesign(context.Background(), body, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		os.Stdout.Write(b)
+		return
+	}
+	var res service.CodesignResult
 	if err := json.Unmarshal(b, &res); err != nil {
 		fmt.Fprintln(os.Stderr, "ctrlsched: decode result:", err)
 		os.Exit(1)

@@ -18,11 +18,20 @@
 //	                               fanned out over the worker pool with
 //	                               per-item caching; ?stream=1 emits one
 //	                               chunked line per item, in item order
+//	POST /v1/codesign            — co-design synthesis: choose sampling
+//	                               periods + priorities for candidate
+//	                               control loops minimizing total
+//	                               delay-aware LQG cost under
+//	                               schedulability and jitter-margin
+//	                               stability; ?stream=1 emits one
+//	                               progress line per candidate evaluated
 //
 // Responses are canonical JSON: identical requests return byte-identical
 // bodies, whether computed fresh, served from the LRU cache (see the
 // X-Cache header, or the {"cache":...} line on streamed responses), or
-// computed with a different worker count.
+// computed with a different worker count. Streaming requests on
+// connections without chunked-transfer support degrade to the plain
+// buffered response.
 package main
 
 import (

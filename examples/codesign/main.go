@@ -1,115 +1,80 @@
-// Co-design example: choosing a sampling period under resource sharing.
+// Co-design example: choosing a sampling period under resource sharing,
+// now driven end to end by the service's co-design engine (the same
+// code path as POST /v1/codesign and `ctrlsched codesign`).
 //
-// A new control loop (DC servo) must be added to a processor that already
-// runs two control tasks. Shorter sampling periods improve the loop's
-// own LQG cost — but they also increase processor load, inflating
-// everyone's latency and jitter. This example sweeps candidate periods
-// and reports, for each:
+// A new control loop (DC servo) must be added to a processor that
+// already runs two control loops. Shorter sampling periods improve the
+// new loop's own LQG cost — but they also increase processor load,
+// inflating everyone's latency and jitter. The engine sweeps the
+// candidate grid, assigns priorities per candidate (Algorithm 1 plus
+// cost-aware swap descent), scores each configuration by its total
+// delay-aware LQG cost, and co-simulates the winner.
 //
-//   - the loop's standalone LQG cost (the Fig. 2 curve),
-//   - whether a stable priority assignment still exists (Algorithm 1),
-//   - the co-simulated empirical cost of the new loop under the chosen
-//     priorities.
-//
-// The punchline mirrors the paper: the best period is NOT the shortest
-// schedulable one, and the cost is not monotone in the period.
+// The punchline mirrors the paper: the selected period is NOT the
+// shortest schedulable one. The 8 ms candidate is deadline-schedulable,
+// but its jitter-margin slope explodes (a ≈ 59 — a stability anomaly),
+// so no stable priority assignment exists there and the engine must
+// settle on a longer period.
 //
 // Run with: go run ./examples/codesign
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"os"
 
-	"ctrlsched/internal/assign"
-	"ctrlsched/internal/cosim"
-	"ctrlsched/internal/jitter"
-	"ctrlsched/internal/lqg"
-	"ctrlsched/internal/plant"
-	"ctrlsched/internal/rta"
+	"ctrlsched/internal/service"
 )
 
 func main() {
-	periods := []float64{0.004, 0.005, 0.006, 0.008, 0.010, 0.012, 0.016}
+	periods := []float64{0.005, 0.006, 0.008, 0.009, 0.010, 0.012, 0.016}
 	if err := run(os.Stdout, periods, 4); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// run sweeps the candidate periods, co-simulating each schedulable
-// configuration for horizon seconds, and writes the report to w. The
-// smoke test calls it with a short period list and horizon.
+// run synthesizes the new DC servo's period on top of the existing
+// workload, co-simulating for horizon seconds, and writes the report to
+// w. The smoke test calls it with a short period list and horizon.
 func run(w io.Writer, periods []float64, horizon float64) error {
-	// Existing workload: two loops with fixed designs.
-	base := []struct {
-		p *plant.Plant
-		h float64
-		c float64
-	}{
-		{plant.InvertedPendulum(), 0.008, 0.0024},
-		{plant.FastServo(), 0.010, 0.0030},
+	req := service.CodesignRequest{
+		BaseTasks: []service.TaskSpec{
+			{Name: "pendulum", Plant: "inverted-pendulum", BCET: 0.7 * 0.0024, WCET: 0.0024, Period: 0.008},
+			{Name: "fast-servo", Plant: "fast-servo", BCET: 0.7 * 0.0030, WCET: 0.0030, Period: 0.010},
+		},
+		Loops: []service.CodesignLoopSpec{{
+			Name:    "new-servo",
+			Plant:   "dc-servo",
+			BCET:    0.7 * 0.0015,
+			WCET:    0.0015,
+			Periods: periods,
+		}},
+		Horizon: horizon,
+		Refine:  1,
+		Seed:    42,
 	}
-	var baseTasks []rta.Task
-	var baseLoops []cosim.Loop
-	for _, b := range base {
-		d, err := lqg.Synthesize(b.p, b.h)
-		if err != nil {
-			return err
-		}
-		m, err := jitter.Analyze(d, jitter.Options{})
-		if err != nil {
-			return err
-		}
-		task := rta.Task{
-			Name: b.p.Name, BCET: 0.7 * b.c, WCET: b.c, Period: b.h,
-			ConA: m.A, ConB: m.B,
-		}
-		baseTasks = append(baseTasks, task)
-		baseLoops = append(baseLoops, cosim.Loop{Task: task, Design: d})
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
 	}
 
-	// Candidate periods for the new DC-servo loop; its execution time is
-	// fixed at 1.5 ms regardless of the period.
-	const exec = 0.0015
-	servo := plant.DCServo()
-	fmt.Fprintln(w, "period(ms)  standalone-cost  assignable  empirical-cost(new loop)")
-	bestH, bestCost := 0.0, 0.0
-	for _, h := range periods {
-		d, err := lqg.Synthesize(servo, h)
-		if err != nil {
-			fmt.Fprintf(w, "%9.1f   %15s  %10s\n", h*1000, "unstabilizable", "-")
-			continue
-		}
-		m, err := jitter.Analyze(d, jitter.Options{})
-		if err != nil {
-			fmt.Fprintf(w, "%9.1f   %15.3f  %10s\n", h*1000, d.Cost, "no margin")
-			continue
-		}
-		task := rta.Task{
-			Name: "new-servo", BCET: 0.7 * exec, WCET: exec, Period: h,
-			ConA: m.A, ConB: m.B,
-		}
-		tasks := append(append([]rta.Task{}, baseTasks...), task)
-		res := assign.Backtracking(tasks)
-		if !res.Valid {
-			fmt.Fprintf(w, "%9.1f   %15.3f  %10s\n", h*1000, d.Cost, "NO")
-			continue
-		}
-		loops := append(append([]cosim.Loop{}, baseLoops...), cosim.Loop{Task: task, Design: d})
-		cres, err := cosim.Run(loops, res.Priorities, cosim.Config{Horizon: horizon, Seed: 42})
-		if err != nil {
-			return err
-		}
-		emp := cres.Loops[len(loops)-1].Cost
-		fmt.Fprintf(w, "%9.1f   %15.3f  %10s  %18.3f\n", h*1000, d.Cost, "yes", emp)
-		if bestH == 0 || emp < bestCost {
-			bestH, bestCost = h, emp
-		}
+	svc := service.New(service.Config{})
+	b, _, err := svc.Codesign(context.Background(), body, nil)
+	if err != nil {
+		return err
 	}
-	if bestH != 0 {
-		fmt.Fprintf(w, "\nbest co-designed period: %.1f ms (empirical cost %.3f)\n", bestH*1000, bestCost)
+	var res service.CodesignResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		return err
+	}
+	res.Render(w)
+	if res.Feasible {
+		fmt.Fprintf(w, "\nbest co-designed period: %.1f ms (total delay-aware cost %.3f)\n",
+			res.Periods[0]*1000, float64(res.TotalCost))
 		fmt.Fprintln(w, "note the non-monotonicity: shorter periods are not uniformly better,")
 		fmt.Fprintln(w, "and some short periods admit no stable priority assignment at all.")
 	}

@@ -6,19 +6,23 @@ import (
 	"testing"
 )
 
-// TestCodesignSweep runs the co-design sweep on two candidate periods
-// with a short co-simulation horizon and checks that at least one
-// period is schedulable and a best period is reported.
+// TestCodesignSweep drives the engine-backed example on the paper grid
+// with a short co-simulation horizon and checks the punchline output: a
+// best period is reported and the selected period is not the shortest
+// schedulable candidate.
 func TestCodesignSweep(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, []float64{0.006, 0.012}, 0.5); err != nil {
+	if err := run(&buf, []float64{0.005, 0.006, 0.008, 0.009, 0.010, 0.012, 0.016}, 0.5); err != nil {
 		t.Fatalf("codesign failed: %v\noutput:\n%s", err, buf.String())
 	}
 	out := buf.String()
-	if !strings.Contains(out, "yes") {
-		t.Fatalf("no schedulable period found:\n%s", out)
-	}
 	if !strings.Contains(out, "best co-designed period:") {
 		t.Fatalf("no best period reported:\n%s", out)
+	}
+	if !strings.Contains(out, "NOT the shortest schedulable") {
+		t.Fatalf("punchline note missing:\n%s", out)
+	}
+	if !strings.Contains(out, "<- selected") {
+		t.Fatalf("candidate table missing selection marker:\n%s", out)
 	}
 }

@@ -110,6 +110,22 @@ func newEvaluator(tasks []rta.Task, memoize bool, stats *Stats) *evaluator {
 	return e
 }
 
+// reset rebinds an evaluator to a new search without dropping its
+// buffers: the rta workspace keeps its capacity and the memo map is
+// cleared, not reallocated. Memo entries never survive a reset — they
+// are only meaningful for one fixed task slice.
+func (e *evaluator) reset(tasks []rta.Task, memoize bool, stats *Stats) {
+	e.tasks, e.stats = tasks, stats
+	switch {
+	case !memoize:
+		e.memo = nil
+	case e.memo == nil:
+		e.memo = make(map[uint64]evalRecord)
+	default:
+		clear(e.memo)
+	}
+}
+
 // record computes (or recalls) the exact analysis record of tasks[i] at
 // the lowest priority among the subset `set` (hp = set \ {i}).
 func (e *evaluator) record(set uint32, i int) evalRecord {
@@ -180,11 +196,36 @@ func Backtracking(tasks []rta.Task) Result {
 	return BacktrackingOpts(tasks, Options{})
 }
 
-// BacktrackingOpts runs Algorithm 1: assign priority levels bottom-up; at
-// each level try every remaining task that is stable there, recurse, and
-// backtrack when the remainder cannot be completed. Complete: if any
-// stable assignment exists, one is returned.
+// BacktrackingOpts runs Algorithm 1 with a fresh Searcher. Callers that
+// search many task-set variants in a loop (the co-design engine, the
+// batch service) should hold a Searcher and call its Backtracking method
+// instead, so the scratch buffers and the memo map are reused across
+// searches.
 func BacktrackingOpts(tasks []rta.Task, opt Options) Result {
+	var s Searcher
+	return s.Backtracking(tasks, opt)
+}
+
+// Searcher owns the reusable state of repeated backtracking searches:
+// the evaluator (rta workspace + memo map), the per-level candidate
+// buffers, and the priority scratch vector. A zero Searcher is ready to
+// use; after the first search its buffers are retained, so searching
+// many task-set variants of the same size performs no per-search heap
+// allocation beyond the returned Priorities slice. A Searcher must not
+// be shared between goroutines.
+type Searcher struct {
+	ev       evaluator
+	orderBuf []int
+	slackBuf []float64
+	prio     []int
+}
+
+// Backtracking runs the paper's Algorithm 1 on this searcher's reusable
+// buffers: assign priority levels bottom-up; at each level try every
+// remaining task that is stable there, recurse, and backtrack when the
+// remainder cannot be completed. Complete: if any stable assignment
+// exists, one is returned. Results are identical to BacktrackingOpts.
+func (s *Searcher) Backtracking(tasks []rta.Task, opt Options) Result {
 	n := len(tasks)
 	if n == 0 {
 		return Result{Priorities: []int{}, Valid: true}
@@ -192,16 +233,26 @@ func BacktrackingOpts(tasks []rta.Task, opt Options) Result {
 	if n > maxTasks {
 		panic("assign: too many tasks for bitmask representation")
 	}
-	prio := make([]int, n)
 	res := Result{}
-	ev := newEvaluator(tasks, opt.Memoize, &res.Stats)
+	s.ev.reset(tasks, opt.Memoize, &res.Stats)
+	ev := &s.ev
 
 	// Per-level candidate buffers (one row per recursion depth) and the
-	// slack lookup are allocated once for the whole search.
-	orderBuf := make([]int, n*n)
+	// slack lookup are retained across searches.
+	if cap(s.prio) < n {
+		s.prio = make([]int, n)
+	}
+	prio := s.prio[:n]
+	if cap(s.orderBuf) < n*n {
+		s.orderBuf = make([]int, n*n)
+	}
+	orderBuf := s.orderBuf[:n*n]
 	var slackBuf []float64
 	if opt.OrderBySlack {
-		slackBuf = make([]float64, n)
+		if cap(s.slackBuf) < n {
+			s.slackBuf = make([]float64, n)
+		}
+		slackBuf = s.slackBuf[:n]
 	}
 
 	// nodes counts recursion entries. With memoization a search can walk
@@ -245,7 +296,9 @@ func BacktrackingOpts(tasks []rta.Task, opt Options) Result {
 	}
 
 	if bt(uint32(1)<<uint(n)-1, 1) {
-		res.Priorities = prio
+		// Copy out of the searcher's scratch: the result must stay valid
+		// after the next search reuses the buffer.
+		res.Priorities = append([]int(nil), prio...)
 		res.Valid = true // by construction: every level verified exactly
 	}
 	return res

@@ -28,11 +28,26 @@ import (
 	"ctrlsched/internal/sim"
 )
 
-// Loop couples one control task with its plant and controller design.
+// Loop couples one control task with its plant and controller design. A
+// nil Design marks an interference-only task: it participates in the
+// discrete-event scheduling pass (consuming processor time and delaying
+// the control loops below it) but integrates no plant, so its LoopResult
+// stays zero. The co-design engine uses this for base tasks that carry a
+// stability constraint without a co-simulated plant model.
 type Loop struct {
 	Task   rta.Task
 	Design *lqg.Design
 }
+
+// DivergenceThreshold is the |x|∞ level beyond which a co-simulated
+// trajectory is declared diverged: integration stops and the loop's
+// MaxState records the blow-up. Stable loops in this repository's
+// benchmark library stay orders of magnitude below it.
+const DivergenceThreshold = 1e9
+
+// Diverged reports whether the loop's trajectory blew up (the empirical
+// counterpart of a violated stability constraint).
+func (r LoopResult) Diverged() bool { return r.MaxState > DivergenceThreshold }
 
 // Config controls a co-simulation run.
 type Config struct {
@@ -96,6 +111,9 @@ func Run(loops []Loop, prio []int, cfg Config) (*Result, error) {
 
 	res := &Result{Sched: sres, Loops: make([]LoopResult, len(loops))}
 	for i := range loops {
+		if loops[i].Design == nil {
+			continue // interference-only task: scheduled, not integrated
+		}
 		res.Loops[i] = runLoop(&loops[i], i, sres, cfg)
 	}
 	return res, nil
@@ -160,7 +178,7 @@ func runLoop(lp *Loop, taskIdx int, sres *sim.Result, cfg Config) LoopResult {
 				}
 			}
 			now += step
-			if maxState > 1e9 {
+			if maxState > DivergenceThreshold {
 				// Diverged: stop integrating, report blow-up.
 				return
 			}
@@ -169,7 +187,7 @@ func runLoop(lp *Loop, taskIdx int, sres *sim.Result, cfg Config) LoopResult {
 
 	samples := 0
 	for _, j := range jobs {
-		if maxState > 1e9 {
+		if maxState > DivergenceThreshold {
 			break
 		}
 		// The task samples y at its release and actuates at its finish.
@@ -195,7 +213,7 @@ func runLoop(lp *Loop, taskIdx int, sres *sim.Result, cfg Config) LoopResult {
 		samples++
 	}
 	// Tail: integrate to the horizon.
-	if maxState <= 1e9 {
+	if maxState <= DivergenceThreshold {
 		integrate(cfg.Horizon)
 	}
 

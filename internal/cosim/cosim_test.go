@@ -186,3 +186,37 @@ func TestDeterminismWithSeed(t *testing.T) {
 		t.Fatalf("cost differs across identical seeds: %v vs %v", r1.Loops[0].Cost, r2.Loops[0].Cost)
 	}
 }
+
+// TestInterferenceOnlyLoop pins the nil-Design contract: the task is
+// scheduled (its preemptions delay lower-priority control jobs) but no
+// plant is integrated for it, and its LoopResult stays zero.
+func TestInterferenceOnlyLoop(t *testing.T) {
+	ctl := servoLoop(t, 0.006)
+	noise := Loop{Task: rta.Task{
+		Name: "interference", BCET: 0.002, WCET: 0.002, Period: 0.004,
+		ConA: 1, ConB: 0.004,
+	}}
+	// Interference at higher priority: the servo's actuation now lags.
+	res, err := Run([]Loop{ctl, noise}, []int{1, 2}, Config{Horizon: 3, Seed: 1, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loops[1] != (LoopResult{}) {
+		t.Fatalf("interference-only loop produced a result: %+v", res.Loops[1])
+	}
+	if res.Loops[0].Samples < 100 {
+		t.Fatalf("controlled loop starved: %d samples", res.Loops[0].Samples)
+	}
+	if res.Loops[0].Diverged() {
+		t.Fatal("well-margined servo diverged under interference")
+	}
+	// The same servo alone actuates earlier, so its cost differs: the
+	// interference must actually reach the schedule.
+	alone, err := Run([]Loop{ctl}, []int{1}, Config{Horizon: 3, Seed: 1, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alone.Loops[0].Cost == res.Loops[0].Cost {
+		t.Fatal("interference task did not affect the controlled loop's schedule")
+	}
+}

@@ -24,6 +24,11 @@ const (
 	KindFig5      = "fig5"
 	KindAnomalies = "anomalies"
 	KindCompare   = "compare"
+	// KindCodesign is the co-design synthesis endpoint's kind; it is not
+	// an experiment campaign and is routed as POST /v1/codesign rather
+	// than under /v1/experiments/, but its result shares this metadata
+	// and schema-version scheme.
+	KindCodesign = "codesign"
 )
 
 // Meta is the provenance header shared by every experiment result: which

@@ -1,0 +1,147 @@
+package lqg
+
+import (
+	"math"
+
+	"ctrlsched/internal/lti"
+	"ctrlsched/internal/lyap"
+	"ctrlsched/internal/mat"
+)
+
+// DelayedCost evaluates the stationary cost density of a design when its
+// control signal reaches the plant with a constant delay (seconds)
+// instead of instantaneously. This is the delay-aware counterpart of
+// Design.Cost and the objective kernel of the co-design engine: the
+// response-time analysis turns a schedule into a worst-case delay L + J
+// per loop, and DelayedCost turns that delay into control cost, so
+// "total LQG cost" can be minimized over periods and priorities instead
+// of merely constrained by Eq. (5).
+//
+// The computation is exact for a constant delay: the plant is
+// discretized with the fractional input delay (lti.DiscretizeWithDelay),
+// the unchanged observer-based controller is closed around the augmented
+// system, the stationary covariance solves a discrete Lyapunov equation,
+// and the per-period cost splits the sampling interval at the switching
+// instant τ — the old input acts on [0, τ), the new one on [τ, h) — with
+// each segment discretized by Van Loan's block exponential (SampleCost).
+// The controller-independent intersample noise term JNoise is unchanged
+// by the input path and carries over.
+//
+// DelayedCost(d, 0) == d.Cost, cost grows with the delay, and +Inf is
+// returned once the delayed loop goes unstable — consistent with the
+// exact constant-delay stability limit of the jitter-margin analysis.
+func DelayedCost(d *Design, delay float64) float64 {
+	if delay <= 0 {
+		return d.Cost
+	}
+	h := d.H
+	sys := d.Plant.Sys
+	n := sys.Order()
+
+	dd := int(delay / h)
+	tau := delay - float64(dd)*h
+	// Floating-point slop can put tau at (or within one ulp of) h; treat
+	// it as a whole extra period of delay, like DiscretizeWithDelay does.
+	if tau >= h || h-tau < 1e-12*h {
+		dd++
+		tau = 0
+	}
+
+	aug, err := lti.DiscretizeWithDelay(sys, h, delay)
+	if err != nil {
+		return math.Inf(1)
+	}
+	na := aug.Order()
+	ctrl := d.Controller()
+	nc := ctrl.Order()
+
+	// Closed loop over z = [ξ; x̂] with ξ = [x; input shift register]:
+	//   ξ(k+1) = Aa ξ + Ba·u(k),  u(k) = Cc x̂(k)
+	//   x̂(k+1) = Ac x̂ + Kf·y(k), y(k) = Ca ξ(k) + v(k)
+	nz := na + nc
+	acl := mat.New(nz, nz)
+	acl.SetSlice(0, 0, aug.A)
+	acl.SetSlice(0, na, aug.B.Mul(ctrl.C))
+	acl.SetSlice(na, 0, ctrl.B.Mul(aug.C))
+	acl.SetSlice(na, na, ctrl.A)
+
+	// Process noise accumulates into x exactly as without delay (the
+	// input path carries no noise, the shift-register states none at
+	// all); measurement noise enters the observer through Kf.
+	wcl := mat.New(nz, nz)
+	wcl.SetSlice(0, 0, d.Rd)
+	wcl.SetSlice(na, na, d.Kf.Mul(d.Kf.T()).Scale(d.R2d))
+
+	sigma, err := lyap.DLyap(acl.T(), wcl)
+	if err != nil {
+		return math.Inf(1) // delayed loop not Schur stable
+	}
+
+	// Selectors over z: the plant state x, the input ua applied on
+	// [0, τ), and the input ub applied on [τ, h). With τ = 0 a single
+	// input ub acts over the whole period. The register layout follows
+	// DiscretizeWithDelay: [x; u(k−dd−1); …; u(k−1)] when τ > 0, and
+	// [x; u(k−dd); …; u(k−1)] when τ = 0 (dd ≥ 1 here since delay > 0).
+	sx := mat.New(n, nz)
+	sx.SetSlice(0, 0, mat.Identity(n))
+	sa := mat.New(1, nz)
+	sb := mat.New(1, nz)
+	if tau > 0 {
+		sa.Set(0, n, 1) // u(k−dd−1), oldest register slot
+		if dd == 0 {
+			for j := 0; j < nc; j++ {
+				sb.Set(0, na+j, ctrl.C.At(0, j)) // u(k) = Cc x̂(k)
+			}
+		} else {
+			sb.Set(0, n+1, 1) // u(k−dd)
+		}
+	} else {
+		sb.Set(0, n, 1) // u(k−dd) acts over the whole period
+	}
+
+	stack := func(top, bottom *mat.Matrix) *mat.Matrix {
+		out := mat.New(top.Rows()+bottom.Rows(), nz)
+		out.SetSlice(0, 0, top)
+		out.SetSlice(top.Rows(), 0, bottom)
+		return out
+	}
+	quadOf := func(q1d, q12d, q2d, t *mat.Matrix) *mat.Matrix {
+		nm := n + 1
+		q := mat.New(nm, nm)
+		q.SetSlice(0, 0, q1d)
+		q.SetSlice(0, n, q12d)
+		q.SetSlice(n, 0, q12d.T())
+		q.SetSlice(n, n, q2d)
+		return t.T().Mul(q).Mul(t)
+	}
+
+	var qper *mat.Matrix
+	if tau > 0 {
+		q1a, q12a, q2a := SampleCost(sys.A, sys.B, d.Plant.Q1, d.Plant.Q2, tau)
+		q1b, q12b, q2b := SampleCost(sys.A, sys.B, d.Plant.Q1, d.Plant.Q2, h-tau)
+		discTau, err := lti.C2D(sys, tau)
+		if err != nil {
+			return math.Inf(1)
+		}
+		// State at the switching instant: x(τ) = Φ(τ)x + Γ(τ)ua.
+		xa := discTau.A.Mul(sx).Add(discTau.B.Mul(sa))
+		qper = quadOf(q1a, q12a, q2a, stack(sx, sa)).Add(quadOf(q1b, q12b, q2b, stack(xa, sb)))
+	} else {
+		qper = quadOf(d.Q1d, d.Q12d, d.Q2d, stack(sx, sb))
+	}
+
+	per := mat.MulTrace(qper, sigma) + d.JNoise
+	if math.IsNaN(per) || math.IsInf(per, 0) {
+		return math.Inf(1)
+	}
+	if per < 0 {
+		// The exact cost is nonnegative; tolerate roundoff like
+		// stationaryCost and reject anything larger as instability.
+		if per > -1e-6*(1+math.Abs(d.JNoise)) {
+			per = 0
+		} else {
+			return math.Inf(1)
+		}
+	}
+	return per / h
+}

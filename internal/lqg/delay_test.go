@@ -1,0 +1,75 @@
+package lqg
+
+import (
+	"math"
+	"testing"
+
+	"ctrlsched/internal/plant"
+)
+
+func TestDelayedCostZeroMatchesCost(t *testing.T) {
+	for _, p := range plant.Library() {
+		h := (p.HMin + p.HMax) / 2
+		d, err := Synthesize(p, h)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if got := DelayedCost(d, 0); got != d.Cost {
+			t.Errorf("%s: DelayedCost(0) = %v, want Cost = %v", p.Name, got, d.Cost)
+		}
+		// Continuity: a vanishing delay must not jump the cost.
+		if got := DelayedCost(d, 1e-9); math.Abs(got-d.Cost) > 1e-3*(1+math.Abs(d.Cost)) {
+			t.Errorf("%s: DelayedCost(1e-9) = %v, far from Cost = %v", p.Name, got, d.Cost)
+		}
+	}
+}
+
+func TestDelayedCostMonotoneAndExplodes(t *testing.T) {
+	d, err := Synthesize(plant.DCServo(), 0.008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The constant-delay stability limit of this design is ≈ 6.2 ms (the
+	// jitter-margin b coefficient); the cost must grow monotonically on
+	// the way there and be +Inf beyond it.
+	delays := []float64{0, 0.001, 0.002, 0.004, 0.005, 0.006}
+	prev := -1.0
+	for _, del := range delays {
+		c := DelayedCost(d, del)
+		if math.IsInf(c, 1) || math.IsNaN(c) {
+			t.Fatalf("DelayedCost(%v) = %v inside the stable range", del, c)
+		}
+		if c <= prev {
+			t.Fatalf("DelayedCost not increasing: %v at delay %v after %v", c, del, prev)
+		}
+		prev = c
+	}
+	if c := DelayedCost(d, 0.0065); !math.IsInf(c, 1) {
+		t.Fatalf("DelayedCost past the stability limit = %v, want +Inf", c)
+	}
+	if c := DelayedCost(d, 0.1); !math.IsInf(c, 1) {
+		t.Fatalf("DelayedCost far past the stability limit = %v, want +Inf", c)
+	}
+}
+
+func TestDelayedCostFullPeriodDelay(t *testing.T) {
+	// delay == h exercises the whole-period (τ = 0, d = 1) branch; the
+	// stable-lag plant tolerates a full period easily.
+	d, err := Synthesize(plant.StableLag(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DelayedCost(d, 0.1)
+	if math.IsInf(c, 1) || math.IsNaN(c) {
+		t.Fatalf("DelayedCost(h) = %v, want finite for the stable lag", c)
+	}
+	if c <= d.Cost {
+		t.Fatalf("DelayedCost(h) = %v not above the undelayed cost %v", c, d.Cost)
+	}
+	// Between the pure-fraction and whole-period branches the cost must
+	// be continuous: τ→h⁻ and (d=1, τ=0) describe the same loop.
+	just := DelayedCost(d, 0.1-1e-9)
+	if math.Abs(just-c) > 1e-3*(1+c) {
+		t.Fatalf("branch discontinuity: cost(h−ε) = %v vs cost(h) = %v", just, c)
+	}
+}

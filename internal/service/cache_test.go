@@ -1,0 +1,123 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func testKey(i int) cacheKey {
+	return makeKey("test", []byte(fmt.Sprintf("key-%d", i)))
+}
+
+// storedBytes walks the cache under its lock and returns the sum of the
+// stored value lengths — the quantity the bytes counter must equal.
+func (c *lruCache) storedBytes() (sum int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		sum += int64(len(el.Value.(*lruEntry).val))
+		entries++
+	}
+	return sum, entries
+}
+
+// TestCacheOversizedPutRejected pins the oversized-put rule: a value
+// larger than a quarter of the byte budget is served but never stored,
+// and it must not disturb the accounting.
+func TestCacheOversizedPutRejected(t *testing.T) {
+	c := newLRUCache(8, 100)
+	c.put(testKey(0), make([]byte, 26)) // 26 > 100/4
+	if _, ok := c.get(testKey(0)); ok {
+		t.Fatal("oversized value was stored")
+	}
+	if sum, entries := c.storedBytes(); sum != 0 || entries != 0 || c.bytes != 0 {
+		t.Fatalf("oversized put disturbed accounting: sum=%d entries=%d bytes=%d", sum, entries, c.bytes)
+	}
+	// Exactly at the quarter boundary: stored.
+	c.put(testKey(1), make([]byte, 25))
+	if _, ok := c.get(testKey(1)); !ok {
+		t.Fatal("quarter-sized value rejected")
+	}
+	if sum, _ := c.storedBytes(); sum != 25 || c.bytes != 25 {
+		t.Fatalf("accounting after boundary put: sum=%d bytes=%d", sum, c.bytes)
+	}
+}
+
+// TestCacheBytesInvariantUnderChurn hammers the cache from many
+// goroutines with puts and gets sized to force continuous eviction, then
+// asserts the invariant: the bytes counter equals the sum of the stored
+// value lengths, and both bounds hold.
+func TestCacheBytesInvariantUnderChurn(t *testing.T) {
+	const (
+		maxEntries = 16
+		maxBytes   = 1 << 12
+		goroutines = 8
+		opsPerG    = 2000
+	)
+	c := newLRUCache(maxEntries, maxBytes)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for op := 0; op < opsPerG; op++ {
+				k := testKey(rng.Intn(64))
+				if rng.Intn(3) == 0 {
+					if v, ok := c.get(k); ok && len(v) == 0 {
+						t.Error("stored value lost its bytes")
+						return
+					}
+				} else {
+					c.put(k, make([]byte, 1+rng.Intn(maxBytes/3)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	sum, entries := c.storedBytes()
+	if c.bytes != sum {
+		t.Fatalf("bytes accounting diverged: counter=%d, stored sum=%d", c.bytes, sum)
+	}
+	if entries > maxEntries {
+		t.Fatalf("entry bound violated: %d > %d", entries, maxEntries)
+	}
+	if sum > maxBytes {
+		t.Fatalf("byte bound violated: %d > %d", sum, maxBytes)
+	}
+	if entries == 0 {
+		t.Fatal("hammer left an empty cache; churn did not exercise eviction")
+	}
+	if got := c.len(); got != entries {
+		t.Fatalf("len() = %d, walked entries = %d", got, entries)
+	}
+}
+
+// TestCacheDuplicatePutKeepsAccounting pins the concurrent-writer path:
+// a second put of an existing key must refresh recency without double
+// counting.
+func TestCacheDuplicatePutKeepsAccounting(t *testing.T) {
+	c := newLRUCache(4, 1000)
+	c.put(testKey(1), make([]byte, 10))
+	c.put(testKey(2), make([]byte, 20))
+	c.put(testKey(1), make([]byte, 10)) // deterministic encoding: same bytes
+	if sum, entries := c.storedBytes(); sum != 30 || entries != 2 || c.bytes != 30 {
+		t.Fatalf("duplicate put broke accounting: sum=%d entries=%d bytes=%d", sum, entries, c.bytes)
+	}
+	// Key 1 is now most recent: filling the cache evicts 2 first.
+	c.put(testKey(3), make([]byte, 30))
+	c.put(testKey(4), make([]byte, 40))
+	c.put(testKey(5), make([]byte, 50))
+	if _, ok := c.get(testKey(2)); ok {
+		t.Fatal("LRU order ignored the duplicate put's recency refresh")
+	}
+	if _, ok := c.get(testKey(1)); !ok {
+		t.Fatal("refreshed key evicted before older one")
+	}
+	if sum, _ := c.storedBytes(); c.bytes != sum {
+		t.Fatalf("bytes accounting diverged after eviction: counter=%d sum=%d", c.bytes, sum)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"ctrlsched/internal/experiments"
 )
 
 // maxBodyBytes bounds request bodies; analysis configs are tiny. Batch
@@ -30,23 +32,28 @@ const (
 //	POST /v1/experiments/{kind}      — run (or serve cached) experiment
 //	POST /v1/analyze                 — single task-set / plant analysis
 //	POST /v1/analyze/batch           — N analyze queries in one request
+//	POST /v1/codesign                — period/priority synthesis
 //
-// Experiment and analyze responses are the canonical JSON result bytes;
-// identical requests return identical bytes whether computed or cached.
-// Plain responses say which via the X-Cache header (a batch reports
-// "hit" only when every item hit). Appending ?stream=1 to an experiment
-// request switches to chunked JSON — progress lines, a cache-status
-// line, then a final result line; on a batch request it streams one
-// line per item, in item order, each carrying its own cache status. The
-// cache status travels in-band on streamed responses because a
-// coalesced joiner's headers are already on the wire before its cache
-// status is known.
+// Experiment, analyze, and codesign responses are the canonical JSON
+// result bytes; identical requests return identical bytes whether
+// computed or cached. Plain responses say which via the X-Cache header
+// (a batch reports "hit" only when every item hit). Appending ?stream=1
+// to an experiment or codesign request switches to chunked JSON —
+// progress lines (one per completed candidate evaluation on codesign),
+// a cache-status line, then a final result line; on a batch request it
+// streams one line per item, in item order, each carrying its own cache
+// status. The cache status travels in-band on streamed responses
+// because a coalesced joiner's headers are already on the wire before
+// its cache status is known. When the connection cannot stream (the
+// ResponseWriter is no http.Flusher), ?stream=1 degrades to the plain
+// buffered response instead of failing.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/v1/experiments/", s.handleExperiment)
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/analyze/batch", s.handleAnalyzeBatch)
+	mux.HandleFunc("/v1/codesign", s.handleCodesign)
 	return mux
 }
 
@@ -144,7 +151,14 @@ func (s *Service) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Service) streamAnalyzeBatch(w http.ResponseWriter, r *http.Request, body []byte) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, &Error{Status: http.StatusNotImplemented, Msg: "streaming unsupported by this connection"})
+		// No chunked transfer on this connection: degrade to the plain
+		// buffered response rather than failing the request.
+		b, hit, err := s.AnalyzeBatch(r.Context(), body, nil)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeResult(w, b, hit)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -218,7 +232,16 @@ func writeResult(w http.ResponseWriter, b []byte, hit bool) {
 	_, _ = w.Write(b)
 }
 
-// streamExperiment serves one experiment as chunked JSON lines:
+// streamExperiment serves one experiment as chunked JSON lines with
+// progress throttled to ~1% granularity (campaigns deliver far more
+// events than a client can use).
+func (s *Service) streamExperiment(w http.ResponseWriter, r *http.Request, kind string, body []byte) {
+	s.streamRun(w, true, func(progress experiments.ProgressFunc) ([]byte, bool, error) {
+		return s.Experiment(r.Context(), kind, body, progress)
+	})
+}
+
+// streamRun serves one pool-scheduled request as chunked JSON lines:
 //
 //	{"progress":{"done":128,"total":50000}}
 //	...
@@ -228,14 +251,22 @@ func writeResult(w http.ResponseWriter, b []byte, hit bool) {
 // The cache line replaces the plain endpoint's X-Cache header: a
 // coalesced joiner receives the leader's progress lines before its own
 // cache status is known, and by then response headers are frozen on
-// the wire. Progress events are throttled to ~1% granularity. Errors
-// discovered after streaming began arrive as a final {"error":...}
-// line (the 200 status is already on the wire — clients must treat an
-// error line as failure).
-func (s *Service) streamExperiment(w http.ResponseWriter, r *http.Request, kind string, body []byte) {
+// the wire. With throttle set, progress events collapse to ~1%
+// granularity; without it every event becomes a line (the codesign
+// endpoint's per-candidate progress). Errors discovered after streaming
+// began arrive as a final {"error":...} line (the 200 status is already
+// on the wire — clients must treat an error line as failure). A
+// connection that cannot stream degrades to the plain buffered
+// response.
+func (s *Service) streamRun(w http.ResponseWriter, throttle bool, call func(progress experiments.ProgressFunc) ([]byte, bool, error)) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, &Error{Status: http.StatusNotImplemented, Msg: "streaming unsupported by this connection"})
+		b, hit, err := call(nil)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeResult(w, b, hit)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -247,20 +278,22 @@ func (s *Service) streamExperiment(w http.ResponseWriter, r *http.Request, kind 
 	progress := func(done, total int) {
 		mu.Lock()
 		defer mu.Unlock()
-		pct := -1
-		if total > 0 {
-			pct = done * 100 / total
+		if throttle {
+			pct := -1
+			if total > 0 {
+				pct = done * 100 / total
+			}
+			if pct == lastPct && done != total {
+				return
+			}
+			lastPct = pct
 		}
-		if pct == lastPct && done != total {
-			return
-		}
-		lastPct = pct
 		started = true
 		fmt.Fprintf(w, `{"progress":{"done":%d,"total":%d}}`+"\n", done, total)
 		flusher.Flush()
 	}
 
-	b, hit, err := s.Experiment(r.Context(), kind, body, progress)
+	b, hit, err := call(progress)
 	mu.Lock()
 	defer mu.Unlock()
 	if err != nil {
@@ -279,6 +312,32 @@ func (s *Service) streamExperiment(w http.ResponseWriter, r *http.Request, kind 
 	fmt.Fprintf(w, `{"cache":%q}`+"\n", cache)
 	fmt.Fprintf(w, `{"result":%s}`+"\n", bytes.TrimRight(b, "\n"))
 	flusher.Flush()
+}
+
+// handleCodesign serves POST /v1/codesign; ?stream=1 emits one progress
+// line per completed candidate evaluation.
+func (s *Service) handleCodesign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Msg: "use POST"})
+		return
+	}
+	body, err := readBody(w, r, maxBodyBytes)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+		s.streamRun(w, false, func(progress experiments.ProgressFunc) ([]byte, bool, error) {
+			return s.Codesign(r.Context(), body, progress)
+		})
+		return
+	}
+	b, hit, err := s.Codesign(r.Context(), body, nil)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResult(w, b, hit)
 }
 
 func mustJSONString(s string) []byte {

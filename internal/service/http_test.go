@@ -3,8 +3,10 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -228,5 +230,175 @@ func TestHTTPStreamedProgress(t *testing.T) {
 	}
 	if !bytes.Equal(result, cached) {
 		t.Fatal("repeat streamed request returned different bytes")
+	}
+}
+
+// TestHTTPHealthzMethodNotAllowed pins the 405 on non-GET health
+// requests.
+func TestHTTPHealthzMethodNotAllowed(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1})
+	for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+		req, err := http.NewRequest(method, srv.URL+"/healthz", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed || err != nil || e.Error == "" {
+			t.Fatalf("%s /healthz: status %d err %v body %+v", method, resp.StatusCode, err, e)
+		}
+	}
+}
+
+// TestHTTPEmptyBatch400BothPaths pins the empty-batch contract on the
+// wire: {"items":[]} is a deterministic 400 on the buffered AND the
+// ?stream=1 paths — never an empty-success body.
+func TestHTTPEmptyBatch400BothPaths(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1})
+	for _, url := range []string{srv.URL + "/v1/analyze/batch", srv.URL + "/v1/analyze/batch?stream=1"} {
+		for rep := 0; rep < 2; rep++ { // deterministic across repeats
+			resp, err := http.Post(url, "application/json", strings.NewReader(`{"items":[]}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&e)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest || err != nil {
+				t.Fatalf("%s: status %d, decode err %v", url, resp.StatusCode, err)
+			}
+			if !strings.Contains(e.Error, "at least one item") {
+				t.Fatalf("%s: error %q", url, e.Error)
+			}
+		}
+	}
+	// Same contract for a codesign request with an empty candidate grid.
+	body := `{"loops":[{"plant":"dc-servo","bcet":0.001,"wcet":0.002,"periods":[]}]}`
+	for _, url := range []string{srv.URL + "/v1/codesign", srv.URL + "/v1/codesign?stream=1"} {
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || err != nil || !strings.Contains(e.Error, "empty candidate period grid") {
+			t.Fatalf("%s: status %d err %v body %+v", url, resp.StatusCode, err, e)
+		}
+	}
+}
+
+// plainRecorder wraps httptest.ResponseRecorder hiding its Flush method,
+// modeling a connection that cannot stream.
+type plainRecorder struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func newPlainRecorder() *plainRecorder { return &plainRecorder{header: http.Header{}, code: 200} }
+
+func (r *plainRecorder) Header() http.Header         { return r.header }
+func (r *plainRecorder) WriteHeader(code int)        { r.code = code }
+func (r *plainRecorder) Write(b []byte) (int, error) { return r.body.Write(b) }
+
+// TestStreamFallbackWithoutFlusher pins the degrade-to-buffered rule:
+// ?stream=1 on a non-Flusher connection serves the plain response (with
+// X-Cache) instead of erroring.
+func TestStreamFallbackWithoutFlusher(t *testing.T) {
+	s := newTestService()
+	h := s.Handler()
+
+	// Experiment path.
+	req := httptest.NewRequest(http.MethodPost, "/v1/experiments/table1?stream=1", strings.NewReader(smallTable1))
+	rec := newPlainRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.code != http.StatusOK {
+		t.Fatalf("experiment fallback status %d: %s", rec.code, rec.body.String())
+	}
+	if got := rec.header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("experiment fallback X-Cache %q", got)
+	}
+	want, _ := mustExperiment(t, s, "table1", smallTable1)
+	if !bytes.Equal(rec.body.Bytes(), want) {
+		t.Fatal("experiment fallback bytes differ from the plain response")
+	}
+
+	// Batch path.
+	req = httptest.NewRequest(http.MethodPost, "/v1/analyze/batch?stream=1", bytes.NewReader(batchBody(3)))
+	rec = newPlainRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.code != http.StatusOK || rec.header.Get("X-Cache") == "" {
+		t.Fatalf("batch fallback status %d X-Cache %q", rec.code, rec.header.Get("X-Cache"))
+	}
+	var batch BatchResult
+	if err := json.Unmarshal(rec.body.Bytes(), &batch); err != nil || len(batch.Items) != 3 {
+		t.Fatalf("batch fallback body broken: err=%v items=%d", err, len(batch.Items))
+	}
+
+	// Errors still surface on the fallback path.
+	req = httptest.NewRequest(http.MethodPost, "/v1/analyze/batch?stream=1", strings.NewReader(`{"items":[]}`))
+	rec = newPlainRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.code != http.StatusBadRequest {
+		t.Fatalf("batch fallback error status %d", rec.code)
+	}
+}
+
+// TestAnalyzeNonFiniteJSON is the regression test for the inf/nan audit:
+// an unschedulable task set analyzed with the never-backtracking
+// "unsafe" method produces +Inf response times and -Inf slack, and the
+// response must encode them as the shared "inf"/"-inf" spellings instead
+// of failing json.Marshal mid-response.
+func TestAnalyzeNonFiniteJSON(t *testing.T) {
+	s := newTestService()
+	// Two full-utilization tasks: whichever ends up at the lower priority
+	// has infinite WCRT; "unsafe" still returns a complete assignment.
+	b, _, err := s.Analyze(context.Background(),
+		[]byte(`{"tasks":[{"bcet":1,"wcet":1,"period":1},{"bcet":1,"wcet":1,"period":1}],"method":"unsafe"}`))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if !json.Valid(b) {
+		t.Fatalf("response is not valid JSON: %s", b)
+	}
+	if !bytes.Contains(b, []byte(`"wcrt":"inf"`)) || !bytes.Contains(b, []byte(`"slack":"-inf"`)) {
+		t.Fatalf("non-finite fields not spelled inf/-inf: %s", b)
+	}
+	var res AnalyzeResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	sawInf := false
+	for _, ta := range res.Tasks {
+		if math.IsInf(float64(ta.WCRT), 1) {
+			sawInf = true
+			if !math.IsInf(float64(ta.Jitter), 1) || !math.IsInf(float64(ta.Slack), -1) {
+				t.Fatalf("inconsistent non-finite task: %+v", ta)
+			}
+		}
+	}
+	if !sawInf {
+		t.Fatalf("no infinite WCRT in an over-utilized set: %s", b)
+	}
+	// The same task set inside a batch keeps the envelope valid too.
+	bb, _, err := s.AnalyzeBatch(context.Background(),
+		[]byte(`{"items":[{"tasks":[{"bcet":1,"wcet":1,"period":1},{"bcet":1,"wcet":1,"period":1}],"method":"unsafe"}]}`), nil)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if !json.Valid(bb) || !bytes.Contains(bb, []byte(`"wcrt":"inf"`)) {
+		t.Fatalf("batch envelope broke on non-finite item: %s", bb)
 	}
 }

@@ -317,23 +317,36 @@ func (r AnalyzeRequest) normalize() (AnalyzeRequest, error) {
 	if methodFunc(r.Method) == nil {
 		return r, badRequest("unknown method %q (have: backtracking, unsafe, rm, slackmono, audsley)", r.Method)
 	}
-	tasks := append([]TaskSpec(nil), r.Tasks...)
+	tasks, err := normalizeTaskSpecs(r.Tasks)
+	if err != nil {
+		return r, err
+	}
 	r.Tasks = tasks
+	return r, nil
+}
+
+// normalizeTaskSpecs validates and canonicalizes one task-spec list; the
+// /v1/analyze request and the /v1/codesign base workload share it. Names
+// default to task1…; a plain task without a constraint defaults to the
+// implicit deadline L + J ≤ period; a plant-backed task must leave the
+// constraint to the jitter-margin analysis.
+func normalizeTaskSpecs(specs []TaskSpec) ([]TaskSpec, error) {
+	tasks := append([]TaskSpec(nil), specs...)
 	for i := range tasks {
 		t := &tasks[i]
 		if t.Name == "" {
 			t.Name = fmt.Sprintf("task%d", i+1)
 		}
 		if !(t.BCET > 0 && t.BCET <= t.WCET && t.WCET <= t.Period) {
-			return r, badRequest("task %s: need 0 < bcet ≤ wcet ≤ period, got [%v, %v] at period %v",
+			return nil, badRequest("task %s: need 0 < bcet ≤ wcet ≤ period, got [%v, %v] at period %v",
 				t.Name, t.BCET, t.WCET, t.Period)
 		}
 		if t.Plant != "" {
 			if _, ok := plantRegistry[t.Plant]; !ok {
-				return r, badRequest("task %s: unknown plant %q (have: %s)", t.Name, t.Plant, plantNames())
+				return nil, badRequest("task %s: unknown plant %q (have: %s)", t.Name, t.Plant, plantNames())
 			}
 			if t.ConA != 0 || t.ConB != 0 {
-				return r, badRequest("task %s: give either plant or an explicit constraint, not both", t.Name)
+				return nil, badRequest("task %s: give either plant or an explicit constraint, not both", t.Name)
 			}
 			continue
 		}
@@ -343,22 +356,26 @@ func (r AnalyzeRequest) normalize() (AnalyzeRequest, error) {
 			t.ConA, t.ConB = 1, t.Period
 		}
 		if t.ConA < 1 || t.ConB < 0 {
-			return r, badRequest("task %s: constraint a=%v b=%v outside a ≥ 1, b ≥ 0", t.Name, t.ConA, t.ConB)
+			return nil, badRequest("task %s: constraint a=%v b=%v outside a ≥ 1, b ≥ 0", t.Name, t.ConA, t.ConB)
 		}
 	}
-	return r, nil
+	return tasks, nil
 }
 
 // TaskAnalysis is the exact response-time and stability verdict of one
-// task under the chosen priority assignment.
+// task under the chosen priority assignment. Every field fed by the
+// analysis kernels is an experiments.Float: an unschedulable task's
+// response times and slack are ±Inf, and plain float64 fields would make
+// json.Marshal fail mid-response instead of emitting the shared
+// "inf"/"-inf"/"nan" spellings.
 type TaskAnalysis struct {
 	Name        string            `json:"name"`
 	Priority    int               `json:"priority"`
 	ConA        float64           `json:"con_a"`
 	ConB        float64           `json:"con_b"`
 	WCRT        experiments.Float `json:"wcrt"`
-	BCRT        float64           `json:"bcrt"`
-	Latency     float64           `json:"latency"`
+	BCRT        experiments.Float `json:"bcrt"`
+	Latency     experiments.Float `json:"latency"`
 	Jitter      experiments.Float `json:"jitter"`
 	DeadlineMet bool              `json:"deadline_met"`
 	Stable      bool              `json:"stable"`
@@ -367,17 +384,20 @@ type TaskAnalysis struct {
 
 // PlantAnalysis answers a plant query: the stationary LQG cost density
 // at the requested period and the jitter-margin stability curve with
-// its fitted linear bound.
+// its fitted linear bound. The margin fields are experiments.Float for
+// the same reason as TaskAnalysis: a delay-insensitive loop's jitter
+// margin is a +Inf sentinel, which must encode as "inf", not abort the
+// response.
 type PlantAnalysis struct {
-	Name                string            `json:"name"`
-	Period              float64           `json:"period"`
-	Cost                experiments.Float `json:"cost"`
-	ConA                float64           `json:"con_a,omitempty"`
-	ConB                float64           `json:"con_b,omitempty"`
-	JitterMarginAtZeroL float64           `json:"jitter_margin_zero_latency,omitempty"`
-	Latency             []float64         `json:"latency,omitempty"`
-	JMax                []float64         `json:"jmax,omitempty"`
-	Error               string            `json:"error,omitempty"`
+	Name                string              `json:"name"`
+	Period              float64             `json:"period"`
+	Cost                experiments.Float   `json:"cost"`
+	ConA                float64             `json:"con_a,omitempty"`
+	ConB                float64             `json:"con_b,omitempty"`
+	JitterMarginAtZeroL experiments.Float   `json:"jitter_margin_zero_latency,omitempty"`
+	Latency             []experiments.Float `json:"latency,omitempty"`
+	JMax                []experiments.Float `json:"jmax,omitempty"`
+	Error               string              `json:"error,omitempty"`
 }
 
 // AnalyzeResult is the typed response of /v1/analyze. It satisfies
@@ -493,8 +513,8 @@ func (s *Service) runAnalyze(req AnalyzeRequest) (experiments.Result, error) {
 				ConA:        t.ConA,
 				ConB:        t.ConB,
 				WCRT:        experiments.Float(rs[i].WCRT),
-				BCRT:        rs[i].BCRT,
-				Latency:     rs[i].Latency,
+				BCRT:        experiments.Float(rs[i].BCRT),
+				Latency:     experiments.Float(rs[i].Latency),
 				Jitter:      experiments.Float(rs[i].Jitter),
 				DeadlineMet: rs[i].DeadlineMet,
 				Stable:      rs[i].Stable,
@@ -503,6 +523,16 @@ func (s *Service) runAnalyze(req AnalyzeRequest) (experiments.Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// floatSlice converts analysis-kernel floats to the inf/nan-safe JSON
+// representation.
+func floatSlice(v []float64) []experiments.Float {
+	out := make([]experiments.Float, len(v))
+	for i, x := range v {
+		out[i] = experiments.Float(x)
+	}
+	return out
 }
 
 // runPlantAnalyze answers the plant route: LQG cost plus jitter margin.
@@ -519,9 +549,9 @@ func (s *Service) runPlantAnalyze(req AnalyzeRequest) (experiments.Result, error
 		pa.Error = err.Error()
 	} else {
 		pa.ConA, pa.ConB = m.A, m.B
-		pa.Latency, pa.JMax = m.Latency, m.JMax
+		pa.Latency, pa.JMax = floatSlice(m.Latency), floatSlice(m.JMax)
 		if len(m.JMax) > 0 {
-			pa.JitterMarginAtZeroL = m.JMax[0]
+			pa.JitterMarginAtZeroL = experiments.Float(m.JMax[0])
 		}
 	}
 	return AnalyzeResult{

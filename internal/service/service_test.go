@@ -340,7 +340,7 @@ func TestAnalyzeTaskSet(t *testing.T) {
 		if !ta.Stable || !ta.DeadlineMet {
 			t.Fatalf("task %s unstable in a schedulable set", ta.Name)
 		}
-		if float64(ta.WCRT) < ta.BCRT {
+		if ta.WCRT < ta.BCRT {
 			t.Fatalf("task %s: wcrt %v < bcrt %v", ta.Name, ta.WCRT, ta.BCRT)
 		}
 	}

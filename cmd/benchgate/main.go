@@ -1,0 +1,229 @@
+// Command benchgate is the CI bench-regression gate: it parses `go test
+// -bench` text output, extracts ns/op per benchmark (taking the fastest
+// sample when -count repeats a benchmark, which rejects scheduler
+// noise), and compares the result against a committed baseline.
+//
+// Compare (the CI mode) fails with a non-zero exit if any benchmark
+// present in the baseline is missing from the run or slower than
+// baseline × threshold (default 1.25, i.e. a >25% ns/op regression).
+// The baseline records the cpu and Go version it was pinned on; when
+// the comparing environment differs, regressions are reported as
+// warnings instead of failures (absolute ns/op does not transfer
+// across hardware) unless -strict is set — re-pin with -write on the
+// new environment to make the gate binding there:
+//
+//	go test -run '^$' -bench '^(BenchmarkFig2Point|...)$' -count 3 . | tee bench.txt
+//	go run ./cmd/benchgate -baseline BENCH_baseline.json bench.txt
+//
+// Regenerate (the -update-style path, after an intentional perf change
+// or on new reference hardware):
+//
+//	go test -run '^$' -bench '^(BenchmarkFig2Point|...)$' -count 3 . | tee bench.txt
+//	go run ./cmd/benchgate -baseline BENCH_baseline.json -write bench.txt
+//
+// Only benchmarks named in the baseline participate in the comparison,
+// so the pinned set is exactly the baseline file's key set; extra
+// benchmarks in the run are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed reference file.
+type Baseline struct {
+	Note string `json:"note,omitempty"`
+	// CPU and Go record the environment the baseline was pinned on.
+	// Absolute ns/op only transfers between like machines: when the
+	// comparing environment differs, a uniform shift across every
+	// benchmark means "re-pin the baseline here", not "code regressed"
+	// — benchgate prints a warning so that triage is immediate.
+	CPU        string               `json:"cpu,omitempty"`
+	Go         string               `json:"go,omitempty"`
+	Threshold  float64              `json:"threshold,omitempty"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one pinned measurement.
+type Benchmark struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// benchLine matches one benchmark result line, e.g.
+//
+//	BenchmarkFig2Point-4   	     226	   5318638 ns/op	  12345 B/op ...
+//
+// The -N GOMAXPROCS suffix is stripped so baselines transfer across
+// machines with different core counts.
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse extracts the fastest ns/op per benchmark name from bench text,
+// plus the "cpu:" environment line go test prints.
+func parse(r io.Reader) (map[string]float64, string, error) {
+	out := make(map[string]float64)
+	cpu := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("bad ns/op %q: %w", m[2], err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, cpu, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against (or write)")
+	write := flag.Bool("write", false, "regenerate the baseline from the bench output instead of comparing")
+	threshold := flag.Float64("threshold", 0, "fail above baseline×threshold (0 = use the baseline file's threshold, default 1.25)")
+	strict := flag.Bool("strict", false, "fail on regressions even when the run environment differs from the baseline's")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, cpu, err := parse(in)
+	if err != nil {
+		fatal("parse bench output: %v", err)
+	}
+	if len(got) == 0 {
+		fatal("no benchmark lines found in input")
+	}
+
+	if *write {
+		writeBaseline(*baselinePath, got, cpu, *threshold)
+		return
+	}
+	compare(*baselinePath, got, cpu, *threshold, *strict)
+}
+
+func writeBaseline(path string, got map[string]float64, cpu string, threshold float64) {
+	b := Baseline{
+		Note: "Pinned ns/op reference for the CI bench-regression gate. " +
+			"Regenerate on reference hardware with: " +
+			"go test -run '^$' -bench <pinned set> -count 3 . | go run ./cmd/benchgate -baseline BENCH_baseline.json -write",
+		CPU:        cpu,
+		Go:         runtime.Version(),
+		Threshold:  threshold,
+		Benchmarks: make(map[string]Benchmark, len(got)),
+	}
+	if b.Threshold == 0 {
+		b.Threshold = 1.25
+	}
+	for name, ns := range got {
+		b.Benchmarks[name] = Benchmark{NsPerOp: ns}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("wrote %s with %d benchmarks\n", path, len(got))
+}
+
+func compare(path string, got map[string]float64, cpu string, threshold float64, strict bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("read baseline: %v", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal("parse baseline: %v", err)
+	}
+	if threshold == 0 {
+		threshold = base.Threshold
+	}
+	if threshold == 0 {
+		threshold = 1.25
+	}
+
+	// Absolute ns/op only transfers between like environments. When the
+	// baseline was pinned on different hardware or a different Go
+	// version, regressions are reported but (without -strict) do not
+	// fail the gate — a uniform cross-environment shift would otherwise
+	// block every PR until someone re-pins, and per-benchmark hardware
+	// ratios are not uniform enough for the threshold to be meaningful.
+	envMatch := true
+	if base.CPU != "" && cpu != "" && base.CPU != cpu {
+		envMatch = false
+		fmt.Printf("WARN baseline pinned on cpu %q but this run is on %q\n", base.CPU, cpu)
+	}
+	if base.Go != "" && base.Go != runtime.Version() {
+		envMatch = false
+		fmt.Printf("WARN baseline pinned with %s but this run uses %s\n", base.Go, runtime.Version())
+	}
+	if !envMatch {
+		fmt.Printf("WARN absolute ns/op does not transfer across environments — re-pin with\n")
+		fmt.Printf("WARN `benchgate -write` on this environment to make the gate binding here\n")
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		want := base.Benchmarks[name].NsPerOp
+		ns, ok := got[name]
+		if !ok {
+			fmt.Printf("FAIL %-28s missing from bench output\n", name)
+			failed = true
+			continue
+		}
+		ratio := ns / want
+		verdict := "ok  "
+		if ratio > threshold {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-28s %12.0f ns/op  baseline %12.0f  ratio %.2f (limit %.2f)\n",
+			verdict, name, ns, want, ratio, threshold)
+	}
+	switch {
+	case failed && (envMatch || strict):
+		fmt.Println("bench-regression gate FAILED")
+		os.Exit(1)
+	case failed:
+		fmt.Println("bench-regression gate: regressions observed on a NON-BASELINE environment — advisory only (use -strict to enforce, -write to re-pin)")
+	default:
+		fmt.Println("bench-regression gate passed")
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTakesFastestSampleAndStripsSuffix(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkFig2Point-4   	     226	   5318638 ns/op
+BenchmarkFig2Point-4   	     240	   5100000 ns/op	 123 B/op	 4 allocs/op
+BenchmarkAnalyzeBatch64 	       3	  11307622 ns/op	      5678 items/s
+PASS
+`
+	got, cpu, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.70GHz" {
+		t.Fatalf("cpu = %q", cpu)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if got["Fig2Point"] != 5100000 {
+		t.Fatalf("Fig2Point = %v, want the fastest sample 5100000", got["Fig2Point"])
+	}
+	if got["AnalyzeBatch64"] != 11307622 {
+		t.Fatalf("AnalyzeBatch64 = %v", got["AnalyzeBatch64"])
+	}
+}
+
+func TestParseRejectsNothing(t *testing.T) {
+	got, _, err := parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

@@ -3,6 +3,7 @@
 // analyzers (rta, jitter, lqg, assign).
 //
 //	ctrlschedd [-addr :8080] [-workers N] [-concurrency C] [-cache-entries E] [-max-items M]
+//	           [-kernel-cache-entries E] [-kernel-cache-bytes B] [-kernel-cache-off] [-pprof]
 //
 // API:
 //

@@ -314,12 +314,12 @@ func Run(base []BaseTask, loops []LoopSpec, opt Options) (*Result, error) {
 	for i, b := range base {
 		t := b.Task
 		if b.Plant != nil {
-			d, err := lqg.Synthesize(b.Plant, t.Period)
+			d, err := lqg.SynthesizeCached(b.Plant, t.Period)
 			if err != nil {
 				return nil, fmt.Errorf("codesign: base task %s: no design at period %v: %w", t.Name, t.Period, err)
 			}
 			if t.ConA == 0 && t.ConB == 0 {
-				m, err := jitter.Analyze(d, jitter.Options{})
+				m, err := jitter.AnalyzeCached(d, jitter.Options{})
 				if err != nil {
 					return nil, fmt.Errorf("codesign: base task %s: no jitter margin at period %v: %w", t.Name, t.Period, err)
 				}
@@ -408,14 +408,14 @@ func (e *engine) evalMargins(idxs []int) error {
 			c.Objective, c.Empirical = math.Inf(1), math.Inf(1)
 			return
 		}
-		d, err := lqg.Synthesize(lp.Plant, c.Period)
+		d, err := lqg.SynthesizeCached(lp.Plant, c.Period)
 		if err != nil {
 			c.Cost, c.Note = math.Inf(1), "unstabilizable"
 			c.Objective, c.Empirical = math.Inf(1), math.Inf(1)
 			return
 		}
 		c.Cost = d.Cost
-		m, err := jitter.Analyze(d, jitter.Options{})
+		m, err := jitter.AnalyzeCached(d, jitter.Options{})
 		if err != nil {
 			c.Note = "no jitter margin"
 			c.Objective, c.Empirical = math.Inf(1), math.Inf(1)
@@ -455,8 +455,11 @@ func (e *engine) buildTasks(ctx *evalCtx, sel []int, override, cand int) ([]rta.
 	return tasks, designs
 }
 
-// delayedCost memoizes lqg.DelayedCost per (design, delay): identical
-// sub-configurations recur across sweeps and swap descents.
+// delayedCost memoizes lqg.DelayedCost per (design, delay). The local
+// pointer-keyed map is the L1 (no hashing in the swap-descent loop); a
+// miss falls through to the process-wide kernel cache, so identical
+// sub-configurations are shared across sweeps, candidate searches, and
+// requests — the access pattern alternating minimization produces.
 func (e *engine) delayedCost(d *lqg.Design, delay float64) float64 {
 	key := delayKey{d, math.Float64bits(delay)}
 	e.delayMu.Lock()
@@ -465,7 +468,7 @@ func (e *engine) delayedCost(d *lqg.Design, delay float64) float64 {
 	if ok {
 		return v
 	}
-	v = lqg.DelayedCost(d, delay)
+	v = lqg.DelayedCostCached(d, delay)
 	e.delayMu.Lock()
 	e.delayMemo[key] = v
 	e.delayMu.Unlock()

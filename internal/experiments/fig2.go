@@ -113,7 +113,7 @@ func Fig2Sweep(cfg Fig2Config) Fig2Result {
 	baseOpts := opts
 	baseOpts.OnProgress = cfg.Progress.offset(cfg.progressOffset, total)
 	costs, _ := campaign.MapPlain(points, baseOpts, func(i int) float64 {
-		return lqg.Cost(p, grid[i])
+		return lqg.CostCached(p, grid[i])
 	})
 
 	var firstQ, lastQ, finite []float64
@@ -156,7 +156,7 @@ func Fig2Sweep(cfg Fig2Config) Fig2Result {
 		}
 	}
 	refCosts, _ := campaign.MapPlain(len(refine), opts, func(i int) float64 {
-		return lqg.Cost(p, refine[i])
+		return lqg.CostCached(p, refine[i])
 	})
 	for i, h := range refine {
 		res.Points = append(res.Points, Fig2Point{H: h, Cost: refCosts[i]})

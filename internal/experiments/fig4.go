@@ -54,11 +54,11 @@ func Fig4Run(cfg Fig4Config) (Fig4Result, error) {
 	p := plant.DCServo()
 	curves := make([]Fig4Curve, 0, len(c.Periods))
 	for _, h := range c.Periods {
-		d, err := lqg.Synthesize(p, h)
+		d, err := lqg.SynthesizeCached(p, h)
 		if err != nil {
 			return Fig4Result{}, fmt.Errorf("fig4: design at h=%v: %w", h, err)
 		}
-		m, err := jitter.Analyze(d, jitter.Options{LatencyPoints: c.LatencyPoints})
+		m, err := jitter.AnalyzeCached(d, jitter.Options{LatencyPoints: c.LatencyPoints})
 		if err != nil {
 			return Fig4Result{}, fmt.Errorf("fig4: margin at h=%v: %w", h, err)
 		}

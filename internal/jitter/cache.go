@@ -1,0 +1,68 @@
+package jitter
+
+import (
+	"ctrlsched/internal/kmemo"
+	"ctrlsched/internal/lqg"
+	"ctrlsched/internal/plant"
+)
+
+// cacheVersion tags every jitter fingerprint. Bump it whenever a change
+// makes Analyze produce different bits for the same design and options.
+const cacheVersion = 1
+
+// kindMargin is the fingerprint kind discriminator of the margin curve.
+const kindMargin = 'J'
+
+// marginEntry is the cached outcome of one margin analysis; failures
+// (no stable latency) are deterministic and retained like successes.
+type marginEntry struct {
+	m   *Margin
+	err error
+}
+
+// marginBytes estimates the retained size of a cached margin.
+func marginBytes(m *Margin) int64 {
+	return 160 + int64(len(m.Latency)+len(m.JMax))*8
+}
+
+// AnalyzeCached is Analyze through the process-wide kernel cache, keyed
+// by the design's fingerprint and the (defaulted) analysis options. The
+// returned *Margin is shared between callers and must be treated as
+// immutable — its curve slices are read-only views of the cache entry.
+// With the cache disabled it is exactly Analyze.
+func AnalyzeCached(d *lqg.Design, opts Options) (*Margin, error) {
+	c := kmemo.Default()
+	if !c.Enabled() || d.Fingerprint() == (kmemo.Key{}) {
+		// A fingerprint-less design (hand-constructed rather than via
+		// Synthesize) has no cache identity; see lqg.DelayedCostCached.
+		return Analyze(d, opts)
+	}
+	o := opts.withDefaults()
+	hs := kmemo.NewHasher()
+	hs.Tag(cacheVersion, kindMargin)
+	hs.Key(d.Fingerprint())
+	hs.Int(o.LatencyPoints)
+	hs.Int(o.FreqPoints)
+	hs.Float(o.MaxLatencyFactor)
+	v := c.Do(hs.Sum(), func() (any, int64) {
+		m, err := Analyze(d, o)
+		if err != nil {
+			return &marginEntry{err: err}, 64
+		}
+		return &marginEntry{m: m}, marginBytes(m)
+	})
+	me := v.(*marginEntry)
+	return me.m, me.err
+}
+
+// ForPlantCached is ForPlant through the process-wide kernel cache:
+// one shared LQG synthesis and one shared margin analysis per distinct
+// (plant, period) content, across requests, campaigns, and the
+// co-design optimizer.
+func ForPlantCached(p *plant.Plant, h float64) (*Margin, error) {
+	d, err := lqg.SynthesizeCached(p, h)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeCached(d, Options{})
+}

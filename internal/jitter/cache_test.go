@@ -1,0 +1,129 @@
+package jitter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ctrlsched/internal/kmemo"
+	"ctrlsched/internal/lqg"
+	"ctrlsched/internal/plant"
+)
+
+func restoreDefaultCache(t *testing.T) {
+	t.Cleanup(func() {
+		kmemo.Configure(1, 1<<20)
+		kmemo.Configure(kmemo.DefaultEntries, kmemo.DefaultBytes)
+	})
+}
+
+func marginsEqual(t *testing.T, want, got *Margin) {
+	t.Helper()
+	if want.A != got.A || want.B != got.B {
+		t.Fatalf("bound differs: direct (%v, %v), cached (%v, %v)", want.A, want.B, got.A, got.B)
+	}
+	if len(want.Latency) != len(got.Latency) || len(want.JMax) != len(got.JMax) {
+		t.Fatalf("curve lengths differ: %d/%d vs %d/%d",
+			len(want.Latency), len(want.JMax), len(got.Latency), len(got.JMax))
+	}
+	for i := range want.Latency {
+		if math.Float64bits(want.Latency[i]) != math.Float64bits(got.Latency[i]) ||
+			math.Float64bits(want.JMax[i]) != math.Float64bits(got.JMax[i]) {
+			t.Fatalf("curve point %d differs: (%v, %v) vs (%v, %v)",
+				i, want.Latency[i], want.JMax[i], got.Latency[i], got.JMax[i])
+		}
+	}
+}
+
+// TestAnalyzeCachedBitIdentical pins that cached margin analyses equal
+// direct ones bit for bit, across option variants, under a tiny cache
+// that churns entries mid-stream.
+func TestAnalyzeCachedBitIdentical(t *testing.T) {
+	restoreDefaultCache(t)
+	kmemo.Configure(10, 1<<20)
+	kmemo.Default().Reset()
+
+	rng := rand.New(rand.NewSource(11))
+	lib := plant.Library()
+	for trial := 0; trial < 40; trial++ {
+		p := lib[rng.Intn(len(lib))]
+		h := p.HMin * math.Pow(p.HMax/p.HMin, rng.Float64())
+		h = math.Round(h*1e4) / 1e4
+		if h <= 0 {
+			continue
+		}
+		d, err := lqg.SynthesizeCached(p, h)
+		if err != nil {
+			continue
+		}
+		opts := Options{}
+		if trial%3 == 1 {
+			opts.LatencyPoints = 12
+		}
+		if trial%3 == 2 {
+			opts.FreqPoints = 100
+		}
+		want, errD := Analyze(d, opts)
+		got, errC := AnalyzeCached(d, opts)
+		if (errD == nil) != (errC == nil) {
+			t.Fatalf("trial %d: direct err %v, cached err %v", trial, errD, errC)
+		}
+		if errD != nil {
+			continue
+		}
+		marginsEqual(t, want, got)
+	}
+}
+
+// TestForPlantCachedMatchesForPlant pins the full wrapper — synthesis
+// plus margin — against the direct path, including the shared-design
+// coupling (the cached margin's design is the cached design).
+func TestForPlantCachedMatchesForPlant(t *testing.T) {
+	restoreDefaultCache(t)
+	kmemo.Configure(kmemo.DefaultEntries, kmemo.DefaultBytes)
+	kmemo.Default().Reset()
+
+	for _, h := range []float64{0.004, 0.006, 0.012} {
+		want, errD := ForPlant(plant.DCServo(), h)
+		got, errC := ForPlantCached(plant.DCServo(), h)
+		if (errD == nil) != (errC == nil) {
+			t.Fatalf("h=%v: direct err %v, cached err %v", h, errD, errC)
+		}
+		if errD != nil {
+			continue
+		}
+		marginsEqual(t, want, got)
+		// Repeat calls share the one cached margin.
+		again, err := ForPlantCached(plant.DCServo(), h)
+		if err != nil || again != got {
+			t.Fatalf("h=%v: repeat did not hit the cached margin", h)
+		}
+		if got.Design == nil || got.Design.H != h {
+			t.Fatalf("h=%v: cached margin carries wrong design", h)
+		}
+	}
+}
+
+// TestOptionsAreCacheKeys: distinct analysis options must never alias
+// one cache entry.
+func TestOptionsAreCacheKeys(t *testing.T) {
+	restoreDefaultCache(t)
+	kmemo.Configure(kmemo.DefaultEntries, kmemo.DefaultBytes)
+	kmemo.Default().Reset()
+
+	d, err := lqg.SynthesizeCached(plant.DCServo(), 0.006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := AnalyzeCached(d, Options{LatencyPoints: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := AnalyzeCached(d, Options{LatencyPoints: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coarse.Latency) == len(fine.Latency) {
+		t.Fatalf("options aliased: %d vs %d latency points", len(coarse.Latency), len(fine.Latency))
+	}
+}

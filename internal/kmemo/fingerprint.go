@@ -1,0 +1,72 @@
+package kmemo
+
+import (
+	"crypto/sha256"
+	"math"
+	"sync"
+)
+
+// Hasher accumulates a canonical byte encoding of a kernel's inputs and
+// digests it into a Key. Hashers are pooled: a Sum both returns the key
+// and recycles the hasher, so steady-state fingerprinting allocates
+// nothing. The encoding is deliberately simple — fixed-width
+// little-endian words, with dimensions preceding matrix data — so two
+// inputs collide only if their canonical encodings are identical.
+//
+// Callers must start every fingerprint with a kernel version tag and a
+// kind byte (see Tag), so a numerical change in one kernel invalidates
+// exactly that kernel's entries and kinds can never alias.
+type Hasher struct {
+	buf []byte
+}
+
+var hasherPool = sync.Pool{New: func() any { return &Hasher{buf: make([]byte, 0, 512)} }}
+
+// NewHasher returns an empty pooled hasher.
+func NewHasher() *Hasher {
+	h := hasherPool.Get().(*Hasher)
+	h.buf = h.buf[:0]
+	return h
+}
+
+// Tag writes the kernel version and kind discriminator that every
+// fingerprint must begin with.
+func (h *Hasher) Tag(version uint32, kind byte) {
+	h.Uint64(uint64(version))
+	h.buf = append(h.buf, kind)
+}
+
+// Uint64 appends a fixed-width little-endian word.
+func (h *Hasher) Uint64(v uint64) {
+	h.buf = append(h.buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// Int appends an int as a fixed-width word.
+func (h *Hasher) Int(v int) { h.Uint64(uint64(int64(v))) }
+
+// Float appends the exact bit pattern of one float64 (NaNs and
+// infinities are canonical by their bits).
+func (h *Hasher) Float(v float64) { h.Uint64(math.Float64bits(v)) }
+
+// Floats appends a length-prefixed float64 slice.
+func (h *Hasher) Floats(vs []float64) {
+	h.Int(len(vs))
+	for _, v := range vs {
+		h.Float(v)
+	}
+}
+
+// Key appends a previously computed fingerprint, so derived kernels
+// (delay-aware cost of a design, margin of a design) can key off their
+// parent's fingerprint without re-encoding the plant.
+func (h *Hasher) Key(k Key) { h.buf = append(h.buf, k[:]...) }
+
+// Sum digests the accumulated encoding, recycles the hasher, and
+// returns the key. The hasher must not be used afterwards.
+func (h *Hasher) Sum() Key {
+	k := Key(sha256.Sum256(h.buf))
+	hasherPool.Put(h)
+	return k
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"math"
 
+	"ctrlsched/internal/kmemo"
 	"ctrlsched/internal/lti"
 	"ctrlsched/internal/lyap"
 	"ctrlsched/internal/mat"
@@ -57,6 +58,10 @@ type Design struct {
 	S, Pf  *mat.Matrix
 	Cost   float64 // stationary cost density J (cost per second)
 	JNoise float64 // controller-independent intersample noise cost per period
+
+	// fp is the canonical fingerprint of (plant, period), the design's
+	// identity in the process-wide kernel cache (see cache.go).
+	fp kmemo.Key
 }
 
 // Controller returns the observer-based controller as a discrete-time
@@ -111,6 +116,7 @@ func Synthesize(p *plant.Plant, h float64) (*Design, error) {
 		Q1d: q1d, Q12d: q12d, Q2d: q2d,
 		Rd: rd, R2d: r2d,
 		L: ctrl.K, Kf: kf, S: ctrl.P, Pf: filt.P,
+		fp: designFingerprint(p, h),
 	}
 	d.JNoise = intersampleNoiseCost(sys.A, p.R1, p.Q1, h)
 	cost, err := d.stationaryCost()

@@ -106,6 +106,11 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// RawData returns the backing row-major element slice. It is a live
+// view, not a copy: callers must treat it as read-only. It exists for
+// zero-copy consumers like canonical fingerprinting (internal/kmemo).
+func (m *Matrix) RawData() []float64 { return m.data }
+
 // IsSquare reports whether the matrix is square.
 func (m *Matrix) IsSquare() bool { return m.rows == m.cols }
 

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
+	"hash"
 	"sync"
 )
 
@@ -11,20 +12,49 @@ import (
 // schema version (fixed-width, so no two versions ever hash alike), the
 // request kind, and the canonicalized configuration bytes. Using the
 // digest as the map key keeps the cache's memory footprint independent
-// of request size.
+// of request size, and the fixed-size value flows through the flight and
+// coalescing maps without any per-request string conversion.
 type cacheKey [sha256.Size]byte
 
+// keyHasher is the pooled scratch for key derivation: a reusable
+// sha256 state plus small header/sum buffers, so deriving a key
+// streams the canonical bytes (no body-sized copy) and allocates
+// nothing in steady state (the previous implementation allocated a
+// fresh digest state per request).
+type keyHasher struct {
+	h   hash.Hash
+	hdr []byte
+	sum []byte
+}
+
+var keyHasherPool = sync.Pool{New: func() any {
+	return &keyHasher{h: sha256.New(), hdr: make([]byte, 0, 64), sum: make([]byte, 0, sha256.Size)}
+}}
+
 func makeKey(kind string, canonical []byte) cacheKey {
-	h := sha256.New()
-	var tag [4]byte
-	binary.BigEndian.PutUint32(tag[:], uint32(schemaTag))
-	h.Write(tag[:])
-	h.Write([]byte(kind))
-	h.Write([]byte{0})
-	h.Write(canonical)
+	kh := keyHasherPool.Get().(*keyHasher)
+	kh.h.Reset()
+	kh.hdr = binary.BigEndian.AppendUint32(kh.hdr[:0], uint32(schemaTag))
+	kh.hdr = append(kh.hdr, kind...)
+	kh.hdr = append(kh.hdr, 0)
+	kh.h.Write(kh.hdr)
+	kh.h.Write(canonical)
+	kh.sum = kh.h.Sum(kh.sum[:0])
 	var k cacheKey
-	h.Sum(k[:0])
+	copy(k[:], kh.sum)
+	keyHasherPool.Put(kh)
 	return k
+}
+
+// lruStats is the cache-observability snapshot served on /healthz.
+type lruStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	EntryCap  int   `json:"entry_cap"`
+	ByteCap   int64 `json:"byte_cap"`
 }
 
 // lruCache is a mutex-guarded LRU over encoded result bytes, bounded
@@ -40,6 +70,8 @@ type lruCache struct {
 	bytes    int64
 	order    *list.List // front = most recently used
 	items    map[cacheKey]*list.Element
+
+	hits, misses, evicts int64
 }
 
 type lruEntry struct {
@@ -56,8 +88,10 @@ func (c *lruCache) get(k cacheKey) ([]byte, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[k]
 	if !ok {
+		c.misses++
 		return nil, false
 	}
+	c.hits++
 	c.order.MoveToFront(el)
 	return el.Value.(*lruEntry).val, true
 }
@@ -84,6 +118,7 @@ func (c *lruCache) put(k cacheKey, v []byte) {
 		e := back.Value.(*lruEntry)
 		c.bytes -= int64(len(e.val))
 		delete(c.items, e.key)
+		c.evicts++
 	}
 }
 
@@ -91,4 +126,18 @@ func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+func (c *lruCache) stats() lruStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return lruStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evicts,
+		Entries:   c.order.Len(),
+		Bytes:     c.bytes,
+		EntryCap:  c.max,
+		ByteCap:   c.maxBytes,
+	}
 }

@@ -1,6 +1,9 @@
 package service
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -119,5 +122,41 @@ func TestCacheDuplicatePutKeepsAccounting(t *testing.T) {
 	}
 	if sum, _ := c.storedBytes(); c.bytes != sum {
 		t.Fatalf("bytes accounting diverged after eviction: counter=%d sum=%d", c.bytes, sum)
+	}
+}
+
+// TestMakeKeyMatchesStreamingReference pins the key preimage layout:
+// the pooled implementation must produce exactly the digest of
+// tag || kind || 0 || canonical, and stay stable across pool reuse.
+func TestMakeKeyMatchesStreamingReference(t *testing.T) {
+	ref := func(kind string, canonical []byte) cacheKey {
+		h := sha256.New()
+		var tag [4]byte
+		binary.BigEndian.PutUint32(tag[:], uint32(schemaTag))
+		h.Write(tag[:])
+		h.Write([]byte(kind))
+		h.Write([]byte{0})
+		h.Write(canonical)
+		var k cacheKey
+		h.Sum(k[:0])
+		return k
+	}
+	cases := []struct {
+		kind string
+		body []byte
+	}{
+		{"analyze", []byte(`{"plant":"dc-servo","period":0.006}`)},
+		{"table1", nil},
+		{"codesign", bytes.Repeat([]byte("x"), 1<<16)},
+	}
+	for _, c := range cases {
+		for i := 0; i < 3; i++ { // pool-reuse stability
+			if got, want := makeKey(c.kind, c.body), ref(c.kind, c.body); got != want {
+				t.Fatalf("makeKey(%q) diverged from the streaming reference", c.kind)
+			}
+		}
+	}
+	if makeKey("a", []byte("b")) == makeKey("ab", nil) {
+		t.Fatal("kind/body boundary not delimited")
 	}
 }

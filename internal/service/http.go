@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"ctrlsched/internal/experiments"
+	"ctrlsched/internal/kmemo"
 )
 
 // maxBodyBytes bounds request bodies; analysis configs are tiny. Batch
@@ -54,6 +56,13 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/analyze/batch", s.handleAnalyzeBatch)
 	mux.HandleFunc("/v1/codesign", s.handleCodesign)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -91,6 +100,11 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"workers":        s.cfg.Workers,
 			"max_concurrent": s.cfg.MaxConcurrent,
 		},
+		// Cache observability, innermost to outermost: the process-wide
+		// kernel memo, then this service's encoded-result LRU (request
+		// coalescing has no retained state to report).
+		"kernel_cache": kmemo.Default().Stats(),
+		"result_cache": s.cache.stats(),
 	})
 }
 

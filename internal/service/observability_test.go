@@ -1,0 +1,127 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHealthzSchema is the regression gate on the health endpoint's
+// JSON shape: the cache-observability fields the operations story
+// depends on (kmemo and result-LRU hit/miss/evict counters) must stay
+// present under these exact names.
+func TestHealthzSchema(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// One analyze round trip so the counters are exercised, then one
+	// repeat so both a miss and a hit are on the books.
+	body := []byte(`{"plant":"dc-servo","period":0.006}`)
+	for i := 0; i < 2; i++ {
+		if _, _, err := s.Analyze(context.Background(), body); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatalf("healthz is not a JSON object: %v\n%s", err, raw)
+	}
+	for _, key := range []string{"status", "uptime_seconds", "kinds", "stats", "pool", "kernel_cache", "result_cache"} {
+		if _, ok := h[key]; !ok {
+			t.Errorf("healthz missing top-level key %q", key)
+		}
+	}
+
+	var kc map[string]json.RawMessage
+	if err := json.Unmarshal(h["kernel_cache"], &kc); err != nil {
+		t.Fatalf("kernel_cache not an object: %v", err)
+	}
+	for _, key := range []string{"enabled", "hits", "misses", "evictions", "entries", "bytes", "entry_cap", "byte_cap"} {
+		if _, ok := kc[key]; !ok {
+			t.Errorf("kernel_cache missing key %q", key)
+		}
+	}
+
+	var rc map[string]json.RawMessage
+	if err := json.Unmarshal(h["result_cache"], &rc); err != nil {
+		t.Fatalf("result_cache not an object: %v", err)
+	}
+	for _, key := range []string{"hits", "misses", "evictions", "entries", "bytes", "entry_cap", "byte_cap"} {
+		if _, ok := rc[key]; !ok {
+			t.Errorf("result_cache missing key %q", key)
+		}
+	}
+
+	// The repeat request above must be visible as a result-cache hit.
+	var rcs lruStats
+	if err := json.Unmarshal(h["result_cache"], &rcs); err != nil {
+		t.Fatal(err)
+	}
+	if rcs.Hits < 1 || rcs.Entries < 1 {
+		t.Errorf("result_cache counters not live: %+v", rcs)
+	}
+}
+
+// TestPprofGatedByFlag pins that the profiler surface exists only when
+// explicitly enabled.
+func TestPprofGatedByFlag(t *testing.T) {
+	off := httptest.NewServer(New(Config{}).Handler())
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without -pprof: status %d", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(New(Config{EnablePprof: true}).Handler())
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index with -pprof: status %d", resp.StatusCode)
+	}
+}
+
+// TestAnalyzeHitPathAllocs is the allocation audit of the issue: a
+// cache-hit analyze must not allocate per-request key material beyond
+// the unavoidable JSON decode of the request itself. The bound is
+// deliberately a ceiling, not a target — it fails loudly if someone
+// reintroduces per-request digest states, key strings, or response
+// re-encoding on the hit path.
+func TestAnalyzeHitPathAllocs(t *testing.T) {
+	s := New(Config{})
+	ctx := context.Background()
+	raw := []byte(`{"plant":"dc-servo","period":0.0061}`)
+	if _, _, err := s.Analyze(ctx, raw); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, hit, err := s.Analyze(ctx, raw); err != nil || !hit {
+			t.Fatalf("hit=%v err=%v", hit, err)
+		}
+	})
+	if allocs > 48 {
+		t.Fatalf("analyze hit path allocates %.0f objects/op (bound 48)", allocs)
+	}
+}

@@ -481,7 +481,7 @@ func (s *Service) runAnalyze(req AnalyzeRequest) (experiments.Result, error) {
 	for i, ts := range req.Tasks {
 		t := rta.Task{Name: ts.Name, BCET: ts.BCET, WCET: ts.WCET, Period: ts.Period, ConA: ts.ConA, ConB: ts.ConB}
 		if ts.Plant != "" {
-			m, err := jitter.ForPlant(plantRegistry[ts.Plant], ts.Period)
+			m, err := jitter.ForPlantCached(plantRegistry[ts.Plant], ts.Period)
 			if err != nil {
 				return nil, badRequest("task %s: jitter margin of %s at h=%v: %v", ts.Name, ts.Plant, ts.Period, err)
 			}
@@ -542,10 +542,12 @@ func (s *Service) runPlantAnalyze(req AnalyzeRequest) (experiments.Result, error
 		Name:   p.Name,
 		Period: req.Period,
 		// Cost is +Inf at pathological periods — a valid answer, not an
-		// error (it is exactly what Fig. 2's spikes plot).
-		Cost: experiments.Float(lqg.Cost(p, req.Period)),
+		// error (it is exactly what Fig. 2's spikes plot). The cached
+		// synthesis is shared with the margin analysis below, so the
+		// plant route performs one synthesis, not two.
+		Cost: experiments.Float(lqg.CostCached(p, req.Period)),
 	}
-	if m, err := jitter.ForPlant(p, req.Period); err != nil {
+	if m, err := jitter.ForPlantCached(p, req.Period); err != nil {
 		pa.Error = err.Error()
 	} else {
 		pa.ConA, pa.ConB = m.A, m.B

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"ctrlsched/internal/experiments"
+	"ctrlsched/internal/kmemo"
 	"ctrlsched/internal/taskgen"
 )
 
@@ -53,6 +54,20 @@ type Config struct {
 	// 400 rather than letting one request monopolize the pool. 0 means
 	// 2 000 000.
 	MaxItems int
+	// KernelCacheEntries and KernelCacheBytes size the process-wide
+	// kernel-result cache (internal/kmemo) that LQG syntheses,
+	// delay-aware costs, and jitter-margin curves are shared through.
+	// 0 means keep the process's current configuration (the kmemo
+	// defaults unless something reconfigured them), so constructing a
+	// Service never drops a warm cache.
+	KernelCacheEntries int
+	KernelCacheBytes   int64
+	// KernelCacheOff disables the kernel cache entirely, restoring
+	// per-request kernel computation exactly as before kmemo existed.
+	KernelCacheOff bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// service handler (the ctrlschedd -pprof flag).
+	EnablePprof bool
 }
 
 // RegisterFlags registers the shared daemon tuning flags on fs and
@@ -65,6 +80,10 @@ func RegisterFlags(fs *flag.FlagSet) *Config {
 	fs.IntVar(&cfg.CacheEntries, "cache-entries", 256, "LRU result-cache capacity")
 	fs.Int64Var(&cfg.CacheBytes, "cache-bytes", 256<<20, "total bytes the result cache may retain")
 	fs.IntVar(&cfg.MaxItems, "max-items", 2_000_000, "reject campaigns above this many total items")
+	fs.IntVar(&cfg.KernelCacheEntries, "kernel-cache-entries", kmemo.DefaultEntries, "process-wide kernel result cache capacity (entries)")
+	fs.Int64Var(&cfg.KernelCacheBytes, "kernel-cache-bytes", kmemo.DefaultBytes, "total bytes the kernel result cache may retain")
+	fs.BoolVar(&cfg.KernelCacheOff, "kernel-cache-off", false, "disable the process-wide kernel result cache (recompute every kernel per request)")
+	fs.BoolVar(&cfg.EnablePprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	return cfg
 }
 
@@ -204,9 +223,25 @@ func (f *flight) notify(done, total int) {
 	}
 }
 
-// New builds a Service with the given configuration.
+// New builds a Service with the given configuration. Kernel-cache
+// settings apply process-wide (the cache is shared across services):
+// explicit capacities reconfigure it, zero values leave it untouched,
+// and KernelCacheOff disables it.
 func New(cfg Config) *Service {
 	c := cfg.withDefaults()
+	switch {
+	case c.KernelCacheOff:
+		kmemo.Disable()
+	case c.KernelCacheEntries > 0 || c.KernelCacheBytes > 0:
+		entries, bytes := c.KernelCacheEntries, c.KernelCacheBytes
+		if entries <= 0 {
+			entries = kmemo.DefaultEntries
+		}
+		if bytes <= 0 {
+			bytes = kmemo.DefaultBytes
+		}
+		kmemo.Configure(entries, bytes)
+	}
 	return &Service{
 		cfg:     c,
 		sem:     make(chan struct{}, c.MaxConcurrent),

@@ -42,6 +42,7 @@ import (
 
 	"ctrlsched/internal/assign"
 	"ctrlsched/internal/codesign"
+	"ctrlsched/internal/cosim"
 	"ctrlsched/internal/experiments"
 	"ctrlsched/internal/jitter"
 	"ctrlsched/internal/kmemo"
@@ -376,6 +377,35 @@ func BenchmarkCodesignWarm(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchCodesignOnce(b)
+	}
+}
+
+// BenchmarkCosimLoop measures one single-loop co-simulation — the
+// kernel of the co-design engine's empirical passes. Allocs/op is part
+// of the contract: the RK4 integrator and controller update run on a
+// reusable workspace instead of allocating per sub-step.
+func BenchmarkCosimLoop(b *testing.B) {
+	d, err := lqg.Synthesize(plant.DCServo(), 0.006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lp := cosim.Loop{
+		Task: rta.Task{
+			Name: "servo", BCET: 0.0003, WCET: 0.0006, Period: 0.006,
+			ConA: 1, ConB: 0.006,
+		},
+		Design: d,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cosim.Run([]cosim.Loop{lp}, []int{1}, cosim.Config{Horizon: 1, Seed: 1, SubSteps: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Loops[0].Diverged() {
+			b.Fatal("bench loop diverged")
+		}
 	}
 }
 

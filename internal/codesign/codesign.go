@@ -25,8 +25,8 @@
 //
 // # Search
 //
-// Alternating minimization in the style of block-coordinate descent
-// (cf. the alternating schemes in PAPERS.md):
+// Warm-started alternating minimization in the style of block-coordinate
+// descent (cf. the alternating schemes in PAPERS.md):
 //
 //	(a) per-loop period selection: one loop's candidate grid is swept
 //	    with every other loop frozen, fanned out over the campaign pool;
@@ -35,12 +35,23 @@
 //	    then improved by deterministic pairwise-swap descent on the
 //	    delay-aware objective.
 //
+// Each sweep's per-loop cost curve — the objective of every (loop,
+// candidate) pair against a frozen context — is kept in a per-run memo.
+// When a later sweep revisits a loop whose context did not change, the
+// whole curve is answered from the memo instead of re-evaluating the
+// grid; after the sweeps converge at the current resolution the grid
+// brackets the incumbent and bisects toward each neighbor (midpoint
+// refinement), so only the newly inserted candidates cost anything. The
+// memoized values are exactly the values re-evaluation would produce, so
+// the selected designs are identical to the exhaustive re-grid search.
+//
 // Sweeps repeat until a full pass changes nothing, then the grid refines
-// around the incumbent (midpoints toward each neighbor) and the sweeps
-// continue, up to the configured budgets. Everything is deterministic:
-// fan-outs collect in item order, ties break toward the shorter period,
-// and the co-simulation passes derive their seeds from the request seed
-// and the candidate's stable index (campaign.ItemSeed).
+// around the incumbent and the sweeps continue, up to the configured
+// budgets. Everything is deterministic: fan-outs collect in item order,
+// ties break toward the shorter period, and the co-simulation passes
+// derive their seeds from the request seed and the candidate's stable
+// index (campaign.ItemSeed). The per-sweep incumbents are exposed as a
+// convergence trace (Result.Trace).
 //
 // Inner iterations are allocation-conscious by construction: priority
 // searches run through pooled assign.Searcher instances (reusable memo +
@@ -49,6 +60,8 @@
 package codesign
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -67,6 +80,24 @@ import (
 
 // maxTasks mirrors the assignment engine's bitmask bound.
 const maxTasks = 31
+
+// ErrInternal marks failures of the engine's own machinery — e.g. the
+// winner's validation co-simulation rejecting inputs the engine itself
+// constructed — as opposed to malformed caller input. Transports should
+// map errors.Is(err, ErrInternal) to a server-side failure (HTTP 500),
+// not a caller error.
+var ErrInternal = errors.New("codesign: internal error")
+
+// internalError wraps an engine-internal failure so errors.Is(err,
+// ErrInternal) holds while the concrete message and cause chain are
+// preserved.
+type internalError struct{ err error }
+
+func (e *internalError) Error() string { return e.err.Error() }
+
+func (e *internalError) Unwrap() error { return e.err }
+
+func (e *internalError) Is(target error) bool { return target == ErrInternal }
 
 // BaseTask is one task of the existing workload. Its period and
 // execution-time bounds are fixed; only its priority is re-decided. When
@@ -124,6 +155,15 @@ type Options struct {
 	// campaign.ItemSeed(Seed, i), so per-candidate results are
 	// reproducible independently of scheduling order.
 	Seed int64
+	// WarmStart seeds each candidate's Riccati and Lyapunov solves from
+	// the neighboring (next-shorter) period's converged solution of the
+	// same loop (lqg.SynthesizeWarm). Warm solutions agree with cold
+	// ones to solver tolerance but are not guaranteed bit-identical, so
+	// warm designs carry no cache fingerprint and every process-wide
+	// kernel cache bypasses them — results stay deterministic for a
+	// given flag value and the cache is never polluted with
+	// hint-dependent bits. Default false: bit-identical cold solves.
+	WarmStart bool
 	// Workers is the fan-out width of every candidate evaluation
 	// (default all CPUs). Results never depend on it.
 	Workers int
@@ -210,6 +250,22 @@ type TaskResult struct {
 	Designed       bool
 }
 
+// SweepTrace records the optimizer's state after one alternating sweep:
+// the incumbent objective, the cumulative number of configuration
+// evaluations, and the candidate-grid size (which grows when midpoint
+// refinement inserts candidates around the incumbent).
+type SweepTrace struct {
+	// Sweep is the 1-based sweep number.
+	Sweep int
+	// Objective is the incumbent total delay-aware cost after the sweep
+	// (+Inf until a stable configuration has been found).
+	Objective float64
+	// Evaluations is the cumulative configuration-evaluation count.
+	Evaluations int
+	// GridSize is the total candidate count across all loops.
+	GridSize int
+}
+
 // Result is the outcome of one synthesis run.
 type Result struct {
 	// Feasible reports that a stable configuration was found; when
@@ -233,14 +289,34 @@ type Result struct {
 	// CosimStable reports that every designed loop survived the
 	// validation co-simulation without divergence.
 	CosimStable bool
-	Candidates  []Candidate
-	Tasks       []TaskResult
+	// Trace is the per-sweep convergence record (empty when no feasible
+	// starting configuration exists).
+	Trace      []SweepTrace
+	Candidates []Candidate
+	Tasks      []TaskResult
 }
 
 // delayKey identifies one memoized delay-aware cost evaluation.
 type delayKey struct {
 	design *lqg.Design
 	bits   uint64
+}
+
+// sweepKey identifies one point of a loop's sweep cost curve: candidate
+// cand substituted into loop `loop`, with every other loop frozen at the
+// context encoded by ctx. Keeping the curve keyed by context makes later
+// sweeps over an unchanged context free while guaranteeing that a
+// context change (another loop moved) re-evaluates honestly.
+type sweepKey struct {
+	loop, cand int
+	ctx        string
+}
+
+// sweepVal is a memoized evalConfig outcome. prio is owned by the memo
+// and must be treated as read-only by callers.
+type sweepVal struct {
+	obj  float64
+	prio []int
 }
 
 // evalCtx is the pooled per-evaluation scratch: the assignment searcher,
@@ -267,6 +343,9 @@ type engine struct {
 
 	delayMu   sync.Mutex
 	delayMemo map[delayKey]float64
+
+	curveMu   sync.Mutex
+	curveMemo map[sweepKey]sweepVal
 
 	evals atomic.Int64
 
@@ -304,6 +383,7 @@ func Run(base []BaseTask, loops []LoopSpec, opt Options) (*Result, error) {
 		opt:       opt,
 		loops:     loops,
 		delayMemo: make(map[delayKey]float64),
+		curveMemo: make(map[sweepKey]sweepVal),
 	}
 	e.pool.New = func() any { return new(evalCtx) }
 
@@ -397,35 +477,80 @@ func (e *engine) fan(n int, fn func(i int)) error {
 }
 
 // evalMargins synthesizes designs and jitter margins for the given
-// candidate indices, fanned out over the pool.
+// candidate indices. Cold runs fan every candidate out over the pool
+// independently. Warm-started runs fan per loop instead and walk each
+// loop's candidates in ascending period order, seeding every synthesis
+// from the loop's previously converged neighbor (lqg.SynthesizeWarm):
+// the sequential chain is what carries the warm-start hint.
 func (e *engine) evalMargins(idxs []int) error {
-	return e.fan(len(idxs), func(k int) {
-		i := idxs[k]
-		c := &e.cands[i]
-		lp := e.loops[c.Loop]
-		if lp.WCET > c.Period {
-			c.Cost, c.Note = math.Inf(1), "wcet exceeds period"
-			c.Objective, c.Empirical = math.Inf(1), math.Inf(1)
-			return
+	if !e.opt.WarmStart {
+		return e.fan(len(idxs), func(k int) {
+			e.evalMargin(idxs[k], nil)
+		})
+	}
+	byLoop := make(map[int][]int)
+	var order []int
+	for _, i := range idxs {
+		l := e.cands[i].Loop
+		if _, ok := byLoop[l]; !ok {
+			order = append(order, l)
 		}
-		d, err := lqg.SynthesizeCached(lp.Plant, c.Period)
-		if err != nil {
-			c.Cost, c.Note = math.Inf(1), "unstabilizable"
-			c.Objective, c.Empirical = math.Inf(1), math.Inf(1)
-			return
+		byLoop[l] = append(byLoop[l], i)
+	}
+	for _, g := range byLoop {
+		sort.Slice(g, func(a, b int) bool {
+			return e.cands[g[a]].Period < e.cands[g[b]].Period
+		})
+	}
+	return e.fan(len(order), func(k int) {
+		var prev *lqg.Design
+		for _, i := range byLoop[order[k]] {
+			if d := e.evalMargin(i, prev); d != nil {
+				prev = d
+			}
 		}
-		c.Cost = d.Cost
-		m, err := jitter.AnalyzeCached(d, jitter.Options{})
-		if err != nil {
-			c.Note = "no jitter margin"
-			c.Objective, c.Empirical = math.Inf(1), math.Inf(1)
-			return
-		}
-		c.ConA, c.ConB = m.A, m.B
-		c.Feasible = true
-		c.Objective, c.Empirical = math.Inf(1), math.Inf(1)
-		e.designs[i] = d
 	})
+}
+
+// evalMargin evaluates one candidate: synthesis (warm-started from prev
+// when the engine runs warm), standalone cost, and jitter margin. It
+// returns the synthesized design (nil when the candidate has none) so
+// warm chains can seed the next-period neighbor.
+func (e *engine) evalMargin(i int, prev *lqg.Design) *lqg.Design {
+	c := &e.cands[i]
+	lp := e.loops[c.Loop]
+	if lp.WCET > c.Period {
+		c.Cost, c.Note = math.Inf(1), "wcet exceeds period"
+		c.Objective, c.Empirical = math.Inf(1), math.Inf(1)
+		return nil
+	}
+	var d *lqg.Design
+	var err error
+	if e.opt.WarmStart {
+		d, err = lqg.SynthesizeWarm(lp.Plant, c.Period, prev)
+	} else {
+		d, err = lqg.SynthesizeCached(lp.Plant, c.Period)
+	}
+	if err != nil {
+		c.Cost, c.Note = math.Inf(1), "unstabilizable"
+		c.Objective, c.Empirical = math.Inf(1), math.Inf(1)
+		return nil
+	}
+	c.Cost = d.Cost
+	// Warm designs carry a zero fingerprint, which AnalyzeCached treats
+	// as "no cache identity": the margin is computed fresh rather than
+	// stored under a key cold runs would share.
+	m, err := jitter.AnalyzeCached(d, jitter.Options{})
+	if err != nil {
+		c.Note = "no jitter margin"
+		c.Objective, c.Empirical = math.Inf(1), math.Inf(1)
+		return d
+	}
+	c.ConA, c.ConB = m.A, m.B
+	c.Feasible = true
+	c.Objective, c.Empirical = math.Inf(1), math.Inf(1)
+	e.designs[i] = d
+	return d
 }
 
 // buildTasks assembles the task vector for a configuration: sel holds
@@ -535,6 +660,43 @@ func (e *engine) evalConfig(sel []int, override, cand int) (float64, []int) {
 	return obj, prio
 }
 
+// ctxOf encodes the frozen context of a sweep over loop l: the selected
+// candidate of every other loop, with l's own slot masked so the key is
+// independent of where the swept loop currently sits.
+func ctxOf(sel []int, l int) string {
+	b := make([]byte, 0, 4*len(sel))
+	for i, v := range sel {
+		if i == l {
+			v = -1
+		}
+		b = binary.AppendVarint(b, int64(v))
+	}
+	return string(b)
+}
+
+// evalConfigMemo is evalConfig through the per-run sweep-curve memo.
+// The first sweep over a context evaluates the loop's full feasible grid
+// and records its cost curve; later sweeps with an unchanged context —
+// and the diagnostics pass over the winner — are answered from the
+// curve. Memoized values are exactly what re-evaluation would return, so
+// the search selects the same designs as exhaustive re-gridding. The
+// returned priority slice is memo-owned: read-only for callers.
+func (e *engine) evalConfigMemo(ctx string, sel []int, l, cand int) (float64, []int) {
+	key := sweepKey{loop: l, cand: cand, ctx: ctx}
+	e.curveMu.Lock()
+	v, ok := e.curveMemo[key]
+	e.curveMu.Unlock()
+	if ok {
+		return v.obj, v.prio
+	}
+	obj, prio := e.evalConfig(sel, l, cand)
+	v = sweepVal{obj: obj, prio: append([]int(nil), prio...)}
+	e.curveMu.Lock()
+	e.curveMemo[key] = v
+	e.curveMu.Unlock()
+	return v.obj, v.prio
+}
+
 // feasibleOf lists the margin-feasible candidate indices of loop l.
 func (e *engine) feasibleOf(l int) []int {
 	var out []int
@@ -642,9 +804,10 @@ func (e *engine) run() (*Result, error) {
 			changed := false
 			for l := range e.loops {
 				feas := e.feasibleOf(l)
+				ctx := ctxOf(sel, l)
 				out := make([]step, len(feas))
 				if err := e.fan(len(feas), func(k int) {
-					obj, prio := e.evalConfig(sel, l, feas[k])
+					obj, prio := e.evalConfigMemo(ctx, sel, l, feas[k])
 					out[k] = step{obj, prio}
 				}); err != nil {
 					return nil, err
@@ -669,6 +832,12 @@ func (e *engine) run() (*Result, error) {
 				}
 			}
 			res.Iterations = iter + 1
+			res.Trace = append(res.Trace, SweepTrace{
+				Sweep:       iter + 1,
+				Objective:   bestObj,
+				Evaluations: int(e.evals.Load()),
+				GridSize:    len(e.cands),
+			})
 			if !changed {
 				if e.opt.Refine > 0 {
 					e.opt.Refine--
@@ -730,17 +899,21 @@ func (e *engine) diagnose(sel []int) error {
 		defer e.pool.Put(ctx)
 
 		// Plain schedulability: same configuration, implicit deadlines.
+		// The request's own assignment method decides the flag — using
+		// the default backtracking here regardless of opt.Assign would
+		// report schedulability under a different algorithm than the one
+		// searching (and co-simulate under its priorities).
 		tasks, designs := e.buildTasks(ctx, sel, c.Loop, gi)
 		dtasks := append([]rta.Task(nil), tasks...)
 		for i := range dtasks {
 			dtasks[i].ConA, dtasks[i].ConB = 1, dtasks[i].Period
 		}
-		dres := DefaultAssign(&ctx.searcher, dtasks)
+		dres := e.opt.Assign(&ctx.searcher, dtasks)
 		c.Schedulable = dres.Valid
 
 		var simPrio []int
 		if c.Feasible {
-			obj, prio := e.evalConfig(sel, c.Loop, gi)
+			obj, prio := e.evalConfigMemo(ctxOf(sel, c.Loop), sel, c.Loop, gi)
 			c.Objective = obj
 			c.Stable = !math.IsInf(obj, 1)
 			simPrio = prio
@@ -809,7 +982,10 @@ func (e *engine) validate(res *Result, sel []int) error {
 		Exec:     sim.ExecRandom,
 	})
 	if err != nil {
-		return fmt.Errorf("codesign: validation co-simulation: %w", err)
+		// The loops, priorities, and config here were all built by the
+		// engine from an already-validated request: a rejection is a bug
+		// in the engine, not bad caller input.
+		return &internalError{fmt.Errorf("codesign: validation co-simulation: %w", err)}
 	}
 	e.done++
 	e.progress(e.done)

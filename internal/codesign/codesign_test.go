@@ -293,3 +293,99 @@ func TestUnstabilizableCandidateKeepsInfiniteEmpirical(t *testing.T) {
 		t.Fatalf("design-less candidate got a finite score: %+v", *patho)
 	}
 }
+
+// TestWarmStartSameSelection pins the warm-start contract: seeding the
+// Riccati/Lyapunov solves from the neighboring period must not change
+// the selected periods or priorities on the paper scenario, and the
+// objective agrees to solver tolerance. (Bit-identity is explicitly NOT
+// promised for warm runs; selection identity is.)
+func TestWarmStartSameSelection(t *testing.T) {
+	opt := Options{Seed: 42, Horizon: 0.5, Workers: 2, Refine: 1}
+	cold := runScenario(t, opt)
+	opt.WarmStart = true
+	warm := runScenario(t, opt)
+	if cold.Feasible != warm.Feasible {
+		t.Fatalf("feasibility differs: cold %v, warm %v", cold.Feasible, warm.Feasible)
+	}
+	if !reflect.DeepEqual(cold.Periods, warm.Periods) {
+		t.Fatalf("selected periods differ: cold %v, warm %v", cold.Periods, warm.Periods)
+	}
+	if !reflect.DeepEqual(cold.Priorities, warm.Priorities) {
+		t.Fatalf("priorities differ: cold %v, warm %v", cold.Priorities, warm.Priorities)
+	}
+	if d := math.Abs(cold.TotalCost-warm.TotalCost) / (1 + math.Abs(cold.TotalCost)); d > 1e-6 {
+		t.Fatalf("objective deviates: cold %v, warm %v (rel %g)", cold.TotalCost, warm.TotalCost, d)
+	}
+	// Warm runs must themselves be deterministic.
+	warm2 := runScenario(t, opt)
+	if !reflect.DeepEqual(warm, warm2) {
+		t.Fatal("warm-started run not deterministic across repetitions")
+	}
+}
+
+// TestDiagnoseUsesRequestMethod is the regression test for the
+// candidate-table bug where diagnose computed Schedulable with
+// DefaultAssign regardless of the method the request selected. With an
+// assignment method that admits nothing, every candidate must report
+// Schedulable == false — under the old code the backtracking search
+// still found valid assignments and the table lied.
+func TestDiagnoseUsesRequestMethod(t *testing.T) {
+	base, loops := paperScenario()
+	res, err := Run(base, loops, Options{
+		Seed: 1, Horizon: 0.5, Workers: 2,
+		Assign: func(_ *assign.Searcher, tasks []rta.Task) assign.Result {
+			return assign.Result{} // rejects every task set
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("reject-all assignment cannot yield a feasible configuration")
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("candidate table empty")
+	}
+	for _, c := range res.Candidates {
+		if c.Schedulable {
+			t.Fatalf("candidate %v reports Schedulable under a reject-all method — diagnose is not using the request's assigner", c.Period)
+		}
+	}
+}
+
+// TestConvergenceTrace checks the shape and internal consistency of the
+// per-sweep trace: one entry per iteration, cumulative evaluation counts,
+// and a final incumbent matching the reported objective.
+func TestConvergenceTrace(t *testing.T) {
+	res := runScenario(t, Options{Seed: 42, Horizon: 0.5, Workers: 2, Refine: 1})
+	if len(res.Trace) != res.Iterations {
+		t.Fatalf("trace has %d entries, want one per iteration (%d)", len(res.Trace), res.Iterations)
+	}
+	prevEvals := 0
+	for i, sw := range res.Trace {
+		if sw.Sweep != i+1 {
+			t.Fatalf("trace[%d].Sweep = %d, want %d", i, sw.Sweep, i+1)
+		}
+		if sw.Evaluations < prevEvals {
+			t.Fatalf("trace[%d] evaluation count %d decreased from %d", i, sw.Evaluations, prevEvals)
+		}
+		prevEvals = sw.Evaluations
+		if sw.GridSize < 7 {
+			t.Fatalf("trace[%d] grid size %d below the initial grid", i, sw.GridSize)
+		}
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if last.Evaluations != res.Evaluations {
+		t.Fatalf("final trace evaluations %d != result evaluations %d", last.Evaluations, res.Evaluations)
+	}
+	if res.Feasible && last.Objective != res.TotalCost {
+		t.Fatalf("final incumbent %v != total cost %v", last.Objective, res.TotalCost)
+	}
+	// The incumbent objective never worsens sweep over sweep.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Objective > res.Trace[i-1].Objective {
+			t.Fatalf("incumbent worsened: sweep %d %v -> sweep %d %v",
+				i, res.Trace[i-1].Objective, i+1, res.Trace[i].Objective)
+		}
+	}
+}

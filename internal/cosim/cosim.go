@@ -110,20 +110,45 @@ func Run(loops []Loop, prio []int, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Sched: sres, Loops: make([]LoopResult, len(loops))}
+	var ws integWS
 	for i := range loops {
 		if loops[i].Design == nil {
 			continue // interference-only task: scheduled, not integrated
 		}
-		res.Loops[i] = runLoop(&loops[i], i, sres, cfg)
+		res.Loops[i] = runLoop(&loops[i], i, sres, cfg, &ws)
 	}
 	return res, nil
 }
 
+// integWS is the reusable integration scratch of one co-simulation run,
+// in the repository's Workspace idiom: the RK4 stage vectors, the
+// intermediate state, and the controller/cost buffers. Buffers regrow
+// when the plant order changes; reuse changes no arithmetic, so results
+// are bit-identical to the historical per-sub-step allocating code.
+type integWS struct {
+	k1, k2, k3, k4 []float64 // RK4 stage derivatives
+	xs             []float64 // RK4 intermediate state
+	phiX, xhatNew  []float64 // controller predictor update
+	qx             []float64 // quadratic-form scratch
+}
+
+func (w *integWS) ensure(n int) {
+	if len(w.k1) == n {
+		return
+	}
+	w.k1, w.k2 = make([]float64, n), make([]float64, n)
+	w.k3, w.k4 = make([]float64, n), make([]float64, n)
+	w.xs = make([]float64, n)
+	w.phiX, w.xhatNew = make([]float64, n), make([]float64, n)
+	w.qx = make([]float64, n)
+}
+
 // runLoop integrates one plant under the actuation schedule of its task.
-func runLoop(lp *Loop, taskIdx int, sres *sim.Result, cfg Config) LoopResult {
+func runLoop(lp *Loop, taskIdx int, sres *sim.Result, cfg Config, ws *integWS) LoopResult {
 	d := lp.Design
 	sys := d.Plant.Sys
 	n := sys.Order()
+	ws.ensure(n)
 	rng := rand.New(rand.NewSource(cfg.Seed*1000003 + int64(taskIdx)))
 
 	// Collect this task's jobs in release order.
@@ -134,7 +159,12 @@ func runLoop(lp *Loop, taskIdx int, sres *sim.Result, cfg Config) LoopResult {
 		}
 	}
 	if len(jobs) == 0 {
-		return LoopResult{}
+		// A designed loop that never actuated inside the horizon has no
+		// empirical evidence of stability: the zero LoopResult would read
+		// as "cheap and stable" to callers summing costs (the co-design
+		// engine's empirical pass). Report +Inf on both channels so the
+		// loop counts as diverged/unusable instead.
+		return LoopResult{Cost: math.Inf(1), MaxState: math.Inf(1)}
 	}
 
 	// Noise scaling: discrete approximation of the continuous intensity.
@@ -160,7 +190,7 @@ func runLoop(lp *Loop, taskIdx int, sres *sim.Result, cfg Config) LoopResult {
 			if now+step > to {
 				step = to - now
 			}
-			rk4Step(sys.A, sys.B, x, u, step)
+			rk4Step(ws, sys.A, sys.B, x, u, step)
 			if !cfg.DisableNoise {
 				sq := math.Sqrt(step)
 				for r := 0; r < n; r++ {
@@ -170,7 +200,7 @@ func runLoop(lp *Loop, taskIdx int, sres *sim.Result, cfg Config) LoopResult {
 				}
 			}
 			// Cost accumulation (rectangle rule on sub-steps).
-			cx := quad(q1, x)
+			cx := quad(ws, q1, x)
 			costInt += (cx + q2.At(0, 0)*u*u) * step
 			for _, v := range x {
 				if a := math.Abs(v); a > maxState {
@@ -200,12 +230,11 @@ func runLoop(lp *Loop, taskIdx int, sres *sim.Result, cfg Config) LoopResult {
 		// u_next = −L·x̂;  x̂⁺ = Φx̂ + Γu_applied + Kf(y − Cx̂).
 		uNext := -dotRow(d.L, xhat)
 		innov := y - dot(sys.C, xhat)
-		xhatNew := make([]float64, n)
-		phiX := d.Phi.MulVec(xhat)
+		mat.MulVecInto(ws.phiX, d.Phi, xhat)
 		for r := 0; r < n; r++ {
-			xhatNew[r] = phiX[r] + d.Gamma.At(r, 0)*uNext + d.Kf.At(r, 0)*innov
+			ws.xhatNew[r] = ws.phiX[r] + d.Gamma.At(r, 0)*uNext + d.Kf.At(r, 0)*innov
 		}
-		copy(xhat, xhatNew)
+		copy(xhat, ws.xhatNew)
 
 		// Actuate at the job's completion.
 		integrate(j.Finish)
@@ -224,39 +253,42 @@ func runLoop(lp *Loop, taskIdx int, sres *sim.Result, cfg Config) LoopResult {
 	return LoopResult{Cost: costInt / span, MaxState: maxState, Samples: samples}
 }
 
-// rk4Step advances ẋ = Ax + Bu one step in place.
-func rk4Step(a, b *mat.Matrix, x []float64, u, h float64) {
+// rk4Step advances ẋ = Ax + Bu one step in place on the workspace's
+// stage buffers. The accumulation order matches the historical
+// allocating implementation exactly (MulVec row order, then the B·u
+// add, then the axpy combination), so trajectories are bit-identical.
+func rk4Step(w *integWS, a, b *mat.Matrix, x []float64, u, h float64) {
 	n := len(x)
-	f := func(xs []float64) []float64 {
-		ax := a.MulVec(xs)
+	deriv := func(dst, xs []float64) {
+		mat.MulVecInto(dst, a, xs)
 		for r := 0; r < n; r++ {
-			ax[r] += b.At(r, 0) * u
+			dst[r] += b.At(r, 0) * u
 		}
-		return ax
 	}
-	k1 := f(x)
-	k2 := f(axpy(x, k1, h/2))
-	k3 := f(axpy(x, k2, h/2))
-	k4 := f(axpy(x, k3, h))
+	deriv(w.k1, x)
+	axpyInto(w.xs, x, w.k1, h/2)
+	deriv(w.k2, w.xs)
+	axpyInto(w.xs, x, w.k2, h/2)
+	deriv(w.k3, w.xs)
+	axpyInto(w.xs, x, w.k3, h)
+	deriv(w.k4, w.xs)
 	for r := 0; r < n; r++ {
-		x[r] += h / 6 * (k1[r] + 2*k2[r] + 2*k3[r] + k4[r])
+		x[r] += h / 6 * (w.k1[r] + 2*w.k2[r] + 2*w.k3[r] + w.k4[r])
 	}
 }
 
-func axpy(x, d []float64, s float64) []float64 {
-	out := make([]float64, len(x))
+func axpyInto(out, x, d []float64, s float64) {
 	for i := range x {
 		out[i] = x[i] + s*d[i]
 	}
-	return out
 }
 
-// quad returns xᵀQx.
-func quad(q *mat.Matrix, x []float64) float64 {
-	qx := q.MulVec(x)
+// quad returns xᵀQx on the workspace scratch.
+func quad(w *integWS, q *mat.Matrix, x []float64) float64 {
+	mat.MulVecInto(w.qx, q, x)
 	var s float64
 	for i := range x {
-		s += x[i] * qx[i]
+		s += x[i] * w.qx[i]
 	}
 	return s
 }

@@ -220,3 +220,35 @@ func TestInterferenceOnlyLoop(t *testing.T) {
 		t.Fatal("interference task did not affect the controlled loop's schedule")
 	}
 }
+
+// TestZeroJobDesignedLoopIsInf pins the zero-sample contract: a designed
+// loop whose task actuates no job at all must NOT report the zero
+// LoopResult — a caller summing empirical costs (the co-design engine's
+// empirical pass) would count the never-actuated loop as a cheap stable
+// one. It reports +Inf cost and counts as diverged instead. The schedule
+// is constructed directly: sim.Run always records the jobs it drains, so
+// the empty-schedule case is the short-horizon degenerate contract.
+func TestZeroJobDesignedLoopIsInf(t *testing.T) {
+	lp := servoLoop(t, 0.006)
+	var ws integWS
+	lr := runLoop(&lp, 0, &sim.Result{}, Config{Horizon: 0.0001, SubSteps: 40, DisableNoise: true}, &ws)
+	if lr.Samples != 0 {
+		t.Fatalf("expected zero samples, got %d", lr.Samples)
+	}
+	if !math.IsInf(lr.Cost, 1) {
+		t.Fatalf("zero-job designed loop reported cost %v, want +Inf", lr.Cost)
+	}
+	if !lr.Diverged() {
+		t.Fatal("zero-job designed loop must count as diverged")
+	}
+	// A short-but-positive horizon still actuates the released job (the
+	// scheduler drains its backlog), so the full Run path keeps reporting
+	// finite results for every designed loop that ran.
+	res, err := Run([]Loop{lp}, []int{1}, Config{Horizon: 0.0001, Seed: 1, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Loops[0].Samples; got == 0 {
+		t.Fatalf("drained schedule lost its job records (samples = %d)", got)
+	}
+}

@@ -60,13 +60,15 @@ func simulateDelayed(d *lqg.Design, delay func(k int) float64, periods int) floa
 	maxState := 1.0
 	now := 0.0
 	dt := h / 40
+	var ws integWS
+	ws.ensure(n)
 	integrate := func(to float64) {
 		for now < to-1e-12 {
 			step := dt
 			if now+step > to {
 				step = to - now
 			}
-			rk4Step(sys.A, sys.B, x, u, step)
+			rk4Step(&ws, sys.A, sys.B, x, u, step)
 			for _, v := range x {
 				if a := math.Abs(v); a > maxState {
 					maxState = a

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/cmplx"
 	"sort"
+	"sync"
 
 	"ctrlsched/internal/mat"
 )
@@ -23,6 +24,54 @@ var ErrNoConvergence = errors.New("eig: QR iteration did not converge")
 
 const maxIterationsPerEigenvalue = 50
 
+// eigWS is the pooled working state of one eigenvalue computation: the
+// dense copy the pipeline destroys and the wr/wi output buffers. Pooling
+// matters because the jitter-margin analysis calls the stability
+// predicates hundreds of times per request on matrices of a handful of
+// sizes.
+type eigWS struct {
+	n      int
+	buf    []float64
+	h      [][]float64
+	wr, wi []float64
+}
+
+var eigPool = sync.Pool{New: func() any { return new(eigWS) }}
+
+func (ws *eigWS) ensure(n int) {
+	if ws.n == n {
+		return
+	}
+	ws.n = n
+	ws.buf = make([]float64, n*n)
+	ws.h = make([][]float64, n)
+	for i := range ws.h {
+		ws.h[i] = ws.buf[i*n : (i+1)*n]
+	}
+	ws.wr = make([]float64, n)
+	ws.wi = make([]float64, n)
+}
+
+// spectrum runs the balance → Hessenberg → QR pipeline on a pooled copy
+// of a and leaves the eigenvalues in ws.wr/ws.wi (unsorted). Values are
+// identical to the historical per-call allocating pipeline: only the
+// storage is reused.
+func spectrum(ws *eigWS, a *mat.Matrix) error {
+	n := a.Rows()
+	ws.ensure(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ws.h[i][j] = a.At(i, j)
+		}
+	}
+	for i := 0; i < n; i++ {
+		ws.wr[i], ws.wi[i] = 0, 0
+	}
+	balance(ws.h)
+	hessenberg(ws.h)
+	return hqr(ws.h, ws.wr, ws.wi)
+}
+
 // Eigenvalues returns all eigenvalues of the square matrix a as complex
 // numbers, sorted by decreasing modulus (ties broken by real part, then
 // imaginary part, for determinism).
@@ -34,16 +83,14 @@ func Eigenvalues(a *mat.Matrix) ([]complex128, error) {
 	if n == 1 {
 		return []complex128{complex(a.At(0, 0), 0)}, nil
 	}
-	h := toDense(a)
-	balance(h)
-	hessenberg(h)
-	wr, wi, err := hqr(h)
-	if err != nil {
+	ws := eigPool.Get().(*eigWS)
+	defer eigPool.Put(ws)
+	if err := spectrum(ws, a); err != nil {
 		return nil, err
 	}
 	ev := make([]complex128, n)
 	for i := 0; i < n; i++ {
-		ev[i] = complex(wr[i], wi[i])
+		ev[i] = complex(ws.wr[i], ws.wi[i])
 	}
 	sort.Slice(ev, func(i, j int) bool {
 		mi, mj := cmplx.Abs(ev[i]), cmplx.Abs(ev[j])
@@ -58,13 +105,30 @@ func Eigenvalues(a *mat.Matrix) ([]complex128, error) {
 	return ev, nil
 }
 
-// SpectralRadius returns max |λ| over the eigenvalues of a.
+// SpectralRadius returns max |λ| over the eigenvalues of a. The maximum
+// of the eigenvalue moduli does not depend on the sort Eigenvalues
+// performs, so it is taken directly over the pooled wr/wi buffers — same
+// value, no per-call allocation.
 func SpectralRadius(a *mat.Matrix) (float64, error) {
-	ev, err := Eigenvalues(a)
-	if err != nil {
+	if !a.IsSquare() {
+		panic("eig: SpectralRadius requires a square matrix")
+	}
+	n := a.Rows()
+	if n == 1 {
+		return cmplx.Abs(complex(a.At(0, 0), 0)), nil
+	}
+	ws := eigPool.Get().(*eigWS)
+	defer eigPool.Put(ws)
+	if err := spectrum(ws, a); err != nil {
 		return 0, err
 	}
-	return cmplx.Abs(ev[0]), nil
+	r := 0.0
+	for i := 0; i < n; i++ {
+		if m := cmplx.Abs(complex(ws.wr[i], ws.wi[i])); m > r {
+			r = m
+		}
+	}
+	return r, nil
 }
 
 // IsSchurStable reports whether all eigenvalues of a lie strictly inside
@@ -80,30 +144,27 @@ func IsSchurStable(a *mat.Matrix, tol float64) (bool, error) {
 
 // IsHurwitzStable reports whether all eigenvalues of a have real part
 // < −tol. It is the stability test for continuous-time systems ẋ = A·x.
+// Like SpectralRadius, the all-of predicate is order-independent, so it
+// reads the pooled spectrum directly.
 func IsHurwitzStable(a *mat.Matrix, tol float64) (bool, error) {
-	ev, err := Eigenvalues(a)
-	if err != nil {
+	if !a.IsSquare() {
+		panic("eig: IsHurwitzStable requires a square matrix")
+	}
+	n := a.Rows()
+	if n == 1 {
+		return a.At(0, 0) < -tol, nil
+	}
+	ws := eigPool.Get().(*eigWS)
+	defer eigPool.Put(ws)
+	if err := spectrum(ws, a); err != nil {
 		return false, err
 	}
-	for _, l := range ev {
-		if real(l) >= -tol {
+	for i := 0; i < n; i++ {
+		if ws.wr[i] >= -tol {
 			return false, nil
 		}
 	}
 	return true, nil
-}
-
-// toDense copies a mat.Matrix into a [][]float64 working array.
-func toDense(a *mat.Matrix) [][]float64 {
-	n := a.Rows()
-	h := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		h[i] = make([]float64, n)
-		for j := 0; j < n; j++ {
-			h[i][j] = a.At(i, j)
-		}
-	}
-	return h
 }
 
 // balance applies the Parlett–Reinsch radix-2 balancing, replacing a by
@@ -201,12 +262,11 @@ func hessenberg(a [][]float64) {
 }
 
 // hqr finds all eigenvalues of an upper Hessenberg matrix by the Francis
-// double-shift QR iteration (EISPACK hqr). The matrix is destroyed. Returns
-// the real and imaginary parts of the eigenvalues.
-func hqr(a [][]float64) (wr, wi []float64, err error) {
+// double-shift QR iteration (EISPACK hqr). The matrix is destroyed. The
+// real and imaginary parts of the eigenvalues are written into the
+// caller-provided wr/wi slices (len n, pre-zeroed).
+func hqr(a [][]float64, wr, wi []float64) error {
 	n := len(a)
-	wr = make([]float64, n)
-	wi = make([]float64, n)
 
 	var anorm float64
 	for i := 0; i < n; i++ {
@@ -215,7 +275,7 @@ func hqr(a [][]float64) (wr, wi []float64, err error) {
 		}
 	}
 	if anorm == 0 {
-		return wr, wi, nil // zero matrix: all eigenvalues zero
+		return nil // zero matrix: all eigenvalues zero
 	}
 
 	nn := n - 1
@@ -277,7 +337,7 @@ func hqr(a [][]float64) (wr, wi []float64, err error) {
 			}
 			// No root found yet: iterate.
 			if its == maxIterationsPerEigenvalue {
-				return nil, nil, ErrNoConvergence
+				return ErrNoConvergence
 			}
 			if its == 10 || its == 20 || its == 30 || its == 40 {
 				// Exceptional shift to break symmetry-induced cycles.
@@ -382,7 +442,7 @@ func hqr(a [][]float64) (wr, wi []float64, err error) {
 			}
 		}
 	}
-	return wr, wi, nil
+	return nil
 }
 
 func max(a, b int) int {

@@ -109,8 +109,10 @@ func (m *Margin) Constraint() Constraint { return Constraint{A: m.A, B: m.B} }
 func Analyze(d *lqg.Design, opts Options) (*Margin, error) {
 	o := opts.withDefaults()
 	ctrl := d.Controller()
+	sw := stabWSPool.Get().(*stabWS)
+	defer stabWSPool.Put(sw)
 
-	if !nominalStable(d, ctrl, 0) {
+	if !nominalStable(sw, d, ctrl, 0) {
 		return nil, ErrNoStableLatency
 	}
 
@@ -118,14 +120,14 @@ func Analyze(d *lqg.Design, opts Options) (*Margin, error) {
 	// stable nominal loop, by scan + bisection refinement.
 	lCap := o.MaxLatencyFactor * d.H
 	lo, hi := 0.0, lCap
-	if nominalStable(d, ctrl, lCap) {
+	if nominalStable(sw, d, ctrl, lCap) {
 		lo = lCap
 	} else {
 		// Coarse scan for the first unstable point, then bisect.
 		step := lCap / 64
 		lastStable := 0.0
 		for l := step; l <= lCap; l += step {
-			if nominalStable(d, ctrl, l) {
+			if nominalStable(sw, d, ctrl, l) {
 				lastStable = l
 			} else {
 				break
@@ -134,7 +136,7 @@ func Analyze(d *lqg.Design, opts Options) (*Margin, error) {
 		lo, hi = lastStable, lastStable+step
 		for iter := 0; iter < 40 && hi-lo > 1e-9*d.H; iter++ {
 			mid := (lo + hi) / 2
-			if nominalStable(d, ctrl, mid) {
+			if nominalStable(sw, d, ctrl, mid) {
 				lo = mid
 			} else {
 				hi = mid
@@ -154,7 +156,7 @@ func Analyze(d *lqg.Design, opts Options) (*Margin, error) {
 	for i := 0; i < o.LatencyPoints; i++ {
 		l := lMax * float64(i) / float64(o.LatencyPoints-1)
 		j := 0.0
-		if nominalStable(d, ctrl, l) {
+		if nominalStable(sw, d, ctrl, l) {
 			j = freq.jitterBound(l)
 			// Consistency clamp: a time-varying delay in [L, L+J]
 			// includes the constant delay L+J, so the jitter tolerance
@@ -173,10 +175,36 @@ func Analyze(d *lqg.Design, opts Options) (*Margin, error) {
 	return m, nil
 }
 
+// stabWS holds the delay discretization and closed-loop buffers of the
+// nominal-stability probe. One Analyze runs hundreds of probes (the Lmax
+// scan, its bisection refinement, one per latency grid point), so the
+// buffers are pooled across analyses like the frequency tables.
+type stabWS struct {
+	delay  lti.DelayWS
+	np, nc int
+	bc, cb *mat.Matrix
+	acl    *mat.Matrix
+}
+
+var stabWSPool = sync.Pool{New: func() any { return new(stabWS) }}
+
+// ensure sizes the closed-loop buffers; the augmented plant order np
+// varies with the delay's integer part, so it can change between probes
+// of one analysis.
+func (ws *stabWS) ensure(np, nc int) {
+	if ws.np == np && ws.nc == nc {
+		return
+	}
+	ws.np, ws.nc = np, nc
+	ws.bc = mat.New(np, nc)
+	ws.cb = mat.New(nc, np)
+	ws.acl = mat.New(np+nc, np+nc)
+}
+
 // nominalStable tests exact Schur stability of the sampled closed loop
 // when the control input reaches the plant with constant delay l.
-func nominalStable(d *lqg.Design, ctrl *lti.SS, l float64) bool {
-	aug, err := lti.DiscretizeWithDelay(d.Plant.Sys, d.H, l)
+func nominalStable(ws *stabWS, d *lqg.Design, ctrl *lti.SS, l float64) bool {
+	aug, err := lti.DiscretizeWithDelayWS(&ws.delay, d.Plant.Sys, d.H, l)
 	if err != nil {
 		return false
 	}
@@ -184,10 +212,13 @@ func nominalStable(d *lqg.Design, ctrl *lti.SS, l float64) bool {
 	//   ξ(k+1) = Ap ξ + Bp u(k),  u(k) = Cc x̂(k)      (strictly proper)
 	//   x̂(k+1) = Ac x̂ + Bc y(k), y(k) = Cp ξ(k)
 	np, nc := aug.Order(), ctrl.Order()
-	acl := mat.New(np+nc, np+nc)
+	ws.ensure(np, nc)
+	mat.MulInto(ws.bc, aug.B, ctrl.C)
+	mat.MulInto(ws.cb, ctrl.B, aug.C)
+	acl := ws.acl // all four blocks are overwritten below
 	acl.SetSlice(0, 0, aug.A)
-	acl.SetSlice(0, np, aug.B.Mul(ctrl.C))
-	acl.SetSlice(np, 0, ctrl.B.Mul(aug.C))
+	acl.SetSlice(0, np, ws.bc)
+	acl.SetSlice(np, 0, ws.cb)
 	acl.SetSlice(np, np, ctrl.A)
 	stable, err := eig.IsSchurStable(acl, 1e-9)
 	return err == nil && stable
@@ -235,12 +266,17 @@ func (ft *freqTable) fill(d *lqg.Design, ctrl *lti.SS, points int) {
 		if err != nil {
 			continue // exact pole hit: skip the sample
 		}
-		c, err := ctrl.FreqResponseSISOWS(&ft.wsCtrl, cmplx.Exp(complex(0, w*h)))
+		// e^{jθ} = (cos θ, sin θ) — identical bits to cmplx.Exp for a
+		// purely imaginary argument (its e^{re} factor is exactly 1),
+		// without the wasted real exponential.
+		sz, cz := math.Sincos(w * h)
+		c, err := ctrl.FreqResponseSISOWS(&ft.wsCtrl, complex(cz, sz))
 		if err != nil {
 			continue
 		}
 		// ZOH reconstruction: (1 − e^{−jωh})/(jωh).
-		zoh := (1 - cmplx.Exp(complex(0, -w*h))) / complex(0, w*h)
+		sn, cn := math.Sincos(-w * h)
+		zoh := (1 - complex(cn, sn)) / complex(0, w*h)
 		g := p * zoh * c
 		if cmplx.IsNaN(g) || cmplx.IsInf(g) {
 			continue
@@ -255,7 +291,8 @@ func (ft *freqTable) fill(d *lqg.Design, ctrl *lti.SS, points int) {
 func (ft *freqTable) jitterBound(l float64) float64 {
 	j := math.Inf(1)
 	for i, w := range ft.w {
-		g := ft.base[i] * cmplx.Exp(complex(0, -w*l))
+		s, c := math.Sincos(-w * l) // e^{−jωl}, bit-identical to cmplx.Exp
+		g := ft.base[i] * complex(c, s)
 		den := 1 + g
 		if cmplx.Abs(den) < 1e-12 {
 			return 0 // on the stability boundary

@@ -118,12 +118,13 @@ func TestNominalStableRejectsHugeLatency(t *testing.T) {
 	m := servoMargin(t)
 	d := m.Design
 	ctrl := d.Controller()
-	if !nominalStable(d, ctrl, 0) {
+	var ws stabWS
+	if !nominalStable(&ws, d, ctrl, 0) {
 		t.Fatal("zero latency unstable")
 	}
 	// At 50 periods of delay the servo loop must long have gone
 	// unstable.
-	if nominalStable(d, ctrl, 50*d.H) {
+	if nominalStable(&ws, d, ctrl, 50*d.H) {
 		t.Fatal("loop reported stable at absurd latency")
 	}
 }

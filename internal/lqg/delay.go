@@ -2,11 +2,16 @@ package lqg
 
 import (
 	"math"
+	"sync"
 
 	"ctrlsched/internal/lti"
 	"ctrlsched/internal/lyap"
 	"ctrlsched/internal/mat"
 )
+
+// delayWSPool recycles the delay-discretization workspace across the
+// co-design engine's concurrent DelayedCost evaluations.
+var delayWSPool = sync.Pool{New: func() any { return new(lti.DelayWS) }}
 
 // DelayedCost evaluates the stationary cost density of a design when its
 // control signal reaches the plant with a constant delay (seconds)
@@ -47,7 +52,9 @@ func DelayedCost(d *Design, delay float64) float64 {
 		tau = 0
 	}
 
-	aug, err := lti.DiscretizeWithDelay(sys, h, delay)
+	ws := delayWSPool.Get().(*lti.DelayWS)
+	defer delayWSPool.Put(ws)
+	aug, err := lti.DiscretizeWithDelayWS(ws, sys, h, delay)
 	if err != nil {
 		return math.Inf(1)
 	}

@@ -1,0 +1,148 @@
+package lqg
+
+import (
+	"math"
+	"testing"
+
+	"ctrlsched/internal/kmemo"
+	"ctrlsched/internal/mat"
+	"ctrlsched/internal/plant"
+)
+
+// relDiff returns the element-wise relative deviation of two matrices.
+func relDiff(a, b *mat.Matrix) float64 {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			d := math.Abs(a.At(i, j)-b.At(i, j)) / (1 + math.Abs(a.At(i, j)))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// TestSynthesizeWarmMatchesCold walks a period grid the way the co-design
+// engine's warm path does — each synthesis seeded from the previous
+// period's design — and checks every warm design agrees with the cold
+// reference to solver tolerance: gains, Riccati solutions, and cost.
+func TestSynthesizeWarmMatchesCold(t *testing.T) {
+	for _, p := range []*plant.Plant{plant.DCServo(), plant.InvertedPendulum()} {
+		grid := []float64{0.004, 0.005, 0.006, 0.008, 0.009, 0.01, 0.012}
+		var prev *Design
+		for _, h := range grid {
+			cold, coldErr := Synthesize(p, h)
+			warm, warmErr := SynthesizeWarm(p, h, prev)
+			if (coldErr == nil) != (warmErr == nil) {
+				t.Fatalf("%s h=%v: cold err %v, warm err %v", p.Name, h, coldErr, warmErr)
+			}
+			if coldErr != nil {
+				continue
+			}
+			const tol = 1e-6
+			if d := relDiff(cold.L, warm.L); d > tol {
+				t.Errorf("%s h=%v: L deviates by %g", p.Name, h, d)
+			}
+			if d := relDiff(cold.Kf, warm.Kf); d > tol {
+				t.Errorf("%s h=%v: Kf deviates by %g", p.Name, h, d)
+			}
+			if d := relDiff(cold.S, warm.S); d > tol {
+				t.Errorf("%s h=%v: S deviates by %g", p.Name, h, d)
+			}
+			if d := relDiff(cold.Pf, warm.Pf); d > tol {
+				t.Errorf("%s h=%v: Pf deviates by %g", p.Name, h, d)
+			}
+			if d := math.Abs(cold.Cost-warm.Cost) / (1 + math.Abs(cold.Cost)); d > tol {
+				t.Errorf("%s h=%v: cost %v vs warm %v (rel %g)", p.Name, h, cold.Cost, warm.Cost, d)
+			}
+			prev = warm
+		}
+	}
+}
+
+// TestSynthesizeWarmFingerprint pins the cache contract: a genuinely
+// warm-started design must carry the zero fingerprint (so every kernel
+// cache bypasses it), while the nil-prev fallback is the cached cold
+// path with its ordinary identity.
+func TestSynthesizeWarmFingerprint(t *testing.T) {
+	p := plant.DCServo()
+	cold, err := SynthesizeWarm(p, 0.006, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Fingerprint() == (kmemo.Key{}) {
+		t.Fatal("nil-prev SynthesizeWarm lost the cold fingerprint")
+	}
+	warm, err := SynthesizeWarm(p, 0.008, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Fingerprint() != (kmemo.Key{}) {
+		t.Fatal("warm-started design must carry a zero fingerprint")
+	}
+	// And the zero fingerprint must route DelayedCostCached around the
+	// process-wide cache: same answer as the direct computation.
+	if got, want := DelayedCostCached(warm, 0.001), DelayedCost(warm, 0.001); got != want {
+		t.Fatalf("cached delayed cost %v != direct %v for warm design", got, want)
+	}
+}
+
+// TestSynthesizeWarmDelayedCost crosses the warm chain with the delay
+// kernel: delay-aware costs evaluated on warm designs agree with the
+// cold ones to tolerance across a realistic delay range.
+func TestSynthesizeWarmDelayedCost(t *testing.T) {
+	p := plant.DCServo()
+	h := 0.008
+	cold, err := Synthesize(p, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := Synthesize(p, 0.006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := SynthesizeWarm(p, h, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delay := range []float64{0, 0.2 * h, 0.5 * h, 0.9 * h, 1.3 * h} {
+		dc, dw := DelayedCost(cold, delay), DelayedCost(warm, delay)
+		if math.IsInf(dc, 1) != math.IsInf(dw, 1) {
+			t.Fatalf("delay %v: cold %v, warm %v disagree on stability", delay, dc, dw)
+		}
+		if math.IsInf(dc, 1) {
+			continue
+		}
+		if d := math.Abs(dc-dw) / (1 + math.Abs(dc)); d > 1e-6 {
+			t.Errorf("delay %v: delayed cost %v vs warm %v (rel %g)", delay, dc, dw, d)
+		}
+	}
+}
+
+// TestSynthesizeColdBitIdentityWithSigma guards the stationaryCost
+// refactor: retaining Σ on the design must not change a single bit of
+// the cold synthesis.
+func TestSynthesizeColdBitIdentityWithSigma(t *testing.T) {
+	p := plant.InvertedPendulum()
+	d1, err := Synthesize(p, 0.008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Synthesize(p, 0.008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Cost != d2.Cost {
+		t.Fatalf("cold synthesis not deterministic: %v vs %v", d1.Cost, d2.Cost)
+	}
+	if d1.sigma == nil {
+		t.Fatal("cold synthesis must retain the stationary covariance for warm chains")
+	}
+	if mat.MaxAbsDiff(d1.sigma, d2.sigma) != 0 {
+		t.Fatal("retained covariance not deterministic")
+	}
+}

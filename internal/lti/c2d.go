@@ -63,6 +63,181 @@ func C2DDelayed(s *SS, h, tau float64) (phi, gamma0, gamma1 *mat.Matrix, err err
 	return phi, g0, gamma1, nil
 }
 
+// DelayWS is a reusable workspace for DiscretizeWithDelayWS. The matrices
+// of every returned system are owned by the workspace and overwritten by
+// the next call, so callers must finish consuming one result before
+// requesting another and must never mutate or retain it. The zero value
+// is ready to use.
+//
+// The stability probes of the jitter-margin analysis and the delay-aware
+// cost kernel discretize the same plant at hundreds of delay values per
+// analysis; the workspace removes every per-call allocation of that loop
+// while producing bit-identical systems (the scaled Van Loan blocks are
+// written element-wise with the same multiplications, and mat.ExpmInto
+// matches mat.Expm exactly).
+type DelayWS struct {
+	nm                  int // n+m of the Van Loan block
+	blk, e              *mat.Matrix
+	phiH, phiRest, phiP *mat.Matrix // e^{Aτ}, e^{A(h−τ)}, and their product
+	g0, gTau, g1        *mat.Matrix
+
+	na         int // augmented order of the last system built
+	a, b, c, d *mat.Matrix
+	ss         SS
+}
+
+func (ws *DelayWS) ensure(n, m int) {
+	if ws.nm == n+m {
+		return
+	}
+	ws.nm = n + m
+	ws.blk = mat.New(n+m, n+m)
+	ws.e = mat.New(n+m, n+m)
+	ws.phiH = mat.New(n, n)
+	ws.phiRest = mat.New(n, n)
+	ws.phiP = mat.New(n, n)
+	ws.g0 = mat.New(n, m)
+	ws.gTau = mat.New(n, m)
+	ws.g1 = mat.New(n, m)
+	ws.na = 0
+}
+
+// ensureAug sizes the augmented-system storage; the order varies with the
+// integer part of the delay, so it is tracked separately from the plant
+// dimensions.
+func (ws *DelayWS) ensureAug(na, m, p int) {
+	if ws.na == na && ws.b != nil && ws.b.Cols() == m && ws.c != nil && ws.c.Rows() == p {
+		return
+	}
+	ws.na = na
+	ws.a = mat.New(na, na)
+	ws.b = mat.New(na, m)
+	ws.c = mat.New(p, na)
+	ws.d = mat.New(p, m)
+}
+
+// zohPair computes (e^{Ah}, ∫₀ʰ e^{As}ds·B) into phiDst/gDst, matching the
+// allocating zohPair bit for bit.
+func (ws *DelayWS) zohPair(a, b *mat.Matrix, h float64, phiDst, gDst *mat.Matrix) {
+	n, m := a.Rows(), b.Cols()
+	blk := ws.blk
+	for i := 0; i < n+m; i++ {
+		for j := 0; j < n+m; j++ {
+			blk.Set(i, j, 0)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			blk.Set(i, j, a.At(i, j)*h)
+		}
+		for j := 0; j < m; j++ {
+			blk.Set(i, n+j, b.At(i, j)*h)
+		}
+	}
+	mat.ExpmInto(ws.e, blk)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			phiDst.Set(i, j, ws.e.At(i, j))
+		}
+		for j := 0; j < m; j++ {
+			gDst.Set(i, j, ws.e.At(i, n+j))
+		}
+	}
+}
+
+// DiscretizeWithDelayWS is DiscretizeWithDelay on a reusable workspace:
+// identical validation, identical result bits, no per-call allocation in
+// the steady state. The returned *SS and all its matrices belong to ws.
+func DiscretizeWithDelayWS(ws *DelayWS, s *SS, h, delay float64) (*SS, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("lti: negative delay %v", delay)
+	}
+	if !s.IsContinuous() {
+		return nil, fmt.Errorf("lti: C2DDelayed requires a continuous-time system")
+	}
+	d := int(delay / h)
+	tau := delay - float64(d)*h
+	if tau >= h {
+		d++
+		tau -= h
+		if tau < 0 {
+			tau = 0
+		}
+	}
+	if h <= 0 || tau < 0 || tau >= h {
+		return nil, fmt.Errorf("lti: C2DDelayed requires h > 0 and 0 ≤ tau < h, got h=%v tau=%v", h, tau)
+	}
+	n, m := s.Order(), s.Inputs()
+	ws.ensure(n, m)
+
+	var phi, g0, g1 *mat.Matrix
+	if tau == 0 {
+		ws.zohPair(s.A, s.B, h, ws.phiH, ws.g0)
+		phi, g0, g1 = ws.phiH, ws.g0, nil // Γ₁ = 0, never read below
+	} else {
+		ws.zohPair(s.A, s.B, h-tau, ws.phiRest, ws.g0) // over [0, h−τ]
+		ws.zohPair(s.A, s.B, tau, ws.phiH, ws.gTau)    // over [0, τ]
+		mat.MulInto(ws.phiP, ws.phiRest, ws.phiH)      // Φ = e^{A(h−τ)}·e^{Aτ}
+		mat.MulInto(ws.g1, ws.phiRest, ws.gTau)        // Γ₁ = e^{A(h−τ)}·Γ(τ)
+		phi, g0, g1 = ws.phiP, ws.g0, ws.g1
+	}
+
+	stored := d
+	if tau > 0 {
+		stored = d + 1
+	}
+	if stored == 0 {
+		// Pure ZOH, no augmentation. The plant's own C/D are shared, not
+		// cloned: workspace results are read-only by contract.
+		ws.ss = SS{A: phi, B: g0, C: s.C, D: s.D, Ts: h}
+		return &ws.ss, nil
+	}
+
+	na := n + stored*m
+	ws.ensureAug(na, m, s.Outputs())
+	a, b, c := ws.a, ws.b, ws.c
+	for i := 0; i < na; i++ {
+		for j := 0; j < na; j++ {
+			a.Set(i, j, 0)
+		}
+		for j := 0; j < m; j++ {
+			b.Set(i, j, 0)
+		}
+	}
+	for i := 0; i < s.Outputs(); i++ {
+		for j := 0; j < na; j++ {
+			c.Set(i, j, 0)
+		}
+		for j := 0; j < m; j++ {
+			ws.d.Set(i, j, 0)
+		}
+	}
+
+	a.SetSlice(0, 0, phi)
+	if tau > 0 {
+		a.SetSlice(0, n, g1)
+		if d == 0 {
+			b.SetSlice(0, 0, g0)
+		} else {
+			a.SetSlice(0, n+m, g0)
+		}
+	} else {
+		a.SetSlice(0, n, g0)
+	}
+	for i := 0; i < stored-1; i++ {
+		for k := 0; k < m; k++ {
+			a.Set(n+i*m+k, n+(i+1)*m+k, 1)
+		}
+	}
+	for k := 0; k < m; k++ {
+		b.Set(na-m+k, k, 1)
+	}
+	c.SetSlice(0, 0, s.C)
+
+	ws.ss = SS{A: a, B: b, C: c, D: ws.d, Ts: h}
+	return &ws.ss, nil
+}
+
 // DiscretizeWithDelay builds the discrete-time augmented system for a
 // continuous plant whose input is delayed by an arbitrary constant
 // L = d·h + τ (d ≥ 0 integer, 0 ≤ τ < h). The augmented state is

@@ -1,6 +1,9 @@
 package mat
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Padé-13 coefficients for the matrix exponential (Higham, "The scaling and
 // squaring method for the matrix exponential revisited", SIAM J. Matrix
@@ -15,14 +18,66 @@ var pade13 = [...]float64{
 // approximant attains full double precision without scaling.
 const theta13 = 5.371920351148152
 
+// expmWS holds every intermediate of one Expm evaluation so repeated
+// exponentials of the same order (the ZOH discretization and Van Loan
+// sampling loops) reuse a single allocation set. ident is initialized to
+// the identity and never written afterwards.
+type expmWS struct {
+	n                                 int
+	ident, as                         *Matrix
+	a2, a4, a6                        *Matrix
+	w1, w2, z1, u, v, t, t2, num, den *Matrix
+	lu                                *LU
+}
+
+var expmPool = sync.Pool{New: func() any { return new(expmWS) }}
+
+func (ws *expmWS) ensure(n int) {
+	if ws.n == n {
+		return
+	}
+	ws.n = n
+	ws.ident = Identity(n)
+	ws.as = New(n, n)
+	ws.a2, ws.a4, ws.a6 = New(n, n), New(n, n), New(n, n)
+	ws.w1, ws.w2, ws.z1 = New(n, n), New(n, n), New(n, n)
+	ws.u, ws.v = New(n, n), New(n, n)
+	ws.t, ws.t2 = New(n, n), New(n, n)
+	ws.num, ws.den = New(n, n), New(n, n)
+	ws.lu = nil
+}
+
 // Expm returns the matrix exponential e^A computed by scaling and squaring
 // with a degree-13 Padé approximant. The algorithm is backward stable for
 // the well-conditioned matrices that arise from ZOH sampling of physical
 // plants; for matrices with huge norms the scaling step keeps the Padé
 // evaluation in its accuracy region.
+//
+// All intermediates live on a pooled workspace built from the In-place
+// kernels, which are bit-identical to the allocating forms, so results
+// match the textbook allocating evaluation bit for bit while performing
+// a single result allocation per call.
 func Expm(a *Matrix) *Matrix {
 	if !a.IsSquare() {
 		panic("mat: Expm requires a square matrix")
+	}
+	return ExpmInto(New(a.rows, a.rows), a)
+}
+
+// ExpmInto computes e^A into dst and returns dst. dst must be a distinct
+// matrix of A's size; every element is overwritten. Results are
+// bit-identical to Expm — the discretization workspaces of the jitter
+// and delay layers use it to amortize the result allocation across
+// thousands of small exponentials.
+func ExpmInto(dst, a *Matrix) *Matrix {
+	if !a.IsSquare() {
+		panic("mat: Expm requires a square matrix")
+	}
+	if dst == a {
+		panic("mat: ExpmInto dst must not alias a")
+	}
+	if dst.rows != a.rows || dst.cols != a.cols {
+		panic("mat: ExpmInto dimension mismatch")
 	}
 	n := a.rows
 
@@ -32,9 +87,14 @@ func Expm(a *Matrix) *Matrix {
 	if norm > theta13 {
 		s = int(math.Ceil(math.Log2(norm / theta13)))
 	}
+
+	ws := expmPool.Get().(*expmWS)
+	defer expmPool.Put(ws)
+	ws.ensure(n)
+
 	as := a
 	if s > 0 {
-		as = a.Scale(1 / math.Exp2(float64(s)))
+		as = ScaleInto(ws.as, a, 1/math.Exp2(float64(s)))
 	}
 
 	// Padé-13: r(A) = [sum b_{2k+1} A^{2k+1}]⁻¹-free form:
@@ -42,33 +102,52 @@ func Expm(a *Matrix) *Matrix {
 	// V =    A6·(b12·A6 + b10·A4 + b8·A2) + b6·A6 + b4·A4 + b2·A2 + b0·I
 	// e^A ≈ (V − U)⁻¹ (V + U)
 	b := pade13
-	ident := Identity(n)
-	a2 := as.Mul(as)
-	a4 := a2.Mul(a2)
-	a6 := a4.Mul(a2)
+	MulInto(ws.a2, as, as)
+	MulInto(ws.a4, ws.a2, ws.a2)
+	MulInto(ws.a6, ws.a4, ws.a2)
 
-	w1 := a6.Scale(b[13]).Add(a4.Scale(b[11])).Add(a2.Scale(b[9]))
-	w2 := a6.Scale(b[7]).Add(a4.Scale(b[5])).Add(a2.Scale(b[3])).Add(ident.Scale(b[1]))
-	u := as.Mul(a6.Mul(w1).Add(w2))
+	w1 := ScaleInto(ws.w1, ws.a6, b[13])
+	AddInto(w1, w1, ScaleInto(ws.t, ws.a4, b[11]))
+	AddInto(w1, w1, ScaleInto(ws.t, ws.a2, b[9]))
 
-	z1 := a6.Scale(b[12]).Add(a4.Scale(b[10])).Add(a2.Scale(b[8]))
-	v := a6.Mul(z1).Add(a6.Scale(b[6])).Add(a4.Scale(b[4])).Add(a2.Scale(b[2])).Add(ident.Scale(b[0]))
+	w2 := ScaleInto(ws.w2, ws.a6, b[7])
+	AddInto(w2, w2, ScaleInto(ws.t, ws.a4, b[5]))
+	AddInto(w2, w2, ScaleInto(ws.t, ws.a2, b[3]))
+	AddInto(w2, w2, ScaleInto(ws.t, ws.ident, b[1]))
 
-	num := v.Add(u)
-	den := v.Sub(u)
-	r, err := Solve(den, num)
+	u := AddInto(ws.t2, MulInto(ws.t2, ws.a6, w1), w2)
+	u = MulInto(ws.u, as, u)
+
+	z1 := ScaleInto(ws.z1, ws.a6, b[12])
+	AddInto(z1, z1, ScaleInto(ws.t, ws.a4, b[10]))
+	AddInto(z1, z1, ScaleInto(ws.t, ws.a2, b[8]))
+
+	v := MulInto(ws.v, ws.a6, z1)
+	AddInto(v, v, ScaleInto(ws.t, ws.a6, b[6]))
+	AddInto(v, v, ScaleInto(ws.t, ws.a4, b[4]))
+	AddInto(v, v, ScaleInto(ws.t, ws.a2, b[2]))
+	AddInto(v, v, ScaleInto(ws.t, ws.ident, b[0]))
+
+	AddInto(ws.num, v, u)
+	SubInto(ws.den, v, u)
+
+	lu, err := FactorizeInto(ws.lu, ws.den)
 	if err != nil {
 		// V − U singular only for pathological inputs far outside the
 		// Padé accuracy region; fall back to a scaled Taylor series,
 		// which is always defined.
-		r = expmTaylor(as)
+		CopyInto(dst, expmTaylor(as))
+	} else {
+		ws.lu = lu
+		lu.SolveInto(dst, ws.num)
 	}
 
 	// Squaring: e^A = (e^{A/2^s})^{2^s}.
 	for i := 0; i < s; i++ {
-		r = r.Mul(r)
+		MulInto(ws.t, dst, dst)
+		CopyInto(dst, ws.t)
 	}
-	return r
+	return dst
 }
 
 // expmTaylor is a last-resort truncated Taylor series for e^A, used only

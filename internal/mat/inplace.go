@@ -130,6 +130,30 @@ func SymmetrizeInto(dst, a *Matrix) *Matrix {
 	return dst
 }
 
+// MulVecInto stores m·v into dst, which must have length m.Rows() and
+// must not alias v. The per-row accumulation order matches MulVec, so
+// the result is bit-identical.
+func MulVecInto(dst []float64, m *Matrix, v []float64) []float64 {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("mat: MulVecInto dimension mismatch %d×%d by %d", m.rows, m.cols, len(v)))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: MulVecInto destination has length %d, need %d", len(dst), m.rows))
+	}
+	if len(dst) > 0 && len(v) > 0 && &dst[0] == &v[0] {
+		panic("mat: MulVecInto destination aliases the operand")
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
 // MaxAbsDiff returns the largest |a_ij − b_ij|, the quantity the
 // iterative solvers test convergence with, without forming a − b.
 func MaxAbsDiff(a, b *Matrix) float64 {

@@ -56,6 +56,11 @@ type CodesignRequest struct {
 	Refine    int                `json:"refine,omitempty"`
 	Horizon   float64            `json:"horizon,omitempty"`
 	Seed      int64              `json:"seed,omitempty"`
+	// WarmStart seeds each candidate synthesis from the neighboring
+	// period's converged solution (codesign.Options.WarmStart). Faster,
+	// same selected designs to solver tolerance, but responses are no
+	// longer guaranteed bit-identical to the cold (default) search.
+	WarmStart bool `json:"warm_start,omitempty"`
 }
 
 // normalize validates the request and fills defaults, returning the
@@ -172,22 +177,36 @@ type CodesignTask struct {
 	Designed       bool              `json:"designed"`
 }
 
+// CodesignSweep is one alternating-minimization sweep of the convergence
+// trace: the incumbent objective when the sweep finished, the cumulative
+// number of configuration evaluations up to that point, and the candidate
+// grid size (which grows when refinement inserts midpoints).
+type CodesignSweep struct {
+	Sweep       int               `json:"sweep"`
+	Objective   experiments.Float `json:"objective"`
+	Evaluations int               `json:"evaluations"`
+	GridSize    int               `json:"grid_size"`
+}
+
 // CodesignResult is the typed response of /v1/codesign. It satisfies
 // experiments.Result, sharing the canonical JSON encoding and the CLI
 // render paths.
 type CodesignResult struct {
-	Meta        experiments.Meta    `json:"meta"`
-	Request     CodesignRequest     `json:"request"`
-	Feasible    bool                `json:"feasible"`
-	Periods     []float64           `json:"periods,omitempty"`
-	Priorities  []int               `json:"priorities,omitempty"`
-	TotalCost   experiments.Float   `json:"total_cost"`
-	Iterations  int                 `json:"iterations"`
-	Evaluations int                 `json:"evaluations"`
-	Converged   bool                `json:"converged"`
-	CosimStable bool                `json:"cosim_stable"`
-	Tasks       []CodesignTask      `json:"tasks,omitempty"`
-	Candidates  []CodesignCandidate `json:"candidates"`
+	Meta        experiments.Meta  `json:"meta"`
+	Request     CodesignRequest   `json:"request"`
+	Feasible    bool              `json:"feasible"`
+	Periods     []float64         `json:"periods,omitempty"`
+	Priorities  []int             `json:"priorities,omitempty"`
+	TotalCost   experiments.Float `json:"total_cost"`
+	Iterations  int               `json:"iterations"`
+	Evaluations int               `json:"evaluations"`
+	Converged   bool              `json:"converged"`
+	CosimStable bool              `json:"cosim_stable"`
+	// ConvergenceTrace records the per-sweep incumbents of the
+	// alternating search, oldest first.
+	ConvergenceTrace []CodesignSweep     `json:"convergence_trace,omitempty"`
+	Tasks            []CodesignTask      `json:"tasks,omitempty"`
+	Candidates       []CodesignCandidate `json:"candidates"`
 }
 
 // Kind identifies the request kind that produced this result.
@@ -326,6 +345,23 @@ func (s *Service) Codesign(ctx context.Context, raw []byte, progress experiments
 	})
 }
 
+// codesignHTTPError classifies an engine error for the HTTP edge:
+// aborts map to 503 (the service shed the request), engine-internal
+// failures (codesign.ErrInternal) to 500 — the request was valid and the
+// engine's own machinery broke, so blaming the caller with a 400 both
+// misleads and hides bugs — and everything else, which by construction
+// is input-shaped (bad grids, impossible task sets), to 400.
+func codesignHTTPError(err error) *Error {
+	switch {
+	case errors.Is(err, campaign.ErrAborted):
+		return &Error{Status: http.StatusServiceUnavailable, Msg: "canceled during codesign: " + err.Error()}
+	case errors.Is(err, codesign.ErrInternal):
+		return &Error{Status: http.StatusInternalServerError, Msg: err.Error()}
+	default:
+		return badRequest("%v", err)
+	}
+}
+
 // runCodesign translates a normalized request into engine inputs, runs
 // the synthesis on the service's pool settings, and converts the result.
 func (s *Service) runCodesign(req CodesignRequest, progress experiments.ProgressFunc, abort <-chan struct{}) (experiments.Result, error) {
@@ -351,20 +387,18 @@ func (s *Service) runCodesign(req CodesignRequest, progress experiments.Progress
 		}
 	}
 	res, err := codesign.Run(base, loops, codesign.Options{
-		Assign:   codesignAssign(req.Method),
-		MaxIters: req.MaxIters,
-		Refine:   req.Refine,
-		Horizon:  req.Horizon,
-		Seed:     req.Seed,
-		Workers:  s.cfg.Workers,
-		Progress: progress,
-		Abort:    abort,
+		Assign:    codesignAssign(req.Method),
+		MaxIters:  req.MaxIters,
+		Refine:    req.Refine,
+		Horizon:   req.Horizon,
+		Seed:      req.Seed,
+		WarmStart: req.WarmStart,
+		Workers:   s.cfg.Workers,
+		Progress:  progress,
+		Abort:     abort,
 	})
 	if err != nil {
-		if errors.Is(err, campaign.ErrAborted) {
-			return nil, &Error{Status: http.StatusServiceUnavailable, Msg: "canceled during codesign: " + err.Error()}
-		}
-		return nil, badRequest("%v", err)
+		return nil, codesignHTTPError(err)
 	}
 
 	out := CodesignResult{
@@ -384,6 +418,14 @@ func (s *Service) runCodesign(req CodesignRequest, progress experiments.Progress
 	}
 	if !res.Feasible {
 		out.TotalCost = experiments.Float(math.Inf(1))
+	}
+	for _, sw := range res.Trace {
+		out.ConvergenceTrace = append(out.ConvergenceTrace, CodesignSweep{
+			Sweep:       sw.Sweep,
+			Objective:   experiments.Float(sw.Objective),
+			Evaluations: sw.Evaluations,
+			GridSize:    sw.GridSize,
+		})
 	}
 	out.Candidates = make([]CodesignCandidate, len(res.Candidates))
 	for i, c := range res.Candidates {

@@ -5,16 +5,20 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
+	"ctrlsched/internal/campaign"
+	"ctrlsched/internal/codesign"
 	"ctrlsched/internal/experiments"
 )
 
@@ -399,3 +403,143 @@ func TestGoldenCodesign(t *testing.T) {
 }
 
 var _ experiments.Result = CodesignResult{}
+
+// TestCodesignHTTPErrorClassifier pins the error taxonomy of the
+// codesign edge: aborts are 503 (service shed load), engine-internal
+// failures are 500, and anything else — input-shaped by construction —
+// is 400. The old code collapsed everything but aborts into 400,
+// blaming callers for engine bugs.
+func TestCodesignHTTPErrorClassifier(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		status int
+	}{
+		{"abort", fmt.Errorf("run: %w", campaign.ErrAborted), http.StatusServiceUnavailable},
+		{"internal", fmt.Errorf("codesign: validation co-simulation: %w", codesign.ErrInternal), http.StatusInternalServerError},
+		{"input-shaped", errors.New("codesign: loop 0: empty candidate period grid"), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if got := codesignHTTPError(tc.err).Status; got != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, got, tc.status)
+		}
+	}
+}
+
+// TestCodesignEngineInputErrorIs400 drives an input-shaped ENGINE error
+// (as opposed to one caught by request validation) end to end: the
+// request is well-formed at the HTTP layer, but the base task's plant
+// admits no stabilizing design at its period, which the engine reports.
+// That must surface as a 400, not a 500.
+func TestCodesignEngineInputErrorIs400(t *testing.T) {
+	s := newTestService()
+	body := `{
+		"base_tasks": [{"name":"p","plant":"inverted-pendulum","bcet":0.001,"wcet":0.002,"period":5}],
+		"loops": [{"plant":"dc-servo","bcet":0.001,"wcet":0.002,"periods":[0.01]}],
+		"horizon": 0.1
+	}`
+	_, _, err := s.Codesign(context.Background(), []byte(body), nil)
+	if err == nil {
+		t.Fatal("pendulum at a 5 s period produced a design")
+	}
+	if got := HTTPStatus(err); got != http.StatusBadRequest {
+		t.Fatalf("engine input error surfaced as %d, want 400 (%v)", got, err)
+	}
+	if !strings.Contains(err.Error(), "no design") {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+}
+
+// TestCodesignWarmStartHammer mixes concurrent cold, refined, and
+// warm-started codesign requests on one service under the race detector:
+// the warm path's workspace pools and the sweep-curve memo must be
+// race-free, warm responses must be deterministic, and warm selection
+// must match cold selection.
+func TestCodesignWarmStartHammer(t *testing.T) {
+	s := New(Config{Workers: 2, MaxConcurrent: 4, CacheEntries: 32})
+	small := strings.Replace(codesignBody, `"horizon": 0.5`, `"horizon": 0.05`, 1)
+	warm := strings.Replace(small, `"seed": 42`, `"seed": 42, "warm_start": true`, 1)
+	refined := strings.Replace(small, `"seed": 42`, `"seed": 42, "refine": 1`, 1)
+	warmRefined := strings.Replace(small, `"seed": 42`, `"seed": 42, "refine": 1, "warm_start": true`, 1)
+
+	coldRef, _ := mustCodesign(t, New(Config{Workers: 2}), small)
+	warmRef, _ := mustCodesign(t, New(Config{Workers: 2}), warm)
+
+	var sel struct {
+		Periods    []float64 `json:"periods"`
+		Priorities []int     `json:"priorities"`
+	}
+	var selWarm struct {
+		Periods    []float64 `json:"periods"`
+		Priorities []int     `json:"priorities"`
+	}
+	if err := json.Unmarshal(coldRef, &sel); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(warmRef, &selWarm); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sel, selWarm) {
+		t.Fatalf("warm start changed the selection: cold %+v, warm %+v", sel, selWarm)
+	}
+
+	bodies := []string{small, warm, refined, warmRefined}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 2; rep++ {
+				body := bodies[(g+rep)%len(bodies)]
+				b, _, err := s.Codesign(context.Background(), []byte(body), nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if body == warm && !bytes.Equal(b, warmRef) {
+					errs <- fmt.Errorf("goroutine %d: warm codesign bytes diverged", g)
+					return
+				}
+				if body == small && !bytes.Equal(b, coldRef) {
+					errs <- fmt.Errorf("goroutine %d: cold codesign bytes diverged", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCodesignConvergenceTraceShape checks the exposed trace: one entry
+// per reported iteration, cumulative evaluations ending at the result's
+// total, and a final incumbent equal to the total cost.
+func TestCodesignConvergenceTraceShape(t *testing.T) {
+	b, _ := mustCodesign(t, newTestService(), codesignBody)
+	var res CodesignResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ConvergenceTrace) == 0 {
+		t.Fatal("response has no convergence_trace")
+	}
+	if len(res.ConvergenceTrace) != res.Iterations {
+		t.Fatalf("trace length %d != iterations %d", len(res.ConvergenceTrace), res.Iterations)
+	}
+	last := res.ConvergenceTrace[len(res.ConvergenceTrace)-1]
+	if last.Evaluations != res.Evaluations {
+		t.Fatalf("final trace evaluations %d != %d", last.Evaluations, res.Evaluations)
+	}
+	if res.Feasible && float64(last.Objective) != float64(res.TotalCost) {
+		t.Fatalf("final incumbent %v != total cost %v", last.Objective, res.TotalCost)
+	}
+	for i, sw := range res.ConvergenceTrace {
+		if sw.Sweep != i+1 {
+			t.Fatalf("trace[%d].sweep = %d", i, sw.Sweep)
+		}
+	}
+}

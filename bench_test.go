@@ -479,6 +479,31 @@ func BenchmarkAnalyzeHit(b *testing.B) {
 	}
 }
 
+// BenchmarkJobSubmitHit measures the async job engine's per-job
+// overhead on the fast path: submitting a job whose canonical result is
+// already resident and waiting for the terminal state. This prices
+// registration, runner dispatch, event bookkeeping, and the terminal
+// transition — everything /v1/jobs adds on top of the cached compute.
+func BenchmarkJobSubmitHit(b *testing.B) {
+	s := service.New(service.Config{})
+	raw := []byte(`{"plant":"dc-servo","period":0.006}`)
+	if _, _, err := s.Analyze(context.Background(), raw); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := s.SubmitJob("analyze", raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-j.Finished()
+		if st := j.Status(); st.State != "done" {
+			b.Fatalf("state %v", st.State)
+		}
+	}
+}
+
 // BenchmarkAnomalySearch measures the anomaly-frequency experiment.
 func BenchmarkAnomalySearch(b *testing.B) {
 	sharedGen.Warm()

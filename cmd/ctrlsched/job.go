@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// runJob drives the daemon's async job surface over HTTP:
+//
+//	ctrlsched job submit -kind codesign [-addr URL] < request.json
+//	ctrlsched job status -id ID [-addr URL]
+//	ctrlsched job stream -id ID [-addr URL]
+//	ctrlsched job wait   -id ID [-addr URL] [-poll 250ms]
+//	ctrlsched job result -id ID [-addr URL]
+//	ctrlsched job cancel -id ID [-addr URL]
+//
+// submit posts the stdin body as the named kind and prints the job's
+// status document (grab .id); wait polls until the job is terminal and
+// then fetches the result; stream follows the typed event lines live.
+func runJob(args []string) {
+	if len(args) < 1 {
+		jobUsage()
+		os.Exit(2)
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("job "+sub, flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "daemon base URL")
+	id := fs.String("id", "", "job id (from submit)")
+	kind := fs.String("kind", "", "job kind for submit (analyze, analyze_batch, codesign, table1, ...)")
+	poll := fs.Duration("poll", 250*time.Millisecond, "status poll interval for wait")
+	fs.Parse(rest)
+	base := strings.TrimRight(*addr, "/")
+
+	switch sub {
+	case "submit":
+		jobSubmit(base, *kind)
+	case "status":
+		jobGet(base+"/v1/jobs/"+requireID(*id), http.MethodGet)
+	case "stream":
+		jobStream(base + "/v1/jobs/" + requireID(*id) + "?stream=1")
+	case "wait":
+		jobWait(base, requireID(*id), *poll)
+	case "result":
+		jobGet(base+"/v1/jobs/"+requireID(*id)+"/result", http.MethodGet)
+	case "cancel":
+		jobGet(base+"/v1/jobs/"+requireID(*id), http.MethodDelete)
+	default:
+		fmt.Fprintf(os.Stderr, "ctrlsched: unknown job subcommand %q\n\n", sub)
+		jobUsage()
+		os.Exit(2)
+	}
+}
+
+func jobUsage() {
+	fmt.Fprintln(os.Stderr, `usage: ctrlsched job <submit|status|stream|wait|result|cancel> [flags]
+
+  submit -kind K [-addr URL] < request.json   post a job, print its status doc
+  status -id ID [-addr URL]                   one status snapshot
+  stream -id ID [-addr URL]                   follow typed event lines to terminal
+  wait   -id ID [-addr URL] [-poll D]         block until terminal, print result
+  result -id ID [-addr URL]                   fetch a terminal job's outcome
+  cancel -id ID [-addr URL]                   request cancellation`)
+}
+
+func requireID(id string) string {
+	if id == "" {
+		fmt.Fprintln(os.Stderr, "ctrlsched: -id is required")
+		os.Exit(2)
+	}
+	return id
+}
+
+// jobFail prints the server's error envelope (or raw body) and exits.
+func jobFail(status string, body []byte) {
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Message != "" {
+		fmt.Fprintf(os.Stderr, "ctrlsched: %s: %s (%s)\n", status, env.Error.Message, env.Error.Code)
+	} else {
+		fmt.Fprintf(os.Stderr, "ctrlsched: %s: %s\n", status, bytes.TrimSpace(body))
+	}
+	os.Exit(1)
+}
+
+func jobSubmit(base, kind string) {
+	if kind == "" {
+		fmt.Fprintln(os.Stderr, "ctrlsched: -kind is required for submit")
+		os.Exit(2)
+	}
+	reqBody, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched: read stdin:", err)
+		os.Exit(1)
+	}
+	envelope := struct {
+		Kind    string          `json:"kind"`
+		Request json.RawMessage `json:"request,omitempty"`
+	}{Kind: kind, Request: bytes.TrimSpace(reqBody)}
+	payload, err := json.Marshal(envelope)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched: encode request:", err)
+		os.Exit(1)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		jobFail(resp.Status, body)
+	}
+	os.Stdout.Write(body)
+}
+
+// jobGet issues one request and relays the body; non-2xx bodies go to
+// stderr as decoded error envelopes.
+func jobGet(url, method string) {
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched:", err)
+		os.Exit(1)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		jobFail(resp.Status, body)
+	}
+	os.Stdout.Write(body)
+}
+
+// jobStream follows the typed event lines until the server closes the
+// stream; a terminal error event sets the exit status.
+func jobStream(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		jobFail(resp.Status, body)
+	}
+	sawError := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if json.Unmarshal(line, &probe) == nil && probe.Type == "error" {
+			sawError = true
+		}
+		os.Stdout.Write(line)
+		os.Stdout.Write([]byte("\n"))
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched: stream:", err)
+		os.Exit(1)
+	}
+	if sawError {
+		os.Exit(1)
+	}
+}
+
+// jobWait polls status until the job is terminal, then fetches the
+// result (done → result bytes on stdout; failed/canceled → the stored
+// error envelope on stderr, exit 1).
+func jobWait(base, id string, poll time.Duration) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	statusURL := base + "/v1/jobs/" + id
+	for {
+		resp, err := http.Get(statusURL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ctrlsched:", err)
+			os.Exit(1)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			jobFail(resp.Status, body)
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			fmt.Fprintln(os.Stderr, "ctrlsched: decode status:", err)
+			os.Exit(1)
+		}
+		if st.State != "running" {
+			break
+		}
+		time.Sleep(poll)
+	}
+	jobGet(statusURL+"/result", http.MethodGet)
+}

@@ -12,6 +12,7 @@
 //	ctrlsched analyze  [-batch] [-workers W] [-csv|-json] < request.json
 //	ctrlsched codesign [-workers W] [-csv|-json] < request.json
 //	ctrlsched serve    [-addr :8080] [-workers W] [-concurrency C] ...
+//	ctrlsched job      <submit|status|stream|wait|result|cancel> [-addr URL] ...
 //	ctrlsched all      (quick versions of everything)
 //
 // Every experiment subcommand runs through the same typed result structs
@@ -95,6 +96,8 @@ func main() {
 		runCodesign(args)
 	case "serve":
 		runServe(args)
+	case "job":
+		runJob(args)
 	case "all":
 		runAll()
 	default:
@@ -119,6 +122,8 @@ commands:
   codesign   synthesize sampling periods + priorities for candidate loops
              (JSON request on stdin; see README) — the co-design engine
   serve      run the HTTP analysis service in-process (same API as ctrlschedd)
+  job        drive a daemon's async jobs: submit, status, stream, wait,
+             result, cancel (see ctrlsched job -h)
   all        quick versions of all of the above`)
 }
 

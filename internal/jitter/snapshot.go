@@ -1,0 +1,74 @@
+package jitter
+
+import (
+	"errors"
+	"fmt"
+
+	"ctrlsched/internal/kmemo"
+	"ctrlsched/internal/lqg"
+)
+
+// Snapshot codec for the margin memo, so a restarted daemon serves
+// AnalyzeCached hits without re-running the frequency sweeps. The
+// embedded design reuses lqg's snapshot encoding.
+
+func init() {
+	kmemo.RegisterCodec(kmemo.Codec{
+		Name:   "jitter/margin",
+		Encode: encodeMarginEntry,
+		Decode: decodeMarginEntry,
+	})
+}
+
+const (
+	marginSnapErr = 0
+	marginSnapOK  = 1
+)
+
+func encodeMarginEntry(v any) ([]byte, bool) {
+	me, ok := v.(*marginEntry)
+	if !ok {
+		return nil, false
+	}
+	e := &kmemo.SnapEnc{}
+	if me.err != nil {
+		e.U64(marginSnapErr)
+		e.Str(me.err.Error())
+		return e.Buf, true
+	}
+	e.U64(marginSnapOK)
+	lqg.AppendDesignSnap(e, me.m.Design)
+	e.Floats(me.m.Latency)
+	e.Floats(me.m.JMax)
+	e.F64(me.m.A)
+	e.F64(me.m.B)
+	return e.Buf, true
+}
+
+func decodeMarginEntry(payload []byte) (any, error) {
+	d := kmemo.NewSnapDec(payload)
+	switch tag := d.U64(); tag {
+	case marginSnapErr:
+		msg := d.Str()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return &marginEntry{err: errors.New(msg)}, nil
+	case marginSnapOK:
+		des, err := lqg.ReadDesignSnap(d)
+		if err != nil {
+			return nil, err
+		}
+		m := &Margin{Design: des}
+		m.Latency = d.Floats()
+		m.JMax = d.Floats()
+		m.A = d.F64()
+		m.B = d.F64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return &marginEntry{m: m}, nil
+	default:
+		return nil, fmt.Errorf("jitter: unknown margin snapshot tag %d", tag)
+	}
+}

@@ -1,0 +1,62 @@
+package jitter
+
+import (
+	"errors"
+	"testing"
+
+	"ctrlsched/internal/lqg"
+	"ctrlsched/internal/plant"
+)
+
+var errTest = errors.New("no stable latency at any point")
+
+// TestMarginSnapshotCodecRoundTrip encodes a real margin analysis
+// through the registered codec and checks the restored entry carries
+// the same curve and linear bound, plus a usable embedded design.
+func TestMarginSnapshotCodecRoundTrip(t *testing.T) {
+	d, err := lqg.Synthesize(plant.DCServo(), 0.012)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Analyze(d, Options{LatencyPoints: 9, FreqPoints: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, ok := encodeMarginEntry(&marginEntry{m: m})
+	if !ok {
+		t.Fatal("codec did not claim a *marginEntry")
+	}
+	v, err := decodeMarginEntry(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*marginEntry)
+	if got.err != nil {
+		t.Fatal(got.err)
+	}
+	r := got.m
+	if r.A != m.A || r.B != m.B {
+		t.Fatalf("linear bound drifted: (%v,%v) vs (%v,%v)", r.A, r.B, m.A, m.B)
+	}
+	if len(r.Latency) != len(m.Latency) || len(r.JMax) != len(m.JMax) {
+		t.Fatalf("curve lengths drifted: %d/%d vs %d/%d", len(r.Latency), len(r.JMax), len(m.Latency), len(m.JMax))
+	}
+	for i := range m.Latency {
+		if r.Latency[i] != m.Latency[i] || r.JMax[i] != m.JMax[i] {
+			t.Fatalf("curve point %d drifted", i)
+		}
+	}
+	if r.Design == nil || r.Design.Fingerprint() != d.Fingerprint() {
+		t.Fatal("embedded design not preserved")
+	}
+
+	// Failure entries round-trip too.
+	payload, _ = encodeMarginEntry(&marginEntry{err: errTest})
+	v, err = decodeMarginEntry(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.(*marginEntry).err; got == nil || got.Error() != errTest.Error() {
+		t.Fatalf("error entry lost: %v", got)
+	}
+}

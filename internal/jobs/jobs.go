@@ -1,0 +1,433 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle phase. The FSM is tiny and strict:
+//
+//	running → done | failed | canceled
+//
+// done/failed/canceled are terminal. A job whose key is already in the
+// durable store is born done (FromStore true) without running at all.
+type State string
+
+const (
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s != StateRunning }
+
+// Runner executes one job's computation. It receives the job's context
+// (canceled by DELETE or drain — the service wires it into campaign
+// abort) and an emit function for typed progress events; it returns
+// the canonical result bytes and whether they came from a cache, or an
+// already-classified failure. Runners run on the engine's goroutines
+// but all heavy work is admitted through the service's own pool — the
+// engine imposes no second concurrency limit.
+type Runner func(ctx context.Context, emit func(Event)) (result []byte, cacheHit bool, fail *ErrorInfo)
+
+// Submission errors.
+var (
+	ErrDraining     = errors.New("jobs: engine is draining")
+	ErrRegistryFull = errors.New("jobs: job registry full")
+)
+
+// DefaultMaxJobs bounds how many jobs the registry tracks; beyond it
+// the oldest finished jobs are forgotten (their results stay in the
+// durable store — only the id-addressed handle goes away).
+const DefaultMaxJobs = 256
+
+// Job is one tracked computation. All fields behind mu; use the
+// accessor methods.
+type Job struct {
+	ID   string
+	Kind string
+	Key  Key
+
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     State
+	fromStore bool
+	canceled  bool // DELETE arrived; a failing runner becomes "canceled"
+	created   time.Time
+	finished  time.Time
+
+	// Progress is coalesced out of the event log: emits of type
+	// "progress" update these fields instead of appending, so a
+	// long campaign costs O(1) memory and a late subscriber gets one
+	// fresh progress line, not ten thousand stale ones.
+	done, total int
+	progressSeq uint64
+
+	events    []Event // append-only; never mutated in place
+	sawResult bool    // a result-type event was emitted (batch terminator)
+	result    []byte
+	errInfo   *ErrorInfo
+
+	updated  chan struct{} // closed + replaced on every change
+	finishCh chan struct{} // closed once, on reaching a terminal state
+}
+
+// Status is the JSON shape of GET /v1/jobs/{id}.
+type Status struct {
+	ID         string     `json:"id"`
+	Kind       string     `json:"kind"`
+	Key        string     `json:"key"`
+	State      State      `json:"state"`
+	FromStore  bool       `json:"from_store"`
+	Done       int        `json:"done,omitempty"`
+	Total      int        `json:"total,omitempty"`
+	CreatedAt  string     `json:"created_at"`
+	FinishedAt string     `json:"finished_at,omitempty"`
+	Error      *ErrorInfo `json:"error,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.ID,
+		Kind:      j.Kind,
+		Key:       j.Key.String(),
+		State:     j.state,
+		FromStore: j.fromStore,
+		Done:      j.done,
+		Total:     j.total,
+		CreatedAt: j.created.UTC().Format(time.RFC3339Nano),
+		Error:     j.errInfo,
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+// Result returns the terminal outcome: the result bytes when done, the
+// failure when failed. ok is false while the job is still running.
+func (j *Job) Result() (b []byte, state State, fail *ErrorInfo, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, j.state, nil, false
+	}
+	return j.result, j.state, j.errInfo, true
+}
+
+// Finished returns a channel closed when the job reaches a terminal
+// state.
+func (j *Job) Finished() <-chan struct{} { return j.finishCh }
+
+// WatchState is a subscriber's cursor into a job's event stream.
+type WatchState struct {
+	cursor      int
+	progressSeq uint64
+}
+
+// Watch returns the events a subscriber has not seen yet — a fresh
+// progress line first if progress advanced, then the appended events —
+// plus whether the job is terminal with everything delivered, and a
+// channel closed on the next change. Event values are shared snapshots
+// and must not be mutated.
+func (j *Job) Watch(ws *WatchState) (evs []Event, terminal bool, updated <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.progressSeq > ws.progressSeq && !j.state.Terminal() {
+		evs = append(evs, ProgressEvent(j.done, j.total))
+		ws.progressSeq = j.progressSeq
+	}
+	if ws.cursor < len(j.events) {
+		evs = append(evs, j.events[ws.cursor:]...)
+		ws.cursor = len(j.events)
+	}
+	return evs, j.state.Terminal() && ws.cursor == len(j.events), j.updated
+}
+
+// emit records one event from the runner. Progress coalesces; other
+// events append.
+func (j *Job) emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return // late campaign callback after cancel; drop
+	}
+	if ev.Type == EventProgress {
+		j.done, j.total = ev.Done, ev.Total
+		j.progressSeq++
+	} else {
+		if ev.Type == EventResult {
+			j.sawResult = true
+		}
+		j.events = append(j.events, ev)
+	}
+	j.broadcastLocked()
+}
+
+func (j *Job) broadcastLocked() {
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// finishOK moves the job to done, appending the cache and result
+// events unless the runner already emitted its own terminator (the
+// batch path emits item lines plus {"type":"result","done":N}).
+func (j *Job) finishOK(b []byte, cacheHit bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = StateDone
+	j.result = b
+	j.finished = time.Now()
+	if !j.sawResult {
+		j.events = append(j.events, CacheEvent(cacheHit), ResultEvent(bytes.TrimRight(b, "\n")))
+	}
+	j.broadcastLocked()
+	close(j.finishCh)
+}
+
+// finishErr moves the job to failed — or canceled, when a DELETE (or
+// drain) canceled its context and the failure is the abort surfacing.
+func (j *Job) finishErr(fail *ErrorInfo) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	if j.canceled {
+		j.state = StateCanceled
+	} else {
+		j.state = StateFailed
+	}
+	j.errInfo = fail
+	j.finished = time.Now()
+	j.events = append(j.events, ErrorEvent(*fail))
+	j.broadcastLocked()
+	close(j.finishCh)
+}
+
+// EngineStats is the /healthz job counters snapshot.
+type EngineStats struct {
+	Submitted int64 `json:"submitted"`
+	Running   int64 `json:"running"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	FromStore int64 `json:"from_store"`
+	Tracked   int   `json:"tracked"`
+	Draining  bool  `json:"draining"`
+}
+
+// Engine tracks jobs and owns the durable store. Safe for concurrent
+// use.
+type Engine struct {
+	store   *Store
+	maxJobs int
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // insertion order, for registry eviction
+	draining bool
+
+	submitted, running, doneN, failedN, canceledN, fromStore int64
+
+	wg sync.WaitGroup
+}
+
+// NewEngine builds an engine over store (nil disables persistence —
+// jobs still run, results just die with the process). maxJobs bounds
+// the registry; 0 means DefaultMaxJobs.
+func NewEngine(store *Store, maxJobs int) *Engine {
+	if maxJobs <= 0 {
+		maxJobs = DefaultMaxJobs
+	}
+	return &Engine{store: store, maxJobs: maxJobs, jobs: make(map[string]*Job)}
+}
+
+// Store returns the engine's durable store (nil when disabled).
+func (e *Engine) Store() *Store { return e.store }
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("jobs: no entropy: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit registers and starts one job. When the durable store already
+// holds the key's result the job is born done without running — that
+// is the restart path: a resubmitted request after a daemon restart is
+// served from disk, byte-identical, with no recompute.
+func (e *Engine) Submit(kind string, key Key, run Runner) (*Job, error) {
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if len(e.jobs) >= e.maxJobs && !e.evictLocked() {
+		e.mu.Unlock()
+		return nil, ErrRegistryFull
+	}
+	j := &Job{
+		ID:       newJobID(),
+		Kind:     kind,
+		Key:      key,
+		state:    StateRunning,
+		created:  time.Now(),
+		updated:  make(chan struct{}),
+		finishCh: make(chan struct{}),
+	}
+	e.jobs[j.ID] = j
+	e.order = append(e.order, j.ID)
+	e.submitted++
+	e.mu.Unlock()
+
+	if b, ok := e.store.Get(key); ok {
+		j.mu.Lock()
+		j.fromStore = true
+		j.mu.Unlock()
+		j.finishOK(b, true)
+		e.mu.Lock()
+		e.doneN++
+		e.fromStore++
+		e.mu.Unlock()
+		return j, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	e.mu.Lock()
+	e.running++
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer cancel()
+		b, hit, fail := run(ctx, j.emit)
+		if fail != nil {
+			j.finishErr(fail)
+		} else {
+			_ = e.store.Put(key, kind, b)
+			j.finishOK(b, hit)
+		}
+		e.mu.Lock()
+		e.running--
+		j.mu.Lock()
+		switch j.state {
+		case StateDone:
+			e.doneN++
+		case StateFailed:
+			e.failedN++
+		case StateCanceled:
+			e.canceledN++
+		}
+		j.mu.Unlock()
+		e.mu.Unlock()
+	}()
+	return j, nil
+}
+
+// evictLocked forgets the oldest finished job; reports false when every
+// tracked job is still running.
+func (e *Engine) evictLocked() bool {
+	for i, id := range e.order {
+		j, ok := e.jobs[id]
+		if !ok {
+			continue
+		}
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if terminal {
+			delete(e.jobs, id)
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns the job with the given id.
+func (e *Engine) Get(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a running job (a no-op on terminal
+// ones) and reports whether the id exists. The job's context cancels,
+// which the service plumbs into campaign abort; the runner's failure
+// then lands the job in the canceled state.
+func (e *Engine) Cancel(id string) (*Job, bool) {
+	j, ok := e.Get(id)
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	terminal := j.state.Terminal()
+	if !terminal {
+		j.canceled = true
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	if !terminal && cancel != nil {
+		cancel()
+	}
+	return j, true
+}
+
+// Drain stops accepting submissions and waits for running jobs. If ctx
+// expires first, the remaining jobs are canceled and waited out (their
+// campaigns abort promptly). Always returns with no jobs running.
+func (e *Engine) Drain(ctx context.Context) {
+	e.mu.Lock()
+	e.draining = true
+	ids := make([]string, 0, len(e.jobs))
+	for id := range e.jobs {
+		ids = append(ids, id)
+	}
+	e.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { e.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return
+	case <-ctx.Done():
+	}
+	for _, id := range ids {
+		e.Cancel(id)
+	}
+	<-done
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineStats{
+		Submitted: e.submitted,
+		Running:   e.running,
+		Done:      e.doneN,
+		Failed:    e.failedN,
+		Canceled:  e.canceledN,
+		FromStore: e.fromStore,
+		Tracked:   len(e.jobs),
+		Draining:  e.draining,
+	}
+}

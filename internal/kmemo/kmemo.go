@@ -46,6 +46,9 @@ import (
 // form keeps map operations allocation-free.
 type Key [32]byte
 
+// KeySize is the byte width of a Key (a SHA-256 digest).
+const KeySize = 32
+
 // Default capacity of the process-wide cache. 8192 entries comfortably
 // hold every (plant, period) pair of a large campaign plus the delayed
 // cost working set of a co-design search; 256 MiB bounds the worst case
@@ -65,6 +68,9 @@ type Stats struct {
 	Bytes     int64 `json:"bytes"`
 	EntryCap  int   `json:"entry_cap"`
 	ByteCap   int64 `json:"byte_cap"`
+	// Restored counts entries admitted from a snapshot (see
+	// snapshot.go) since this cache was built.
+	Restored int64 `json:"restored"`
 }
 
 // entry is one cache slot. once provides per-entry singleflight; val,
@@ -103,6 +109,9 @@ type Cache struct {
 	// per-shard bounds
 	shardEntries int
 	shardBytes   int64
+
+	// restored counts snapshot admissions (see snapshot.go).
+	restored atomic.Int64
 }
 
 // New builds a cache bounded by maxEntries entries and maxBytes stored
@@ -287,7 +296,7 @@ func (c *Cache) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	s := Stats{Enabled: true, EntryCap: c.entryCap, ByteCap: c.byteCap}
+	s := Stats{Enabled: true, EntryCap: c.entryCap, ByteCap: c.byteCap, Restored: c.restored.Load()}
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()

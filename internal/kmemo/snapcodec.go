@@ -1,0 +1,121 @@
+package kmemo
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// SnapEnc and SnapDec are the little shared binary vocabulary snapshot
+// codecs (see RegisterCodec) are written in: fixed-width integers and
+// float bits, length-prefixed strings and float slices. They exist so
+// each kernel package encodes only its domain structure, not framing.
+// Decoding is bounds-checked but deliberately not paranoid: the
+// snapshot stream's SHA-256 trailer has already been verified by the
+// time a codec runs, so a short read here means a codec bug, reported
+// via Err rather than a panic.
+
+// SnapEnc appends primitive values to Buf.
+type SnapEnc struct {
+	Buf []byte
+}
+
+// U64 appends a little-endian uint64.
+func (e *SnapEnc) U64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.Buf = append(e.Buf, b[:]...)
+}
+
+// I64 appends an int64.
+func (e *SnapEnc) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 appends a float64's IEEE-754 bits.
+func (e *SnapEnc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Str appends a length-prefixed string.
+func (e *SnapEnc) Str(s string) {
+	e.U64(uint64(len(s)))
+	e.Buf = append(e.Buf, s...)
+}
+
+// Floats appends a length-prefixed float64 slice.
+func (e *SnapEnc) Floats(v []float64) {
+	e.U64(uint64(len(v)))
+	for _, f := range v {
+		e.F64(f)
+	}
+}
+
+// Raw appends bytes verbatim (the caller frames them).
+func (e *SnapEnc) Raw(b []byte) { e.Buf = append(e.Buf, b...) }
+
+// errSnapShort marks a decode that ran past the payload.
+var errSnapShort = errors.New("kmemo: snapshot payload truncated")
+
+// SnapDec consumes a payload written by SnapEnc. After the first short
+// read every accessor returns zero values; check Err once at the end.
+type SnapDec struct {
+	b    []byte
+	fail bool
+}
+
+// NewSnapDec wraps payload for decoding.
+func NewSnapDec(payload []byte) *SnapDec { return &SnapDec{b: payload} }
+
+func (d *SnapDec) take(n int) []byte {
+	if d.fail || len(d.b) < n {
+		d.fail = true
+		return nil
+	}
+	p := d.b[:n]
+	d.b = d.b[n:]
+	return p
+}
+
+// U64 reads a little-endian uint64.
+func (d *SnapDec) U64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// I64 reads an int64.
+func (d *SnapDec) I64() int64 { return int64(d.U64()) }
+
+// F64 reads a float64.
+func (d *SnapDec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Str reads a length-prefixed string.
+func (d *SnapDec) Str() string {
+	n := int(d.U64())
+	p := d.take(n)
+	return string(p)
+}
+
+// Floats reads a length-prefixed float64 slice.
+func (d *SnapDec) Floats() []float64 {
+	n := int(d.U64())
+	if d.fail || n < 0 || n > len(d.b)/8 {
+		d.fail = true
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.F64()
+	}
+	return out
+}
+
+// Raw reads n bytes verbatim.
+func (d *SnapDec) Raw(n int) []byte { return d.take(n) }
+
+// Err reports whether any read ran past the payload.
+func (d *SnapDec) Err() error {
+	if d.fail {
+		return errSnapShort
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package kmemo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"path/filepath"
+	"testing"
+)
+
+func snapKey(s string) Key { return Key(sha256.Sum256([]byte(s))) }
+
+func fill(c *Cache, n int) {
+	for i := 0; i < n; i++ {
+		k := snapKey(string(rune('a' + i)))
+		c.Do(k, func() (any, int64) { return float64(i) * 1.5, 8 })
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := New(64, 1<<20)
+	fill(src, 10)
+
+	var buf bytes.Buffer
+	n, err := src.Snapshot(&buf)
+	if err != nil || n != 10 {
+		t.Fatalf("Snapshot = %d, %v", n, err)
+	}
+
+	dst := New(64, 1<<20)
+	m, err := dst.Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil || m != 10 {
+		t.Fatalf("Restore = %d, %v", m, err)
+	}
+	if got := dst.Stats().Restored; got != 10 {
+		t.Fatalf("Restored counter = %d", got)
+	}
+	// Restored entries serve without recompute.
+	for i := 0; i < 10; i++ {
+		ran := false
+		v := dst.Do(snapKey(string(rune('a'+i))), func() (any, int64) {
+			ran = true
+			return -1.0, 8
+		})
+		if ran {
+			t.Fatalf("entry %d recomputed after restore", i)
+		}
+		if v.(float64) != float64(i)*1.5 {
+			t.Fatalf("entry %d = %v", i, v)
+		}
+	}
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	a, b := New(64, 1<<20), New(64, 1<<20)
+	fill(a, 8)
+	// Same content, different insertion order.
+	for i := 7; i >= 0; i-- {
+		k := snapKey(string(rune('a' + i)))
+		b.Do(k, func() (any, int64) { return float64(i) * 1.5, 8 })
+	}
+	var ba, bb bytes.Buffer
+	if _, err := a.Snapshot(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Snapshot(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("identical contents produced different snapshot bytes")
+	}
+}
+
+// TestSnapshotCorruptionRefused flips or drops bytes anywhere in the
+// stream: Restore must admit nothing and report the damage.
+func TestSnapshotCorruptionRefused(t *testing.T) {
+	src := New(64, 1<<20)
+	fill(src, 5)
+	var buf bytes.Buffer
+	if _, err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	mutations := map[string][]byte{
+		"truncated":     snap[:len(snap)-7],
+		"flipped byte":  flip(snap, len(snap)/2),
+		"flipped magic": flip(snap, 3),
+		"empty":         {},
+	}
+	for name, bad := range mutations {
+		dst := New(64, 1<<20)
+		n, err := dst.Restore(bytes.NewReader(bad))
+		if err == nil {
+			t.Errorf("%s: Restore accepted damaged snapshot", name)
+		}
+		if n != 0 || dst.Stats().Restored != 0 {
+			t.Errorf("%s: admitted %d entries from damaged snapshot", name, n)
+		}
+	}
+}
+
+func flip(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0x80
+	return out
+}
+
+// TestSnapshotRestoreRespectsBounds restores a big snapshot into a
+// small cache: admission must stay within the configured entry bound
+// rather than overfilling.
+func TestSnapshotRestoreRespectsBounds(t *testing.T) {
+	src := New(128, 1<<20)
+	fill(src, 20)
+	var buf bytes.Buffer
+	if _, err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	small := New(4, 1<<20)
+	if _, err := small.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Per-shard entry bounds scale with shard count; the cache-wide
+	// entries must not exceed the configured max.
+	if got := small.Stats().Entries; got > 4 {
+		t.Fatalf("small cache holds %d entries after restore, cap 4", got)
+	}
+}
+
+// TestSnapshotExistingEntryWins restores over a cache that already
+// solved one of the keys: the live value must not be replaced.
+func TestSnapshotExistingEntryWins(t *testing.T) {
+	src := New(64, 1<<20)
+	k := snapKey("a")
+	src.Do(k, func() (any, int64) { return 1.0, 8 })
+	var buf bytes.Buffer
+	if _, err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New(64, 1<<20)
+	dst.Do(k, func() (any, int64) { return 99.0, 8 })
+	if _, err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if v := dst.Do(k, func() (any, int64) { return -1.0, 8 }); v.(float64) != 99.0 {
+		t.Fatalf("restore replaced a live entry: %v", v)
+	}
+}
+
+func TestSaveLoadSnapshotFile(t *testing.T) {
+	Configure(256, 1<<20)
+	defer func() { Configure(0, 0); Configure(256, 1<<20) }()
+	Default().Reset()
+	fill(Default(), 6)
+
+	path := filepath.Join(t.TempDir(), "kmemo.snap")
+	n, err := SaveSnapshot(path)
+	if err != nil || n != 6 {
+		t.Fatalf("SaveSnapshot = %d, %v", n, err)
+	}
+
+	Default().Reset()
+	m, err := LoadSnapshot(path)
+	if err != nil || m != 6 {
+		t.Fatalf("LoadSnapshot = %d, %v", m, err)
+	}
+	if got := Default().Stats().Restored; got != 6 {
+		t.Fatalf("Restored = %d", got)
+	}
+
+	// Missing file: first boot, not an error.
+	if n, err := LoadSnapshot(filepath.Join(t.TempDir(), "absent.snap")); n != 0 || err != nil {
+		t.Fatalf("missing snapshot: %d, %v", n, err)
+	}
+}

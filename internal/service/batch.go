@@ -10,6 +10,7 @@ import (
 
 	"ctrlsched/internal/campaign"
 	"ctrlsched/internal/experiments"
+	"ctrlsched/internal/jobs"
 )
 
 // kindAnalyzeBatch is the request kind of the batched analyze endpoint.
@@ -161,6 +162,24 @@ func (s *Service) AnalyzeBatch(ctx context.Context, raw []byte, onItem BatchItem
 		}
 	}
 
+	// The batch as a whole is content-addressed too, so the durable
+	// store can serve a repeated batch after a restart without touching
+	// the pool. The read-through is skipped when the caller wants
+	// per-item framing (the streaming path): stored bytes hold only the
+	// final envelope, not the item sequence.
+	canonical, err := canonicalBytes(norm)
+	if err != nil {
+		s.errs.Add(1)
+		return nil, false, err
+	}
+	batchKey := makeKey(kindAnalyzeBatch, canonical)
+	if onItem == nil {
+		if b, ok := s.store.Get(jobs.Key(batchKey)); ok {
+			s.hits.Add(1)
+			return b, true, nil
+		}
+	}
+
 	// One pool slot for the whole batch, exactly like an experiment run.
 	select {
 	case s.sem <- struct{}{}:
@@ -248,5 +267,7 @@ func (s *Service) AnalyzeBatch(ctx context.Context, raw []byte, onItem BatchItem
 		s.errs.Add(1)
 		return nil, false, err
 	}
-	return buf.Bytes(), allHit, nil
+	b := buf.Bytes()
+	_ = s.store.Put(jobs.Key(batchKey), kindAnalyzeBatch, b)
+	return b, allHit, nil
 }

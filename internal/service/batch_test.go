@@ -259,10 +259,10 @@ func TestBatchStreamHTTP(t *testing.T) {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
 	type line struct {
-		Item   *int            `json:"item"`
-		Cache  string          `json:"cache"`
+		Type   string          `json:"type"`
+		Index  *int            `json:"index"`
+		Status string          `json:"status"`
 		Result json.RawMessage `json:"result"`
-		Error  string          `json:"error"`
 		Done   *int            `json:"done"`
 	}
 	var lines []line
@@ -283,22 +283,22 @@ func TestBatchStreamHTTP(t *testing.T) {
 	}
 	for i := 0; i < 3; i++ {
 		l := lines[i]
-		if l.Item == nil || *l.Item != i {
+		if l.Type != "item" || l.Index == nil || *l.Index != i {
 			t.Fatalf("line %d out of order: %+v", i, l)
 		}
 		want := "miss"
 		if i == 1 {
 			want = "hit"
 		}
-		if l.Cache != want {
-			t.Fatalf("item %d cache = %q, want %q", i, l.Cache, want)
+		if l.Status != want {
+			t.Fatalf("item %d cache = %q, want %q", i, l.Status, want)
 		}
 		var ar AnalyzeResult
 		if err := json.Unmarshal(l.Result, &ar); err != nil {
 			t.Fatalf("item %d result undecodable: %v", i, err)
 		}
 	}
-	if lines[3].Done == nil || *lines[3].Done != 3 {
+	if lines[3].Type != "result" || lines[3].Done == nil || *lines[3].Done != 3 {
 		t.Fatalf("missing done line: %+v", lines[3])
 	}
 

@@ -2,15 +2,12 @@ package service
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
 	"math"
-	"net/http"
 	"sort"
 
 	"ctrlsched/internal/assign"
-	"ctrlsched/internal/campaign"
 	"ctrlsched/internal/codesign"
 	"ctrlsched/internal/experiments"
 	"ctrlsched/internal/rta"
@@ -340,26 +337,9 @@ func (s *Service) Codesign(ctx context.Context, raw []byte, progress experiments
 		s.errs.Add(1)
 		return nil, false, err
 	}
-	return s.serve(ctx, makeKey(kindCodesign, canonical), progress, func(p experiments.ProgressFunc, abort <-chan struct{}) (experiments.Result, error) {
+	return s.serve(ctx, kindCodesign, makeKey(kindCodesign, canonical), progress, func(p experiments.ProgressFunc, abort <-chan struct{}) (experiments.Result, error) {
 		return s.runCodesign(norm, p, abort)
 	})
-}
-
-// codesignHTTPError classifies an engine error for the HTTP edge:
-// aborts map to 503 (the service shed the request), engine-internal
-// failures (codesign.ErrInternal) to 500 — the request was valid and the
-// engine's own machinery broke, so blaming the caller with a 400 both
-// misleads and hides bugs — and everything else, which by construction
-// is input-shaped (bad grids, impossible task sets), to 400.
-func codesignHTTPError(err error) *Error {
-	switch {
-	case errors.Is(err, campaign.ErrAborted):
-		return &Error{Status: http.StatusServiceUnavailable, Msg: "canceled during codesign: " + err.Error()}
-	case errors.Is(err, codesign.ErrInternal):
-		return &Error{Status: http.StatusInternalServerError, Msg: err.Error()}
-	default:
-		return badRequest("%v", err)
-	}
 }
 
 // runCodesign translates a normalized request into engine inputs, runs
@@ -398,7 +378,10 @@ func (s *Service) runCodesign(req CodesignRequest, progress experiments.Progress
 		Abort:     abort,
 	})
 	if err != nil {
-		return nil, codesignHTTPError(err)
+		// Classified here rather than at the generic execute exit so the
+		// message carries the route ("codesign") even through coalesced
+		// flights; the taxonomy is the shared classifyError one.
+		return nil, classifyError(kindCodesign, err)
 	}
 
 	out := CodesignResult{

@@ -213,11 +213,11 @@ func TestCodesignHTTPRoundTrip(t *testing.T) {
 	for sc.Scan() {
 		line := sc.Bytes()
 		switch {
-		case bytes.HasPrefix(line, []byte(`{"progress":`)):
+		case bytes.HasPrefix(line, []byte(`{"type":"progress"`)):
 			progressLines++
-		case bytes.HasPrefix(line, []byte(`{"cache":"hit"}`)):
+		case bytes.HasPrefix(line, []byte(`{"type":"cache","status":"hit"}`)):
 			sawCache = true
-		case bytes.HasPrefix(line, []byte(`{"result":`)):
+		case bytes.HasPrefix(line, []byte(`{"type":"result"`)):
 			sawResult = true
 			resultLine = append([]byte(nil), line...)
 		}
@@ -256,25 +256,26 @@ func TestCodesignStreamProgressLines(t *testing.T) {
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	type prog struct {
-		Progress struct{ Done, Total int } `json:"progress"`
+		Done  int `json:"done"`
+		Total int `json:"total"`
 	}
 	var last prog
 	lines := 0
 	sawResult := false
 	for sc.Scan() {
 		line := sc.Bytes()
-		if bytes.HasPrefix(line, []byte(`{"progress":`)) {
+		if bytes.HasPrefix(line, []byte(`{"type":"progress"`)) {
 			var p prog
 			if err := json.Unmarshal(line, &p); err != nil {
 				t.Fatal(err)
 			}
-			if p.Progress.Done < last.Progress.Done {
-				t.Fatalf("progress regressed: %d after %d", p.Progress.Done, last.Progress.Done)
+			if p.Done < last.Done {
+				t.Fatalf("progress regressed: %d after %d", p.Done, last.Done)
 			}
 			last = p
 			lines++
 		}
-		if bytes.HasPrefix(line, []byte(`{"result":`)) {
+		if bytes.HasPrefix(line, []byte(`{"type":"result"`)) {
 			sawResult = true
 		}
 	}
@@ -287,8 +288,8 @@ func TestCodesignStreamProgressLines(t *testing.T) {
 	if lines < 10 {
 		t.Fatalf("only %d progress lines; expected per-candidate granularity", lines)
 	}
-	if last.Progress.Done != last.Progress.Total {
-		t.Fatalf("final progress %d/%d", last.Progress.Done, last.Progress.Total)
+	if last.Done != last.Total {
+		t.Fatalf("final progress %d/%d", last.Done, last.Total)
 	}
 }
 
@@ -404,11 +405,11 @@ func TestGoldenCodesign(t *testing.T) {
 
 var _ experiments.Result = CodesignResult{}
 
-// TestCodesignHTTPErrorClassifier pins the error taxonomy of the
-// codesign edge: aborts are 503 (service shed load), engine-internal
-// failures are 500, and anything else — input-shaped by construction —
-// is 400. The old code collapsed everything but aborts into 400,
-// blaming callers for engine bugs.
+// TestCodesignHTTPErrorClassifier pins the error taxonomy shared by
+// every compute route (classifyError): aborts are 503 (service shed
+// load), engine-internal failures are 500, and anything else —
+// input-shaped by construction — is 400. The old code collapsed
+// everything but aborts into 400, blaming callers for engine bugs.
 func TestCodesignHTTPErrorClassifier(t *testing.T) {
 	cases := []struct {
 		name   string
@@ -420,7 +421,7 @@ func TestCodesignHTTPErrorClassifier(t *testing.T) {
 		{"input-shaped", errors.New("codesign: loop 0: empty candidate period grid"), http.StatusBadRequest},
 	}
 	for _, tc := range cases {
-		if got := codesignHTTPError(tc.err).Status; got != tc.status {
+		if got := HTTPStatus(classifyError(kindCodesign, tc.err)); got != tc.status {
 			t.Errorf("%s: status %d, want %d", tc.name, got, tc.status)
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ctrlsched/internal/experiments"
+	"ctrlsched/internal/jobs"
 	"ctrlsched/internal/kmemo"
 )
 
@@ -30,25 +31,37 @@ const (
 
 // Handler mounts the service's HTTP API:
 //
-//	GET  /healthz                    — liveness + counters
-//	POST /v1/experiments/{kind}      — run (or serve cached) experiment
-//	POST /v1/analyze                 — single task-set / plant analysis
-//	POST /v1/analyze/batch           — N analyze queries in one request
-//	POST /v1/codesign                — period/priority synthesis
+//	GET    /healthz                    — liveness + counters
+//	POST   /v1/experiments/{kind}      — run (or serve cached) experiment
+//	POST   /v1/analyze                 — single task-set / plant analysis
+//	POST   /v1/analyze/batch           — N analyze queries in one request
+//	POST   /v1/codesign                — period/priority synthesis
+//	POST   /v1/jobs                    — submit any of the above as a job
+//	GET    /v1/jobs/{id}               — job status (?stream=1 to follow)
+//	GET    /v1/jobs/{id}/result        — a terminal job's outcome
+//	DELETE /v1/jobs/{id}               — cancel a running job
 //
-// Experiment, analyze, and codesign responses are the canonical JSON
-// result bytes; identical requests return identical bytes whether
-// computed or cached. Plain responses say which via the X-Cache header
-// (a batch reports "hit" only when every item hit). Appending ?stream=1
-// to an experiment or codesign request switches to chunked JSON —
-// progress lines (one per completed candidate evaluation on codesign),
-// a cache-status line, then a final result line; on a batch request it
-// streams one line per item, in item order, each carrying its own cache
-// status. The cache status travels in-band on streamed responses
-// because a coalesced joiner's headers are already on the wire before
-// its cache status is known. When the connection cannot stream (the
-// ResponseWriter is no http.Flusher), ?stream=1 degrades to the plain
-// buffered response instead of failing.
+// Every endpoint speaks one contract. Success responses are the
+// canonical JSON result bytes; identical requests return identical
+// bytes whether computed, cached, or replayed from the durable store,
+// through the synchronous or the jobs surface alike. Plain responses
+// carry the X-Cache header ("hit"/"miss"; a batch reports "hit" only
+// when every item hit). Failures are one JSON error envelope,
+// {"error":{"code","message"}}, with the status-matched machine code
+// (bad_request, not_found, method_not_allowed, payload_too_large,
+// unavailable, internal, …) and an Allow header on 405s.
+//
+// Appending ?stream=1 to an experiment, codesign, or batch request —
+// or GETting a job with it — switches to chunked JSON lines in the
+// shared typed event schema (see jobs.Event): {"type":"progress",...}
+// lines (one per completed candidate evaluation on codesign, ~1%
+// granularity elsewhere), per-item {"type":"item",...} lines on a
+// batch, a {"type":"cache",...} line, then the terminal
+// {"type":"result",...} or {"type":"error",...} line. Cache status
+// travels in-band on streams because a coalesced joiner's headers are
+// already on the wire before its status is known. When the connection
+// cannot stream (the ResponseWriter is no http.Flusher), ?stream=1
+// degrades to the plain buffered response instead of failing.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
@@ -56,6 +69,13 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/analyze/batch", s.handleAnalyzeBatch)
 	mux.HandleFunc("/v1/codesign", s.handleCodesign)
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	// Unknown routes get the same envelope as every other failure, not
+	// net/http's plain-text default.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, &Error{Status: http.StatusNotFound, Msg: "unknown route " + r.URL.Path})
+	})
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -66,11 +86,22 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-// writeError emits the uniform JSON error envelope.
+// errorEnvelope is the uniform JSON error body of every endpoint.
+type errorEnvelope struct {
+	Error jobs.ErrorInfo `json:"error"`
+}
+
+// writeError emits the uniform JSON error envelope
+// {"error":{"code","message"}}; 405s additionally carry their Allow
+// header.
 func writeError(w http.ResponseWriter, err error) {
 	w.Header().Set("Content-Type", "application/json")
+	var se *Error
+	if errors.As(err, &se) && se.allow != "" {
+		w.Header().Set("Allow", se.allow)
+	}
 	w.WriteHeader(HTTPStatus(err))
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: *errorInfo(err)})
 }
 
 func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
@@ -87,11 +118,10 @@ func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, erro
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Msg: "use GET"})
+		writeError(w, methodNotAllowed(http.MethodGet))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	doc := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": s.Uptime().Seconds(),
 		"kinds":          Kinds(),
@@ -101,16 +131,22 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"max_concurrent": s.cfg.MaxConcurrent,
 		},
 		// Cache observability, innermost to outermost: the process-wide
-		// kernel memo, then this service's encoded-result LRU (request
-		// coalescing has no retained state to report).
+		// kernel memo (restored counts snapshot warm-starts), this
+		// service's encoded-result LRU, then the durable result store.
 		"kernel_cache": kmemo.Default().Stats(),
 		"result_cache": s.cache.stats(),
-	})
+		"result_store": s.store.Stats(),
+		"jobs":         s.jobsEng.Stats(),
+	}
+	if s.storeErr != "" {
+		doc["result_store_error"] = s.storeErr
+	}
+	writeJSON(w, doc)
 }
 
 func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Msg: "use POST"})
+		writeError(w, methodNotAllowed(http.MethodPost))
 		return
 	}
 	body, err := readBody(w, r, maxBodyBytes)
@@ -128,7 +164,7 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Msg: "use POST"})
+		writeError(w, methodNotAllowed(http.MethodPost))
 		return
 	}
 	body, err := readBody(w, r, maxBatchBodyBytes)
@@ -148,20 +184,20 @@ func (s *Service) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, b, hit)
 }
 
-// streamAnalyzeBatch serves one batch as chunked JSON lines, one per
-// item in item order, then a terminator:
+// streamAnalyzeBatch serves one batch as chunked typed event lines,
+// one item per line in item order, then the batch terminator:
 //
-//	{"item":0,"cache":"miss","result":{...}}
-//	{"item":1,"cache":"hit","result":{...}}
-//	{"item":2,"error":"..."}
+//	{"type":"item","index":0,"status":"miss","result":{...}}
+//	{"type":"item","index":1,"status":"hit","result":{...}}
+//	{"type":"item","index":2,"error":{"code":"bad_request","message":"..."}}
 //	...
-//	{"done":64}
+//	{"type":"result","done":64}
 //
 // Item cache status travels in-band like the experiment stream's cache
 // line: headers freeze before any item's status is known. A batch-level
-// failure after streaming began arrives as a final {"error":...} line
-// (clients must treat it as failure; items already on the wire remain
-// valid individual results).
+// failure after streaming began arrives as a final {"type":"error",...}
+// line (clients must treat it as failure; items already on the wire
+// remain valid individual results).
 func (s *Service) streamAnalyzeBatch(w http.ResponseWriter, r *http.Request, body []byte) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -184,15 +220,10 @@ func (s *Service) streamAnalyzeBatch(w http.ResponseWriter, r *http.Request, bod
 		started = true
 		count++
 		if err != nil {
-			fmt.Fprintf(w, `{"item":%d,"error":%s}`+"\n", index, mustJSONString(err.Error()))
-			flusher.Flush()
-			return
+			writeEvent(w, jobs.ItemErrorEvent(index, *errorInfo(err)))
+		} else {
+			writeEvent(w, jobs.ItemEvent(index, json.RawMessage(bytes.TrimRight(data, "\n")), hit))
 		}
-		cache := "miss"
-		if hit {
-			cache = "hit"
-		}
-		fmt.Fprintf(w, `{"item":%d,"cache":%q,"result":%s}`+"\n", index, cache, bytes.TrimRight(data, "\n"))
 		flusher.Flush()
 	}
 	_, _, err := s.AnalyzeBatch(r.Context(), body, onItem)
@@ -201,11 +232,11 @@ func (s *Service) streamAnalyzeBatch(w http.ResponseWriter, r *http.Request, bod
 			writeError(w, err)
 			return
 		}
-		fmt.Fprintf(w, `{"error":%s}`+"\n", mustJSONString(err.Error()))
+		writeEvent(w, jobs.ErrorEvent(*errorInfo(err)))
 		flusher.Flush()
 		return
 	}
-	fmt.Fprintf(w, `{"done":%d}`+"\n", count)
+	writeEvent(w, jobs.BatchDoneEvent(count))
 	flusher.Flush()
 }
 
@@ -216,7 +247,7 @@ func (s *Service) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.Method != http.MethodPost {
-		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Msg: "use POST"})
+		writeError(w, methodNotAllowed(http.MethodPost))
 		return
 	}
 	body, err := readBody(w, r, maxBodyBytes)
@@ -255,12 +286,13 @@ func (s *Service) streamExperiment(w http.ResponseWriter, r *http.Request, kind 
 	})
 }
 
-// streamRun serves one pool-scheduled request as chunked JSON lines:
+// streamRun serves one pool-scheduled request as chunked typed event
+// lines (the same schema the jobs stream replays — see jobs.Event):
 //
-//	{"progress":{"done":128,"total":50000}}
+//	{"type":"progress","done":128,"total":50000}
 //	...
-//	{"cache":"miss"}
-//	{"result":{...}}
+//	{"type":"cache","status":"miss"}
+//	{"type":"result","result":{...}}
 //
 // The cache line replaces the plain endpoint's X-Cache header: a
 // coalesced joiner receives the leader's progress lines before its own
@@ -268,8 +300,8 @@ func (s *Service) streamExperiment(w http.ResponseWriter, r *http.Request, kind 
 // the wire. With throttle set, progress events collapse to ~1%
 // granularity; without it every event becomes a line (the codesign
 // endpoint's per-candidate progress). Errors discovered after streaming
-// began arrive as a final {"error":...} line (the 200 status is already
-// on the wire — clients must treat an error line as failure). A
+// began arrive as a final {"type":"error",...} line (the 200 status is
+// already on the wire — clients must treat an error line as failure). A
 // connection that cannot stream degrades to the plain buffered
 // response.
 func (s *Service) streamRun(w http.ResponseWriter, throttle bool, call func(progress experiments.ProgressFunc) ([]byte, bool, error)) {
@@ -288,24 +320,13 @@ func (s *Service) streamRun(w http.ResponseWriter, throttle bool, call func(prog
 
 	var mu sync.Mutex
 	started := false
-	lastPct := -1
-	progress := func(done, total int) {
+	progress := progressEmitter(func(ev jobs.Event) {
 		mu.Lock()
 		defer mu.Unlock()
-		if throttle {
-			pct := -1
-			if total > 0 {
-				pct = done * 100 / total
-			}
-			if pct == lastPct && done != total {
-				return
-			}
-			lastPct = pct
-		}
 		started = true
-		fmt.Fprintf(w, `{"progress":{"done":%d,"total":%d}}`+"\n", done, total)
+		writeEvent(w, ev)
 		flusher.Flush()
-	}
+	}, throttle)
 
 	b, hit, err := call(progress)
 	mu.Lock()
@@ -315,16 +336,12 @@ func (s *Service) streamRun(w http.ResponseWriter, throttle bool, call func(prog
 			writeError(w, err)
 			return
 		}
-		fmt.Fprintf(w, `{"error":%s}`+"\n", mustJSONString(err.Error()))
+		writeEvent(w, jobs.ErrorEvent(*errorInfo(err)))
 		flusher.Flush()
 		return
 	}
-	cache := "miss"
-	if hit {
-		cache = "hit"
-	}
-	fmt.Fprintf(w, `{"cache":%q}`+"\n", cache)
-	fmt.Fprintf(w, `{"result":%s}`+"\n", bytes.TrimRight(b, "\n"))
+	writeEvent(w, jobs.CacheEvent(hit))
+	writeEvent(w, jobs.ResultEvent(json.RawMessage(bytes.TrimRight(b, "\n"))))
 	flusher.Flush()
 }
 
@@ -332,7 +349,7 @@ func (s *Service) streamRun(w http.ResponseWriter, throttle bool, call func(prog
 // line per completed candidate evaluation.
 func (s *Service) handleCodesign(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Msg: "use POST"})
+		writeError(w, methodNotAllowed(http.MethodPost))
 		return
 	}
 	body, err := readBody(w, r, maxBodyBytes)
@@ -354,17 +371,12 @@ func (s *Service) handleCodesign(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, b, hit)
 }
 
-func mustJSONString(s string) []byte {
-	b, err := json.Marshal(s)
-	if err != nil {
-		return []byte(`"internal error"`)
-	}
-	return b
-}
-
 // Serve runs the HTTP API on addr until SIGINT/SIGTERM, then shuts down
-// gracefully. Both the ctrlschedd daemon and `ctrlsched serve` are thin
-// wrappers around it.
+// gracefully: in-flight connections finish, the job engine drains (new
+// submissions are refused, running jobs complete or are canceled at the
+// deadline), and the kernel-cache snapshot is persisted so the next
+// process warm-starts. Both the ctrlschedd daemon and `ctrlsched serve`
+// are thin wrappers around it.
 func Serve(addr string, cfg Config, logf func(format string, args ...any)) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -393,6 +405,13 @@ func Serve(addr string, cfg Config, logf func(format string, args ...any)) error
 		logf("shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
-		return srv.Shutdown(shutCtx)
+		err := srv.Shutdown(shutCtx)
+		if derr := s.Drain(shutCtx); derr != nil {
+			logf("drain: %v", derr)
+			if err == nil {
+				err = derr
+			}
+		}
+		return err
 	}
 }

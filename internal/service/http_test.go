@@ -74,6 +74,25 @@ func TestHTTPWorkerInvariance(t *testing.T) {
 	}
 }
 
+// decodeErrEnvelope decodes the shared error envelope
+// {"error":{"code":"...","message":"..."}} every endpoint emits.
+func decodeErrEnvelope(t *testing.T, body []byte) (code, message string) {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error envelope malformed: %v: %s", err, body)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("error envelope incomplete: %s", body)
+	}
+	return env.Error.Code, env.Error.Message
+}
+
 func TestHTTPErrors(t *testing.T) {
 	srv := newTestServer(t, Config{Workers: 1})
 	cases := []struct {
@@ -106,10 +125,7 @@ func TestHTTPErrors(t *testing.T) {
 		if resp.StatusCode != tc.status {
 			t.Fatalf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
 		}
-		var env map[string]string
-		if err := json.Unmarshal(body, &env); err != nil || env["error"] == "" {
-			t.Fatalf("%s: error envelope malformed: %s", tc.name, body)
-		}
+		decodeErrEnvelope(t, body)
 	}
 }
 
@@ -172,26 +188,33 @@ func readStream(t *testing.T, url, body string) (progressLines int, cache string
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		var line struct {
-			Progress *struct{ Done, Total int } `json:"progress"`
-			Cache    string                     `json:"cache"`
-			Result   json.RawMessage            `json:"result"`
-			Error    string                     `json:"error"`
+			Type   string          `json:"type"`
+			Done   int             `json:"done"`
+			Total  int             `json:"total"`
+			Status string          `json:"status"`
+			Result json.RawMessage `json:"result"`
+			Error  *struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
 			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
 		}
-		switch {
-		case line.Error != "":
-			t.Fatalf("stream error: %s", line.Error)
-		case line.Progress != nil:
+		switch line.Type {
+		case "error":
+			t.Fatalf("stream error: %+v", line.Error)
+		case "progress":
 			progressLines++
-			if line.Progress.Total != 50 {
-				t.Fatalf("progress total = %d", line.Progress.Total)
+			if line.Total != 50 {
+				t.Fatalf("progress total = %d", line.Total)
 			}
-		case line.Cache != "":
-			cache = line.Cache
-		case line.Result != nil:
+		case "cache":
+			cache = line.Status
+		case "result":
 			result = line.Result
+		default:
+			t.Fatalf("unknown stream line type %q: %s", line.Type, sc.Text())
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -233,8 +256,8 @@ func TestHTTPStreamedProgress(t *testing.T) {
 	}
 }
 
-// TestHTTPHealthzMethodNotAllowed pins the 405 on non-GET health
-// requests.
+// TestHTTPHealthzMethodNotAllowed pins the 405 (envelope + Allow
+// header) on non-GET health requests.
 func TestHTTPHealthzMethodNotAllowed(t *testing.T) {
 	srv := newTestServer(t, Config{Workers: 1})
 	for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
@@ -246,13 +269,16 @@ func TestHTTPHealthzMethodNotAllowed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&e)
+		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusMethodNotAllowed || err != nil || e.Error == "" {
-			t.Fatalf("%s /healthz: status %d err %v body %+v", method, resp.StatusCode, err, e)
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s /healthz: status %d body %s", method, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("Allow"); got != http.MethodGet {
+			t.Fatalf("%s /healthz: Allow %q, want GET", method, got)
+		}
+		if code, _ := decodeErrEnvelope(t, body); code != "method_not_allowed" {
+			t.Fatalf("%s /healthz: code %q", method, code)
 		}
 	}
 }
@@ -268,16 +294,13 @@ func TestHTTPEmptyBatch400BothPaths(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			var e struct {
-				Error string `json:"error"`
-			}
-			err = json.NewDecoder(resp.Body).Decode(&e)
+			body, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
-			if resp.StatusCode != http.StatusBadRequest || err != nil {
-				t.Fatalf("%s: status %d, decode err %v", url, resp.StatusCode, err)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("%s: status %d: %s", url, resp.StatusCode, body)
 			}
-			if !strings.Contains(e.Error, "at least one item") {
-				t.Fatalf("%s: error %q", url, e.Error)
+			if _, msg := decodeErrEnvelope(t, body); !strings.Contains(msg, "at least one item") {
+				t.Fatalf("%s: error %q", url, msg)
 			}
 		}
 	}
@@ -288,13 +311,13 @@ func TestHTTPEmptyBatch400BothPaths(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&e)
+		rb, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest || err != nil || !strings.Contains(e.Error, "empty candidate period grid") {
-			t.Fatalf("%s: status %d err %v body %+v", url, resp.StatusCode, err, e)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d: %s", url, resp.StatusCode, rb)
+		}
+		if _, msg := decodeErrEnvelope(t, rb); !strings.Contains(msg, "empty candidate period grid") {
+			t.Fatalf("%s: error %q", url, msg)
 		}
 	}
 }

@@ -18,15 +18,20 @@ package service
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ctrlsched/internal/campaign"
+	"ctrlsched/internal/codesign"
 	"ctrlsched/internal/experiments"
+	"ctrlsched/internal/jobs"
 	"ctrlsched/internal/kmemo"
 	"ctrlsched/internal/taskgen"
 )
@@ -68,6 +73,22 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
 	// service handler (the ctrlschedd -pprof flag).
 	EnablePprof bool
+	// JobsDir, when set, roots the durable content-addressed result
+	// store and the kmemo snapshot: results survive daemon restarts and
+	// are served byte-identical without recompute, and the kernel cache
+	// warm-starts from the snapshot written at drain. Empty disables
+	// persistence (jobs still run, results die with the process).
+	JobsDir string
+	// StoreEntries/StoreBytes/StoreMaxAge bound the durable store's
+	// retention (see jobs.StoreOptions). Zero means the jobs defaults;
+	// StoreMaxAge zero means no age bound.
+	StoreEntries int
+	StoreBytes   int64
+	StoreMaxAge  time.Duration
+	// MaxJobs bounds the async job registry; beyond it the oldest
+	// finished jobs are forgotten (their results stay in the store).
+	// 0 means jobs.DefaultMaxJobs.
+	MaxJobs int
 }
 
 // RegisterFlags registers the shared daemon tuning flags on fs and
@@ -84,6 +105,11 @@ func RegisterFlags(fs *flag.FlagSet) *Config {
 	fs.Int64Var(&cfg.KernelCacheBytes, "kernel-cache-bytes", kmemo.DefaultBytes, "total bytes the kernel result cache may retain")
 	fs.BoolVar(&cfg.KernelCacheOff, "kernel-cache-off", false, "disable the process-wide kernel result cache (recompute every kernel per request)")
 	fs.BoolVar(&cfg.EnablePprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	fs.StringVar(&cfg.JobsDir, "jobs-dir", "", "directory for the durable job-result store and kernel-cache snapshot (empty = no persistence)")
+	fs.IntVar(&cfg.StoreEntries, "store-entries", jobs.DefaultStoreEntries, "max results the durable store retains")
+	fs.Int64Var(&cfg.StoreBytes, "store-bytes", jobs.DefaultStoreBytes, "total bytes the durable store may retain")
+	fs.DurationVar(&cfg.StoreMaxAge, "store-max-age", 0, "drop stored results older than this (0 = no age bound)")
+	fs.IntVar(&cfg.MaxJobs, "max-jobs", jobs.DefaultMaxJobs, "max async jobs tracked in the registry")
 	return cfg
 }
 
@@ -108,10 +134,15 @@ func (c Config) withDefaults() Config {
 
 // Error is a service failure with an associated HTTP status. Request
 // canonicalization failures are 400s; unknown kinds 404; queue
-// cancellations 503.
+// cancellations and campaign aborts 503; engine-internal failures 500.
 type Error struct {
 	Status int
 	Msg    string
+	// Code overrides the status-derived machine code of the JSON error
+	// envelope (see ErrorCode); empty means derive from Status.
+	Code string
+	// allow is the Allow header value a 405 response must carry.
+	allow string
 }
 
 func (e *Error) Error() string { return e.Msg }
@@ -120,13 +151,81 @@ func badRequest(format string, args ...any) *Error {
 	return &Error{Status: http.StatusBadRequest, Msg: fmt.Sprintf(format, args...)}
 }
 
+// methodNotAllowed builds the uniform 405 with its Allow header value.
+func methodNotAllowed(allow string) *Error {
+	return &Error{Status: http.StatusMethodNotAllowed, Msg: "use " + allow, allow: allow}
+}
+
 // HTTPStatus maps an error to its HTTP status (500 for non-service
 // errors).
 func HTTPStatus(err error) int {
-	if se, ok := err.(*Error); ok {
+	var se *Error
+	if errors.As(err, &se) {
 		return se.Status
 	}
 	return http.StatusInternalServerError
+}
+
+// ErrorCode maps an error to the machine-readable code of the JSON
+// error envelope {"error":{"code","message"}}.
+func ErrorCode(err error) string {
+	var se *Error
+	if errors.As(err, &se) {
+		if se.Code != "" {
+			return se.Code
+		}
+		return codeForStatus(se.Status)
+	}
+	return codeForStatus(http.StatusInternalServerError)
+}
+
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return fmt.Sprintf("http_%d", status)
+	}
+}
+
+// errorInfo converts an error to the shared envelope/stream body.
+func errorInfo(err error) *jobs.ErrorInfo {
+	return &jobs.ErrorInfo{Code: ErrorCode(err), Message: err.Error()}
+}
+
+// classifyError maps a runtime (post-admission) failure to its
+// transport status, uniformly across every route: campaign aborts and
+// context cancellations are 503 (the service shed the request — the
+// caller's input was fine), engine-internal failures (codesign
+// kernels' ErrInternal) are 500 — blaming the caller with a 400 both
+// misleads and hides bugs — and everything else, which by construction
+// is input-shaped (bad grids, impossible task sets), is 400. Errors
+// already carrying a status pass through unchanged.
+func classifyError(op string, err error) *Error {
+	var se *Error
+	if errors.As(err, &se) {
+		return se
+	}
+	switch {
+	case errors.Is(err, campaign.ErrAborted), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return &Error{Status: http.StatusServiceUnavailable, Msg: "canceled during " + op + ": " + err.Error()}
+	case errors.Is(err, codesign.ErrInternal):
+		return &Error{Status: http.StatusInternalServerError, Msg: err.Error()}
+	default:
+		return badRequest("%v", err)
+	}
 }
 
 // Stats is a snapshot of the service counters.
@@ -145,6 +244,14 @@ type Service struct {
 	sem   chan struct{}
 	cache *lruCache
 	start time.Time
+
+	// store is the durable content-addressed result store (nil without
+	// JobsDir); jobsEng tracks async jobs over it. storeErr records an
+	// open failure for /healthz — a daemon that cannot persist still
+	// serves (the store is a cache, not the source of truth).
+	store    *jobs.Store
+	jobsEng  *jobs.Engine
+	storeErr string
 
 	genMu sync.Mutex
 	gens  map[experiments.GenSpec]*taskgen.Generator
@@ -242,7 +349,7 @@ func New(cfg Config) *Service {
 		}
 		kmemo.Configure(entries, bytes)
 	}
-	return &Service{
+	s := &Service{
 		cfg:     c,
 		sem:     make(chan struct{}, c.MaxConcurrent),
 		cache:   newLRUCache(c.CacheEntries, c.CacheBytes),
@@ -250,6 +357,42 @@ func New(cfg Config) *Service {
 		flights: make(map[cacheKey]*flight),
 		start:   time.Now(),
 	}
+	if c.JobsDir != "" {
+		store, err := jobs.OpenStore(c.JobsDir, jobs.StoreOptions{
+			MaxEntries: c.StoreEntries,
+			MaxBytes:   c.StoreBytes,
+			MaxAge:     c.StoreMaxAge,
+		})
+		if err != nil {
+			s.storeErr = err.Error()
+		} else {
+			s.store = store
+		}
+		// Warm-start the kernel cache from the snapshot the previous
+		// process wrote at drain; a missing or corrupt snapshot restores
+		// nothing and costs nothing (cold solves are always correct).
+		_, _ = kmemo.LoadSnapshot(s.snapshotPath())
+	}
+	s.jobsEng = jobs.NewEngine(s.store, c.MaxJobs)
+	return s
+}
+
+// snapshotPath is where the kernel-cache snapshot lives inside JobsDir.
+func (s *Service) snapshotPath() string {
+	return filepath.Join(s.cfg.JobsDir, "kmemo.snap")
+}
+
+// Drain stops accepting job submissions, waits for running jobs
+// (canceling them if ctx expires first), and persists the kernel-cache
+// snapshot so the next process warm-starts. Serve calls it on graceful
+// shutdown.
+func (s *Service) Drain(ctx context.Context) error {
+	s.jobsEng.Drain(ctx)
+	if s.cfg.JobsDir == "" {
+		return nil
+	}
+	_, err := kmemo.SaveSnapshot(s.snapshotPath())
+	return err
 }
 
 // Workers returns the campaign pool width the service runs with.
@@ -316,7 +459,7 @@ func (s *Service) Experiment(ctx context.Context, kind string, rawCfg []byte, pr
 		s.errs.Add(1)
 		return nil, false, err
 	}
-	return s.serve(ctx, makeKey(kind, canonical), progress, run)
+	return s.serve(ctx, kind, makeKey(kind, canonical), progress, run)
 }
 
 // Analyze answers one single-task-set analysis request (see
@@ -361,13 +504,21 @@ func analyzeKey(norm AnalyzeRequest) (cacheKey, error) {
 	return makeKey(kindAnalyze, canonical), nil
 }
 
-// serve is the shared request path: cache lookup, coalescing with any
-// identical in-flight request, bounded-pool admission, execution,
-// canonical encoding, cache fill.
-func (s *Service) serve(ctx context.Context, key cacheKey, progress experiments.ProgressFunc, run runFunc) ([]byte, bool, error) {
+// serve is the shared request path: cache lookup, durable-store
+// read-through, coalescing with any identical in-flight request,
+// bounded-pool admission, execution, canonical encoding, cache fill.
+func (s *Service) serve(ctx context.Context, kind string, key cacheKey, progress experiments.ProgressFunc, run runFunc) ([]byte, bool, error) {
 	s.requests.Add(1)
 	for {
 		if b, ok := s.cache.get(key); ok {
+			s.hits.Add(1)
+			return b, true, nil
+		}
+		// Durable-store read-through: a restarted daemon serves prior
+		// results byte-identical without recompute. Verified reads only;
+		// a damaged file quarantines and the request recomputes.
+		if b, ok := s.store.Get(jobs.Key(key)); ok {
+			s.cache.put(key, b)
 			s.hits.Add(1)
 			return b, true, nil
 		}
@@ -402,7 +553,7 @@ func (s *Service) serve(ctx context.Context, key cacheKey, progress experiments.
 		s.flights[key] = f
 		s.flightMu.Unlock()
 
-		b, hit, err := s.execute(ctx, key, f.notify, run)
+		b, hit, err := s.execute(ctx, kind, key, f.notify, run)
 		f.b, f.err = b, err
 		s.flightMu.Lock()
 		delete(s.flights, key)
@@ -467,7 +618,7 @@ func (s *Service) executeItem(ctx context.Context, key cacheKey, run func() (exp
 	res, err := run()
 	if err != nil {
 		s.errs.Add(1)
-		return nil, err
+		return nil, classifyError(kindAnalyze, err)
 	}
 	var buf bytes.Buffer
 	if err := experiments.EncodeJSON(&buf, res); err != nil {
@@ -480,8 +631,8 @@ func (s *Service) executeItem(ctx context.Context, key cacheKey, run func() (exp
 }
 
 // execute runs one request as the flight leader: pool admission, the
-// campaign itself, canonical encoding, cache fill.
-func (s *Service) execute(ctx context.Context, key cacheKey, progress experiments.ProgressFunc, run runFunc) ([]byte, bool, error) {
+// campaign itself, canonical encoding, cache and durable-store fill.
+func (s *Service) execute(ctx context.Context, kind string, key cacheKey, progress experiments.ProgressFunc, run runFunc) ([]byte, bool, error) {
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -508,7 +659,7 @@ func (s *Service) execute(ctx context.Context, key cacheKey, progress experiment
 	res, err := run(progress, ctx.Done())
 	if err != nil {
 		s.errs.Add(1)
-		return nil, false, err
+		return nil, false, classifyError(kind, err)
 	}
 	if err := ctx.Err(); err != nil {
 		s.errs.Add(1)
@@ -521,5 +672,6 @@ func (s *Service) execute(ctx context.Context, key cacheKey, progress experiment
 	}
 	b := buf.Bytes()
 	s.cache.put(key, b)
+	_ = s.store.Put(jobs.Key(key), kind, b)
 	return b, false, nil
 }

@@ -35,7 +35,8 @@ func runJob(args []string) {
 	addr := fs.String("addr", "http://localhost:8080", "daemon base URL")
 	id := fs.String("id", "", "job id (from submit)")
 	kind := fs.String("kind", "", "job kind for submit (analyze, analyze_batch, codesign, table1, ...)")
-	poll := fs.Duration("poll", 250*time.Millisecond, "status poll interval for wait")
+	poll := fs.Duration("poll", 250*time.Millisecond, "initial status poll interval for wait (doubles up to 5s between polls)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "give up waiting after this long (exit 3; 0 = wait forever)")
 	fs.Parse(rest)
 	base := strings.TrimRight(*addr, "/")
 
@@ -47,7 +48,7 @@ func runJob(args []string) {
 	case "stream":
 		jobStream(base + "/v1/jobs/" + requireID(*id) + "?stream=1")
 	case "wait":
-		jobWait(base, requireID(*id), *poll)
+		jobWait(base, requireID(*id), *poll, *timeout)
 	case "result":
 		jobGet(base+"/v1/jobs/"+requireID(*id)+"/result", http.MethodGet)
 	case "cancel":
@@ -65,7 +66,9 @@ func jobUsage() {
   submit -kind K [-addr URL] < request.json   post a job, print its status doc
   status -id ID [-addr URL]                   one status snapshot
   stream -id ID [-addr URL]                   follow typed event lines to terminal
-  wait   -id ID [-addr URL] [-poll D]         block until terminal, print result
+  wait   -id ID [-addr URL] [-poll D] [-timeout D]
+                                              block until terminal, print result
+                                              (exit 3 if -timeout elapses first)
   result -id ID [-addr URL]                   fetch a terminal job's outcome
   cancel -id ID [-addr URL]                   request cancellation`)
 }
@@ -183,15 +186,40 @@ func jobStream(url string) {
 	}
 }
 
-// jobWait polls status until the job is terminal, then fetches the
-// result (done → result bytes on stdout; failed/canceled → the stored
-// error envelope on stderr, exit 1).
-func jobWait(base, id string, poll time.Duration) {
-	if poll <= 0 {
-		poll = 250 * time.Millisecond
+// waitBackoffCap bounds the poll interval: wait starts at -poll and
+// doubles each attempt so a long job costs O(log) requests, not a
+// request every 250ms for its whole runtime.
+const waitBackoffCap = 5 * time.Second
+
+// waitBackoff returns the sleep before poll attempt n (0-based): the
+// base interval doubled n times, capped.
+func waitBackoff(n int, base time.Duration) time.Duration {
+	if base <= 0 {
+		base = 250 * time.Millisecond
 	}
+	d := base
+	for i := 0; i < n && d < waitBackoffCap; i++ {
+		d *= 2
+	}
+	if d > waitBackoffCap {
+		d = waitBackoffCap
+	}
+	return d
+}
+
+// jobWait polls status with capped exponential backoff until the job is
+// terminal, then fetches the result (done → result bytes on stdout;
+// failed/canceled → the stored error envelope on stderr, exit 1). If
+// the job is still running when timeout elapses, exits 3 — distinct
+// from job failure so scripts can retry a slow job without masking a
+// broken one.
+func jobWait(base, id string, poll, timeout time.Duration) {
 	statusURL := base + "/v1/jobs/" + id
-	for {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for attempt := 0; ; attempt++ {
 		resp, err := http.Get(statusURL)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ctrlsched:", err)
@@ -212,7 +240,18 @@ func jobWait(base, id string, poll time.Duration) {
 		if st.State != "running" {
 			break
 		}
-		time.Sleep(poll)
+		sleep := waitBackoff(attempt, poll)
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				fmt.Fprintf(os.Stderr, "ctrlsched: job %s still running after %s\n", id, timeout)
+				os.Exit(3)
+			}
+			if sleep > remaining {
+				sleep = remaining
+			}
+		}
+		time.Sleep(sleep)
 	}
 	jobGet(statusURL+"/result", http.MethodGet)
 }

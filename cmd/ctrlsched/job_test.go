@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWaitBackoff(t *testing.T) {
+	base := 250 * time.Millisecond
+	want := []time.Duration{
+		250 * time.Millisecond, // attempt 0: the -poll interval
+		500 * time.Millisecond,
+		time.Second,
+		2 * time.Second,
+		4 * time.Second,
+		waitBackoffCap, // 8s would exceed the cap
+		waitBackoffCap, // and it stays capped
+	}
+	for n, w := range want {
+		if got := waitBackoff(n, base); got != w {
+			t.Fatalf("waitBackoff(%d, %s) = %s, want %s", n, base, got, w)
+		}
+	}
+
+	// A non-positive base falls back to the default initial interval.
+	if got := waitBackoff(0, 0); got != 250*time.Millisecond {
+		t.Fatalf("waitBackoff(0, 0) = %s", got)
+	}
+	// A base already above the cap is clamped immediately.
+	if got := waitBackoff(0, time.Minute); got != waitBackoffCap {
+		t.Fatalf("waitBackoff(0, 1m) = %s", got)
+	}
+	if got := waitBackoff(3, time.Minute); got != waitBackoffCap {
+		t.Fatalf("waitBackoff(3, 1m) = %s", got)
+	}
+}

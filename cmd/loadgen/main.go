@@ -1,0 +1,210 @@
+// Command loadgen replays a deterministic shared-plant analyze workload
+// against a ctrlschedd replica or a ctrlgw gateway and reports latency
+// percentiles and item throughput. Its purpose is comparing deployment
+// shapes: one replica vs a fleet, affinity routing vs round-robin.
+//
+//	loadgen -addr http://localhost:8079 [-kind codesign|analyze]
+//	        [-requests 200] [-clients 8] [-pool 64] [-batch 8]
+//	        [-plants 5] [-periods 16] [-seed 1] [-warmup 25]
+//
+// The workload draws requests from a fixed seeded pool, so every run
+// and every target sees the identical request sequence. Repeated
+// requests are what make the comparison meaningful: with fingerprint
+// affinity each plant's requests always land on the same replica, so
+// its caches converge after one pass; round-robin makes every replica
+// pay for every distinct request.
+//
+//	-kind analyze   batches of -batch plant/period items drawn from a
+//	                -plants × -periods pool, POSTed to /v1/analyze/batch
+//	                (exercises the gateway's scatter-gather)
+//	-kind codesign  a pool of -pool distinct two-loop co-design searches
+//	                over shared plants, each with its own period grid
+//	                (heavy when cold, cheap when the owner's cache is
+//	                warm — the workload affinity routing is for)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+var libraryPlants = []string{"dc-servo", "inverted-pendulum", "double-integrator", "stable-lag", "fast-servo"}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8079", "target base URL (a ctrlschedd replica or a ctrlgw gateway)")
+	kind := flag.String("kind", "codesign", "workload kind: codesign or analyze")
+	requests := flag.Int("requests", 200, "requests to send (after warmup)")
+	clients := flag.Int("clients", 8, "concurrent client workers, each with its own X-Client identity")
+	poolSize := flag.Int("pool", 64, "distinct codesign requests in the pool (codesign kind)")
+	batch := flag.Int("batch", 8, "items per batch request (analyze kind)")
+	plants := flag.Int("plants", len(libraryPlants), "distinct plants in the workload pool (analyze kind, max 5)")
+	periods := flag.Int("periods", 16, "candidate periods per plant in the pool (analyze kind)")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	warmup := flag.Int("warmup", 25, "unmeasured requests sent first")
+	flag.Parse()
+
+	if *plants < 1 || *plants > len(libraryPlants) {
+		fmt.Fprintf(os.Stderr, "loadgen: -plants must be in [1,%d]\n", len(libraryPlants))
+		os.Exit(2)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var path string
+	var itemsPer int
+	bodies := make([][]byte, *warmup+*requests)
+	switch *kind {
+	case "analyze":
+		// Pool of (plant, period) batch items; the replay draws -batch of
+		// them per request with repetition.
+		path = "/v1/analyze/batch"
+		itemsPer = *batch
+		pool := make([]json.RawMessage, 0, *plants**periods)
+		for pi := 0; pi < *plants; pi++ {
+			for qi := 0; qi < *periods; qi++ {
+				period := 0.004 + float64(qi)*0.0005
+				item := fmt.Sprintf(`{"plant":%q,"period":%g}`, libraryPlants[pi], period)
+				pool = append(pool, json.RawMessage(item))
+			}
+		}
+		for i := range bodies {
+			items := make([]json.RawMessage, *batch)
+			for j := range items {
+				items[j] = pool[rng.Intn(len(pool))]
+			}
+			b, err := json.Marshal(struct {
+				Items []json.RawMessage `json:"items"`
+			}{items})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen:", err)
+				os.Exit(1)
+			}
+			bodies[i] = b
+		}
+	case "codesign":
+		// Pool of distinct two-loop co-design searches over the shared
+		// plant library. Each pool entry scales its candidate period grid
+		// slightly so no two entries share kernel work: a cold entry is a
+		// full search, a warm one is a cache hit on its owning replica.
+		path = "/v1/codesign"
+		itemsPer = 2
+		pool := make([][]byte, *poolSize)
+		for i := range pool {
+			p1 := libraryPlants[i%len(libraryPlants)]
+			p2 := libraryPlants[(i+1)%len(libraryPlants)]
+			scale := 1 + float64(i)*0.003
+			grid := func(base []float64) string {
+				parts := make([]string, len(base))
+				for k, b := range base {
+					parts[k] = fmt.Sprintf("%g", b*scale)
+				}
+				return "[" + strings.Join(parts, ",") + "]"
+			}
+			pool[i] = []byte(fmt.Sprintf(
+				`{"loops":[{"plant":%q,"bcet":0.00105,"wcet":0.0015,"periods":%s},{"plant":%q,"bcet":0.0008,"wcet":0.0012,"periods":%s}],"horizon":0.5,"seed":42}`,
+				p1, grid([]float64{0.005, 0.006, 0.008, 0.009, 0.01, 0.012, 0.016}),
+				p2, grid([]float64{0.004, 0.005, 0.006, 0.008})))
+		}
+		for i := range bodies {
+			bodies[i] = pool[rng.Intn(len(pool))]
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -kind %q (have: codesign, analyze)\n", *kind)
+		os.Exit(2)
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	url := base + path
+	httpc := &http.Client{Timeout: 5 * time.Minute}
+
+	run := func(from, to int, record bool) ([]time.Duration, int64, int64) {
+		var mu sync.Mutex
+		var lats []time.Duration
+		var items, errs int64
+		next := make(chan int, to-from)
+		for i := from; i < to; i++ {
+			next <- i
+		}
+		close(next)
+		var wg sync.WaitGroup
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := range next {
+					req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(bodies[i]))
+					if err != nil {
+						continue
+					}
+					req.Header.Set("Content-Type", "application/json")
+					req.Header.Set("X-Client", fmt.Sprintf("loadgen-%d", c))
+					start := time.Now()
+					resp, err := httpc.Do(req)
+					if err != nil {
+						mu.Lock()
+						errs++
+						mu.Unlock()
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					lat := time.Since(start)
+					mu.Lock()
+					if resp.StatusCode == http.StatusOK {
+						if record {
+							lats = append(lats, lat)
+							items += int64(itemsPer)
+						}
+					} else {
+						errs++
+					}
+					mu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+		return lats, items, errs
+	}
+
+	if *warmup > 0 {
+		run(0, *warmup, false)
+	}
+	start := time.Now()
+	lats, items, errs := run(*warmup, *warmup+*requests, true)
+	wall := time.Since(start)
+
+	if len(lats) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no successful requests")
+		os.Exit(1)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	var total time.Duration
+	for _, l := range lats {
+		total += l
+	}
+	poolDesc := fmt.Sprintf("%d", *poolSize)
+	if *kind == "analyze" {
+		poolDesc = fmt.Sprintf("%dx%d", *plants, *periods)
+	}
+	fmt.Printf("target=%s kind=%s requests=%d clients=%d pool=%s seed=%d\n",
+		base, *kind, *requests, *clients, poolDesc, *seed)
+	fmt.Printf("ok=%d errors=%d wall=%s\n", len(lats), errs, wall.Round(time.Millisecond))
+	fmt.Printf("latency p50=%s p99=%s mean=%s\n",
+		pct(0.50).Round(100*time.Microsecond), pct(0.99).Round(100*time.Microsecond),
+		(total / time.Duration(len(lats))).Round(100*time.Microsecond))
+	fmt.Printf("throughput items/s=%.1f req/s=%.1f\n",
+		float64(items)/wall.Seconds(), float64(len(lats))/wall.Seconds())
+}

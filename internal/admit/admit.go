@@ -1,0 +1,211 @@
+// Package admit is the bounded-admission layer shared by the service's
+// campaign pool and the gateway's proxy path. It replaces the
+// unbounded-FIFO semaphore pattern (a plain buffered channel) with an
+// explicit controller that makes saturation a first-class, observable
+// outcome:
+//
+//   - a fixed number of execution slots,
+//   - a bounded FIFO wait queue — requests beyond the bound are shed
+//     immediately with a Retry-After hint instead of queueing without
+//     limit until their clients give up,
+//   - a per-client fairness cap on slots-plus-queue occupancy, so one
+//     chatty client cannot fill the queue and starve everyone else.
+//
+// The controller knows nothing about HTTP; callers translate
+// *SaturatedError into their transport's 429 and a context cancellation
+// while queued into their cancellation status.
+package admit
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// SaturatedError reports a shed request: the pool and its wait queue
+// (or the caller's per-client allowance) are full. RetryAfter is a
+// deterministic backoff hint in whole seconds, sized to the queue depth
+// at shed time.
+type SaturatedError struct {
+	// PerClient is true when the request was shed by the per-client
+	// fairness cap rather than by total saturation.
+	PerClient bool
+	// RetryAfter is the suggested wait in seconds (≥ 1).
+	RetryAfter int
+	// Client is the shed client's identity (may be empty).
+	Client string
+}
+
+func (e *SaturatedError) Error() string {
+	if e.PerClient {
+		return fmt.Sprintf("admit: client %q exceeds its concurrent-request allowance; retry in %ds", e.Client, e.RetryAfter)
+	}
+	return fmt.Sprintf("admit: pool and wait queue saturated; retry in %ds", e.RetryAfter)
+}
+
+// Options tunes a Controller.
+type Options struct {
+	// Slots is how many acquisitions run at once. Must be ≥ 1.
+	Slots int
+	// MaxQueue bounds how many acquisitions may wait; an acquisition
+	// beyond it is shed with *SaturatedError. 0 means shed as soon as
+	// every slot is busy (no queueing at all).
+	MaxQueue int
+	// PerClient caps one client's running-plus-queued acquisitions;
+	// beyond it the client is shed even while the pool has room. 0
+	// disables the cap.
+	PerClient int
+}
+
+// Stats is an observability snapshot of a Controller.
+type Stats struct {
+	Running       int   `json:"running"`
+	Queued        int   `json:"queued"`
+	Slots         int   `json:"slots"`
+	MaxQueue      int   `json:"max_queue"`
+	PerClientCap  int   `json:"per_client_cap,omitempty"`
+	Admitted      int64 `json:"admitted"`
+	Shed          int64 `json:"shed"`
+	ShedPerClient int64 `json:"shed_per_client"`
+}
+
+// waiter is one queued acquisition. granted and the channel close are
+// both written under the controller mutex; the waiter's goroutine reads
+// granted under the same mutex when its context dies, so a grant and a
+// cancellation can never both claim the slot.
+type waiter struct {
+	ch      chan struct{}
+	client  string
+	granted bool
+}
+
+// Controller is a bounded FIFO admission gate. Safe for concurrent use.
+type Controller struct {
+	mu      sync.Mutex
+	opt     Options
+	running int
+	queue   []*waiter
+	clients map[string]int // running + queued per client identity
+
+	admitted, shed, shedClient int64
+}
+
+// New builds a Controller; Slots < 1 is treated as 1.
+func New(opt Options) *Controller {
+	if opt.Slots < 1 {
+		opt.Slots = 1
+	}
+	if opt.MaxQueue < 0 {
+		opt.MaxQueue = 0
+	}
+	return &Controller{opt: opt, clients: make(map[string]int)}
+}
+
+// retryAfterLocked sizes the backoff hint to the work ahead of a
+// would-be waiter: one "round" per queue-length-worth of slots, at
+// least a second.
+func (c *Controller) retryAfterLocked() int {
+	r := 1 + len(c.queue)/c.opt.Slots
+	if r > 60 {
+		r = 60
+	}
+	return r
+}
+
+// Acquire admits the caller, waiting in FIFO order behind earlier
+// callers when every slot is busy. It returns a release function that
+// must be called exactly once when the work is done. It fails with
+// *SaturatedError when the queue bound or the client's fairness cap is
+// exceeded, and with ctx.Err() when the context dies while queued.
+func (c *Controller) Acquire(ctx context.Context, client string) (release func(), err error) {
+	c.mu.Lock()
+	if limit := c.opt.PerClient; limit > 0 && c.clients[client] >= limit {
+		c.shedClient++
+		e := &SaturatedError{PerClient: true, RetryAfter: c.retryAfterLocked(), Client: client}
+		c.mu.Unlock()
+		return nil, e
+	}
+	if c.running < c.opt.Slots && len(c.queue) == 0 {
+		c.running++
+		c.clients[client]++
+		c.admitted++
+		c.mu.Unlock()
+		return func() { c.release(client) }, nil
+	}
+	if len(c.queue) >= c.opt.MaxQueue {
+		c.shed++
+		e := &SaturatedError{RetryAfter: c.retryAfterLocked(), Client: client}
+		c.mu.Unlock()
+		return nil, e
+	}
+	w := &waiter{ch: make(chan struct{}), client: client}
+	c.queue = append(c.queue, w)
+	c.clients[client]++
+	c.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		// Granted: the releaser already moved this waiter into a running
+		// slot (running was incremented before the channel closed).
+		return func() { c.release(client) }, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation; the slot is ours and must
+			// be given back like any other completed acquisition.
+			c.mu.Unlock()
+			c.release(client)
+			return nil, ctx.Err()
+		}
+		for i, q := range c.queue {
+			if q == w {
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				break
+			}
+		}
+		c.dropClientLocked(client)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// release returns one slot and grants the queue head, preserving FIFO
+// order.
+func (c *Controller) release(client string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.running--
+	c.dropClientLocked(client)
+	if len(c.queue) > 0 && c.running < c.opt.Slots {
+		w := c.queue[0]
+		c.queue = c.queue[1:]
+		w.granted = true
+		c.running++
+		c.admitted++
+		close(w.ch)
+	}
+}
+
+func (c *Controller) dropClientLocked(client string) {
+	if n := c.clients[client]; n <= 1 {
+		delete(c.clients, client)
+	} else {
+		c.clients[client] = n - 1
+	}
+}
+
+// Stats snapshots the controller counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Running:       c.running,
+		Queued:        len(c.queue),
+		Slots:         c.opt.Slots,
+		MaxQueue:      c.opt.MaxQueue,
+		PerClientCap:  c.opt.PerClient,
+		Admitted:      c.admitted,
+		Shed:          c.shed,
+		ShedPerClient: c.shedClient,
+	}
+}

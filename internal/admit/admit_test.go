@@ -1,0 +1,261 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// acquireAsync starts an acquisition on its own goroutine and reports
+// the outcome on a channel.
+type outcome struct {
+	release func()
+	err     error
+}
+
+func acquireAsync(c *Controller, ctx context.Context, client string) chan outcome {
+	ch := make(chan outcome, 1)
+	go func() {
+		rel, err := c.Acquire(ctx, client)
+		ch <- outcome{rel, err}
+	}()
+	return ch
+}
+
+func TestImmediateAdmitAndRelease(t *testing.T) {
+	c := New(Options{Slots: 2, MaxQueue: 4})
+	rel1, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("acquire 1: %v", err)
+	}
+	rel2, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("acquire 2: %v", err)
+	}
+	st := c.Stats()
+	if st.Running != 2 || st.Queued != 0 {
+		t.Fatalf("want 2 running 0 queued, got %+v", st)
+	}
+	rel1()
+	rel2()
+	if st := c.Stats(); st.Running != 0 {
+		t.Fatalf("want 0 running after release, got %+v", st)
+	}
+}
+
+func TestShedsBeyondQueueBound(t *testing.T) {
+	c := New(Options{Slots: 1, MaxQueue: 2})
+	rel, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the queue, one waiter at a time so their FIFO positions are
+	// deterministic.
+	w1 := acquireAsync(c, context.Background(), "b")
+	waitQueued(t, c, 1)
+	w2 := acquireAsync(c, context.Background(), "c")
+	waitQueued(t, c, 2)
+
+	// The third waiter is shed with a saturation error and a positive
+	// Retry-After hint.
+	_, err = c.Acquire(context.Background(), "d")
+	var sat *SaturatedError
+	if !errors.As(err, &sat) {
+		t.Fatalf("want *SaturatedError, got %v", err)
+	}
+	if sat.PerClient {
+		t.Fatalf("want total saturation, got per-client: %v", sat)
+	}
+	if sat.RetryAfter < 1 {
+		t.Fatalf("want Retry-After ≥ 1, got %d", sat.RetryAfter)
+	}
+	if st := c.Stats(); st.Shed != 1 {
+		t.Fatalf("want 1 shed, got %+v", st)
+	}
+
+	rel()
+	o1 := <-w1
+	if o1.err != nil {
+		t.Fatalf("queued waiter 1: %v", o1.err)
+	}
+	o1.release()
+	o2 := <-w2
+	if o2.err != nil {
+		t.Fatalf("queued waiter 2: %v", o2.err)
+	}
+	o2.release()
+}
+
+func TestFIFOAdmissionOrder(t *testing.T) {
+	c := New(Options{Slots: 1, MaxQueue: 8})
+	rel, err := c.Acquire(context.Background(), "holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue waiters one at a time so their queue order is the
+	// enqueue order; each records its admission position. With one
+	// slot, admissions are serialized, so the record is well-defined.
+	const n = 5
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := c.Acquire(context.Background(), fmt.Sprintf("w%d", i))
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r()
+		}(i)
+		waitQueued(t, c, i+1)
+	}
+	rel()
+	wg.Wait()
+	for i, j := range order {
+		if i != j {
+			t.Fatalf("admission order not FIFO: %v", order)
+		}
+	}
+}
+
+func TestPerClientFairnessCap(t *testing.T) {
+	c := New(Options{Slots: 4, MaxQueue: 8, PerClient: 2})
+	rel1, err := c.Acquire(context.Background(), "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := c.Acquire(context.Background(), "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Acquire(context.Background(), "greedy")
+	var sat *SaturatedError
+	if !errors.As(err, &sat) || !sat.PerClient {
+		t.Fatalf("want per-client saturation, got %v", err)
+	}
+	// Another client still has the pool's free slots.
+	rel3, err := c.Acquire(context.Background(), "polite")
+	if err != nil {
+		t.Fatalf("other client shed despite free slots: %v", err)
+	}
+	rel3()
+	rel1()
+	// Below the cap again: admitted.
+	rel4, err := c.Acquire(context.Background(), "greedy")
+	if err != nil {
+		t.Fatalf("client still shed after release: %v", err)
+	}
+	rel4()
+	rel2()
+	if st := c.Stats(); st.ShedPerClient != 1 {
+		t.Fatalf("want 1 per-client shed, got %+v", st)
+	}
+}
+
+func TestCanceledWhileQueued(t *testing.T) {
+	c := New(Options{Slots: 1, MaxQueue: 4})
+	rel, err := c.Acquire(context.Background(), "holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	w := acquireAsync(c, ctx, "canceler")
+	waitQueued(t, c, 1)
+	cancel()
+	o := <-w
+	if !errors.Is(o.err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", o.err)
+	}
+	if st := c.Stats(); st.Queued != 0 {
+		t.Fatalf("canceled waiter left in queue: %+v", st)
+	}
+	// The slot still hands over cleanly to a live waiter.
+	w2 := acquireAsync(c, context.Background(), "live")
+	waitQueued(t, c, 1)
+	rel()
+	o2 := <-w2
+	if o2.err != nil {
+		t.Fatal(o2.err)
+	}
+	o2.release()
+	st := c.Stats()
+	if st.Running != 0 || st.Queued != 0 || len(clientsSnapshot(c)) != 0 {
+		t.Fatalf("controller not drained: %+v clients=%v", st, clientsSnapshot(c))
+	}
+}
+
+// TestRaceHammer mixes admitted, shed, and canceled acquisitions under
+// -race and asserts the controller's accounting returns to zero.
+func TestRaceHammer(t *testing.T) {
+	c := New(Options{Slots: 3, MaxQueue: 5, PerClient: 4})
+	var wg sync.WaitGroup
+	var admitted atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := fmt.Sprintf("c%d", g%3)
+			for i := 0; i < 200; i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if i%5 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(i%3)*time.Millisecond)
+				}
+				rel, err := c.Acquire(ctx, client)
+				if err == nil {
+					admitted.Add(1)
+					if i%7 == 0 {
+						time.Sleep(50 * time.Microsecond)
+					}
+					rel()
+				}
+				if cancel != nil {
+					cancel()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("leaked occupancy: %+v", st)
+	}
+	if n := len(clientsSnapshot(c)); n != 0 {
+		t.Fatalf("leaked %d client counters", n)
+	}
+	if admitted.Load() == 0 || st.Admitted == 0 {
+		t.Fatal("hammer admitted nothing; test is vacuous")
+	}
+}
+
+func clientsSnapshot(c *Controller) map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.clients))
+	for k, v := range c.clients {
+		out[k] = v
+	}
+	return out
+}
+
+func waitQueued(t *testing.T, c *Controller, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Stats().Queued == n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached %d (at %d)", n, c.Stats().Queued)
+}

@@ -181,13 +181,11 @@ func (s *Service) AnalyzeBatch(ctx context.Context, raw []byte, onItem BatchItem
 	}
 
 	// One pool slot for the whole batch, exactly like an experiment run.
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		s.errs.Add(1)
-		return nil, false, &Error{Status: http.StatusServiceUnavailable, Msg: "canceled while queued: " + ctx.Err().Error()}
+	release, err := s.admitPool(ctx)
+	if err != nil {
+		return nil, false, err
 	}
-	defer func() { <-s.sem }()
+	defer release()
 	s.active.Add(1)
 	defer s.active.Add(-1)
 

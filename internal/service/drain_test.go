@@ -1,0 +1,401 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ctrlsched/internal/experiments"
+)
+
+// getJSON GETs url and decodes the body into a generic document.
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp.StatusCode, doc
+}
+
+// TestHealthzDegradedOnStoreFailure is the regression test for the
+// always-"ok" liveness bug: a service whose durable store failed to
+// open must stay alive (200) but report status "degraded" and carry the
+// open error, and its readiness probe must take it out of rotation.
+func TestHealthzDegradedOnStoreFailure(t *testing.T) {
+	// A JobsDir that is a regular file cannot be opened as a store.
+	dir := t.TempDir()
+	file := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, JobsDir: filepath.Join(file, "store")})
+	if s.storeErr == "" {
+		t.Fatal("store open against a file reported no error")
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, doc := getJSON(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("degraded liveness = %d, want 200 (liveness must not flip on store failure)", code)
+	}
+	if doc["status"] != "degraded" {
+		t.Fatalf("healthz status = %v, want degraded", doc["status"])
+	}
+	if msg, _ := doc["result_store_error"].(string); msg == "" {
+		t.Fatalf("healthz carries no result_store_error: %v", doc)
+	}
+
+	code, doc = getJSON(t, srv.URL+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded readiness = %d, want 503", code)
+	}
+	if errDoc, _ := doc["error"].(map[string]any); errDoc == nil || errDoc["code"] != "degraded" {
+		t.Fatalf("readyz envelope = %v, want code degraded", doc)
+	}
+}
+
+// TestReadyzLifecycle pins the liveness/readiness split across the
+// healthy and draining states: readiness flips to 503 "draining" the
+// moment drain begins while liveness stays 200 (killing a draining
+// process would defeat the drain).
+func TestReadyzLifecycle(t *testing.T) {
+	s := newTestService()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, doc := getJSON(t, srv.URL+"/readyz")
+	if code != http.StatusOK || doc["status"] != "ready" {
+		t.Fatalf("fresh readyz = %d %v, want 200 ready", code, doc)
+	}
+	code, doc = getJSON(t, srv.URL+"/healthz")
+	if code != http.StatusOK || doc["status"] != "ok" || doc["draining"] != false {
+		t.Fatalf("fresh healthz = %d %v", code, doc)
+	}
+
+	s.BeginDrain()
+	code, doc = getJSON(t, srv.URL+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503", code)
+	}
+	if errDoc, _ := doc["error"].(map[string]any); errDoc == nil || errDoc["code"] != "draining" {
+		t.Fatalf("draining readyz envelope = %v", doc)
+	}
+	code, doc = getJSON(t, srv.URL+"/healthz")
+	if code != http.StatusOK || doc["status"] != "ok" || doc["draining"] != true {
+		t.Fatalf("draining healthz = %d %v, want 200 ok draining", code, doc)
+	}
+}
+
+// slowPlantBatch builds a batch of n distinct plant items — the slowest
+// analyze kernels (LQG synthesis plus a jitter-margin sweep each) — so
+// a fan-out is reliably still running when a test interrupts it.
+func slowPlantBatch(n int) []byte {
+	items := make([]string, n)
+	for i := range items {
+		items[i] = fmt.Sprintf(`{"plant":"dc-servo","period":%g}`, 0.002+float64(i)*1e-5)
+	}
+	return []byte(`{"items":[` + strings.Join(items, ",") + `]}`)
+}
+
+// TestShutdownCancelsInFlightStreams is the regression test for
+// graceful shutdown pinning on ?stream=1 requests: Shutdown must flip
+// the service to draining, give in-flight work DrainGrace, then cancel
+// the per-request base context so a long-running stream terminates
+// promptly with a typed {"type":"error"} event instead of holding
+// Shutdown to its deadline.
+func TestShutdownCancelsInFlightStreams(t *testing.T) {
+	s := New(Config{Workers: 2, MaxConcurrent: 2, DrainGrace: 150 * time.Millisecond})
+	srv := s.NewServer("")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// A batch far too large to finish inside the drain window.
+	resp, err := http.Post(base+"/v1/analyze/batch?stream=1", "application/json",
+		bytes.NewReader(slowPlantBatch(600)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("stream produced no first line: %v", sc.Err())
+	}
+
+	// The stream is mid-flight: begin graceful shutdown.
+	start := time.Now()
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutDone <- srv.Shutdown(ctx)
+	}()
+
+	sawError := false
+	for sc.Scan() {
+		var line struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if line.Type == "error" {
+			sawError = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if !sawError {
+		t.Fatal("interrupted stream did not terminate with a typed error event")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stream took %v to terminate after Shutdown; drain grace is 150ms", elapsed)
+	}
+	if !s.Draining() {
+		t.Fatal("Shutdown did not flip the service to draining")
+	}
+	select {
+	case err := <-shutDone:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown still blocked 5s after the stream terminated")
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v", err)
+	}
+}
+
+// occupyPool parks one request inside the campaign pool: it starts an
+// experiment whose first progress callback blocks until the returned
+// release function is called, holding a pool slot the whole time.
+func occupyPool(t *testing.T, s *Service) (release func()) {
+	t.Helper()
+	started := make(chan struct{})
+	releaseCh := make(chan struct{})
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		defer close(done)
+		_, _, err := s.Experiment(context.Background(), experiments.KindTable1,
+			[]byte(`{"benchmarks":50,"sizes":[4],"seed":900,"gen":{"grid_points":4}}`),
+			func(int, int) {
+				once.Do(func() {
+					close(started)
+					<-releaseCh
+				})
+			})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+	var relOnce sync.Once
+	t.Cleanup(func() { relOnce.Do(func() { close(releaseCh) }); <-done })
+	return func() { relOnce.Do(func() { close(releaseCh) }) }
+}
+
+// waitQueuedN polls until the service's admission queue holds n
+// waiters.
+func waitQueuedN(t *testing.T, s *Service, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.Stats().Queued != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("admission queue never reached %d waiters (stats %+v)", n, s.pool.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHTTPSaturationSheds429 is the load-shedding contract on the wire,
+// across every pool-admitted endpoint: with the pool full and no queue,
+// a request is shed with 429, the "saturated" error code, and a
+// parseable whole-seconds Retry-After — not queued indefinitely.
+func TestHTTPSaturationSheds429(t *testing.T) {
+	// MaxQueue < 0 disables queueing: every request beyond the one slot
+	// sheds immediately.
+	s := New(Config{Workers: 1, MaxConcurrent: 1, MaxQueue: -1, CacheEntries: 8})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	release := occupyPool(t, s)
+	defer release()
+
+	cases := []struct{ name, path, body string }{
+		{"experiment", "/v1/experiments/table1", `{"benchmarks":10,"sizes":[4],"seed":901,"gen":{"grid_points":4}}`},
+		{"codesign", "/v1/codesign", `{"loops":[{"plant":"dc-servo","bcet":0.0005,"wcet":0.001,"periods":[0.004,0.006]}]}`},
+		{"batch", "/v1/analyze/batch", string(batchBody(2))},
+	}
+	for _, tc := range cases {
+		resp, body := post(t, srv.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s: status %d, want 429 (%s)", tc.name, resp.StatusCode, body)
+		}
+		code, _ := decodeErrEnvelope(t, body)
+		if code != "saturated" {
+			t.Fatalf("%s: error code %q, want saturated", tc.name, code)
+		}
+		ra := resp.Header.Get("Retry-After")
+		secs, err := strconv.Atoi(ra)
+		if err != nil || secs < 1 {
+			t.Fatalf("%s: Retry-After %q is not a parseable positive whole-seconds value (%v)", tc.name, ra, err)
+		}
+	}
+	if st := s.pool.Stats(); st.Shed != int64(len(cases)) {
+		t.Fatalf("shed counter = %d, want %d", st.Shed, len(cases))
+	}
+}
+
+// TestQueueFIFOAdmission pins the bounded-queue ordering at the service
+// layer: requests queued while the pool is full admit strictly in
+// arrival order once the slot frees.
+func TestQueueFIFOAdmission(t *testing.T) {
+	s := New(Config{Workers: 1, MaxConcurrent: 1, MaxQueue: 4, CacheEntries: 16})
+	release := occupyPool(t, s)
+
+	const queued = 4
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < queued; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var once sync.Once
+			// The first progress callback marks the moment this request
+			// was admitted and started running.
+			body := fmt.Sprintf(`{"benchmarks":10,"sizes":[4],"seed":%d,"gen":{"grid_points":4}}`, 910+i)
+			_, _, err := s.Experiment(context.Background(), experiments.KindTable1, []byte(body),
+				func(int, int) {
+					once.Do(func() {
+						mu.Lock()
+						order = append(order, i)
+						mu.Unlock()
+					})
+				})
+			if err != nil {
+				t.Errorf("queued request %d: %v", i, err)
+			}
+		}()
+		// Enqueue one at a time so arrival order is deterministic.
+		waitQueuedN(t, s, i+1)
+	}
+
+	release()
+	wg.Wait()
+	if len(order) != queued {
+		t.Fatalf("admitted %d of %d queued requests: %v", len(order), queued, order)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("admission order %v is not FIFO", order)
+		}
+	}
+}
+
+// TestHTTPPerClientFairness pins the fairness cap on the wire: a client
+// at its allowance is shed with 429 "client_saturated" while other
+// clients still queue freely, and queued requests complete once the
+// pool frees.
+func TestHTTPPerClientFairness(t *testing.T) {
+	s := New(Config{Workers: 1, MaxConcurrent: 1, MaxQueue: 8, PerClient: 1, CacheEntries: 16})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	release := occupyPool(t, s)
+
+	postAs := func(client, body string) (*http.Response, []byte) {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/experiments/table1", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Client", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, b
+	}
+	seedBody := func(seed int) string {
+		return fmt.Sprintf(`{"benchmarks":10,"sizes":[4],"seed":%d,"gen":{"grid_points":4}}`, seed)
+	}
+
+	// alice's first request queues behind the occupied slot.
+	type outcome struct {
+		status int
+		body   []byte
+	}
+	results := make(chan outcome, 2)
+	go func() {
+		resp, b := postAs("alice", seedBody(920))
+		results <- outcome{resp.StatusCode, b}
+	}()
+	waitQueuedN(t, s, 1)
+
+	// alice is now at her allowance: her second request sheds
+	// immediately with the per-client code.
+	resp, body := postAs("alice", seedBody(921))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-allowance client: status %d (%s)", resp.StatusCode, body)
+	}
+	if code, _ := decodeErrEnvelope(t, body); code != "client_saturated" {
+		t.Fatalf("over-allowance client: code %q, want client_saturated", code)
+	}
+	if _, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil {
+		t.Fatalf("client shed without a parseable Retry-After: %q", resp.Header.Get("Retry-After"))
+	}
+
+	// bob is unaffected by alice's allowance: he queues normally.
+	go func() {
+		resp, b := postAs("bob", seedBody(922))
+		results <- outcome{resp.StatusCode, b}
+	}()
+	waitQueuedN(t, s, 2)
+	if st := s.pool.Stats(); st.ShedPerClient != 1 || st.Shed != 0 {
+		t.Fatalf("fairness stats = %+v", st)
+	}
+
+	// Once the pool frees, both queued clients complete normally.
+	release()
+	for i := 0; i < 2; i++ {
+		out := <-results
+		if out.status != http.StatusOK {
+			t.Fatalf("queued request finished with %d: %s", out.status, out.body)
+		}
+	}
+}

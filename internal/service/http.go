@@ -7,10 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -65,6 +67,7 @@ const (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/v1/experiments/", s.handleExperiment)
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/analyze/batch", s.handleAnalyzeBatch)
@@ -83,7 +86,46 @@ func (s *Service) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	return withClientID(mux)
+}
+
+// clientCtxKey carries the request's client identity for the per-client
+// fairness cap.
+type clientCtxKey struct{}
+
+// WithClient attaches a client identity to ctx; the pool's per-client
+// fairness cap is keyed by it.
+func WithClient(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, clientCtxKey{}, id)
+}
+
+// ClientFrom returns the client identity attached to ctx ("" when
+// none — background work such as async jobs is unattributed).
+func ClientFrom(ctx context.Context) string {
+	id, _ := ctx.Value(clientCtxKey{}).(string)
+	return id
+}
+
+// ClientID derives a request's client identity: the X-Client header
+// when present (the gateway forwards it, clients and loadgen set it),
+// falling back to the remote host, so untagged traffic still gets
+// per-source fairness.
+func ClientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// withClientID stamps every request's context with its client identity
+// before routing.
+func withClientID(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(w, r.WithContext(WithClient(r.Context(), ClientID(r))))
+	})
 }
 
 // errorEnvelope is the uniform JSON error body of every endpoint.
@@ -93,12 +135,17 @@ type errorEnvelope struct {
 
 // writeError emits the uniform JSON error envelope
 // {"error":{"code","message"}}; 405s additionally carry their Allow
-// header.
+// header and 429 shed responses a parseable whole-seconds Retry-After.
 func writeError(w http.ResponseWriter, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	var se *Error
-	if errors.As(err, &se) && se.allow != "" {
-		w.Header().Set("Allow", se.allow)
+	if errors.As(err, &se) {
+		if se.allow != "" {
+			w.Header().Set("Allow", se.allow)
+		}
+		if se.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(se.retryAfter))
+		}
 	}
 	w.WriteHeader(HTTPStatus(err))
 	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: *errorInfo(err)})
@@ -116,13 +163,25 @@ func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, erro
 	return body, nil
 }
 
+// handleHealth is the liveness probe: always 200 while the process can
+// answer at all, with status "ok" — or "degraded" when the durable
+// store failed to open (the daemon still serves, but results do not
+// persist; /readyz is the probe that takes a degraded replica out of
+// rotation). Draining is reported in-band for operators; liveness does
+// not flip during drain (killing a draining process would defeat the
+// drain).
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, methodNotAllowed(http.MethodGet))
 		return
 	}
+	status := "ok"
+	if s.storeErr != "" {
+		status = "degraded"
+	}
 	doc := map[string]any{
-		"status":         "ok",
+		"status":         status,
+		"draining":       s.Draining(),
 		"uptime_seconds": s.Uptime().Seconds(),
 		"kinds":          Kinds(),
 		"stats":          s.Stats(),
@@ -130,6 +189,7 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"workers":        s.cfg.Workers,
 			"max_concurrent": s.cfg.MaxConcurrent,
 		},
+		"admission": s.pool.Stats(),
 		// Cache observability, innermost to outermost: the process-wide
 		// kernel memo (restored counts snapshot warm-starts), this
 		// service's encoded-result LRU, then the durable result store.
@@ -142,6 +202,27 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		doc["result_store_error"] = s.storeErr
 	}
 	writeJSON(w, doc)
+}
+
+// handleReady is the readiness probe, distinct from /healthz liveness:
+// 503 once drain begins (rolling deploys route away before the
+// listener closes) and 503 when the durable store failed to open (a
+// replica that cannot persist results should not join a fleet whose
+// restart story depends on the store). 200 {"status":"ready"}
+// otherwise.
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, methodNotAllowed(http.MethodGet))
+		return
+	}
+	switch {
+	case s.Draining():
+		writeError(w, &Error{Status: http.StatusServiceUnavailable, Code: "draining", Msg: "draining: not accepting new work"})
+	case s.storeErr != "":
+		writeError(w, &Error{Status: http.StatusServiceUnavailable, Code: "degraded", Msg: "durable store unavailable: " + s.storeErr})
+	default:
+		writeJSON(w, map[string]any{"status": "ready"})
+	}
 }
 
 func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -371,29 +452,55 @@ func (s *Service) handleCodesign(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, b, hit)
 }
 
+// NewServer wires the service onto an *http.Server whose per-request
+// contexts derive from a server-lifetime base context. When Shutdown
+// begins, the service flips to draining (readyz goes not-ready) and,
+// DrainGrace later, the base context cancels: long-running campaigns
+// abort and ?stream=1 responses terminate promptly with a typed
+// {"type":"error",...} event instead of pinning Shutdown until its
+// deadline. Requests that finish within the grace window are
+// untouched.
+func (s *Service) NewServer(addr string) *http.Server {
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+	grace := s.cfg.DrainGrace
+	srv.RegisterOnShutdown(func() {
+		s.BeginDrain()
+		if grace <= 0 {
+			baseCancel()
+			return
+		}
+		time.AfterFunc(grace, baseCancel)
+	})
+	return srv
+}
+
 // Serve runs the HTTP API on addr until SIGINT/SIGTERM, then shuts down
-// gracefully: in-flight connections finish, the job engine drains (new
-// submissions are refused, running jobs complete or are canceled at the
-// deadline), and the kernel-cache snapshot is persisted so the next
-// process warm-starts. Both the ctrlschedd daemon and `ctrlsched serve`
-// are thin wrappers around it.
+// gracefully: readiness flips not-ready, in-flight connections get
+// DrainGrace to finish before their contexts cancel (streams terminate
+// with a typed error event), the job engine drains (new submissions
+// are refused, running jobs complete or are canceled at the deadline),
+// and the kernel-cache snapshot is persisted so the next process
+// warm-starts. Both the ctrlschedd daemon and `ctrlsched serve` are
+// thin wrappers around it.
 func Serve(addr string, cfg Config, logf func(format string, args ...any)) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	s := New(cfg)
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           s.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	srv := s.NewServer(addr)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	logf("ctrlschedd listening on %s (workers=%d, max_concurrent=%d, cache=%d entries, kinds: %s)",
-		addr, s.cfg.Workers, s.cfg.MaxConcurrent, s.cfg.CacheEntries, strings.Join(Kinds(), " "))
+	logf("ctrlschedd listening on %s (workers=%d, max_concurrent=%d, max_queue=%d, cache=%d entries, kinds: %s)",
+		addr, s.cfg.Workers, s.cfg.MaxConcurrent, s.cfg.MaxQueue, s.cfg.CacheEntries, strings.Join(Kinds(), " "))
 
 	select {
 	case err := <-errCh:
@@ -402,7 +509,10 @@ func Serve(addr string, cfg Config, logf func(format string, args ...any)) error
 		}
 		return err
 	case <-ctx.Done():
-		logf("shutting down")
+		logf("shutting down (drain grace %s)", s.cfg.DrainGrace)
+		// Readiness flips before the listener closes, so a rolling
+		// deploy's load balancer routes away first.
+		s.BeginDrain()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		err := srv.Shutdown(shutCtx)

@@ -309,6 +309,8 @@ func statusForCode(code string) int {
 		return http.StatusConflict
 	case "payload_too_large":
 		return http.StatusRequestEntityTooLarge
+	case "saturated", "client_saturated":
+		return http.StatusTooManyRequests
 	case "unavailable":
 		return http.StatusServiceUnavailable
 	default:

@@ -1,0 +1,76 @@
+package service
+
+import "testing"
+
+func TestRouteKeyPlantAffinity(t *testing.T) {
+	// Every endpoint touching the same plant must land on the same
+	// shard: that is the whole point of fingerprint routing.
+	analyze, ok := RouteKey("analyze", []byte(`{"plant":"dc-servo","period":0.006}`))
+	if !ok {
+		t.Fatal("analyze reported no affinity")
+	}
+	otherPeriod, _ := RouteKey("analyze", []byte(`{"plant":"dc-servo","period":0.011}`))
+	if analyze != otherPeriod {
+		t.Fatal("same plant at different periods split across shards")
+	}
+	viaTask, _ := RouteKey("analyze", []byte(`{"tasks":[{"plant":"dc-servo","bcet":0.0005,"wcet":0.001,"period":0.006}]}`))
+	if analyze != viaTask {
+		t.Fatal("plant-backed task routed away from its plant's shard")
+	}
+	viaBatch, _ := RouteKey("analyze_batch", []byte(`{"items":[{"plant":"dc-servo","period":0.004},{"plant":"dc-servo","period":0.008}]}`))
+	if analyze != viaBatch {
+		t.Fatal("single-plant batch routed away from its plant's shard")
+	}
+	viaCodesign, _ := RouteKey("codesign", []byte(`{"loops":[{"plant":"dc-servo","bcet":0.0005,"wcet":0.001,"periods":[0.004]}]}`))
+	if analyze != viaCodesign {
+		t.Fatal("codesign routed away from its plant's shard")
+	}
+	// A different plant is a different shard identity.
+	other, _ := RouteKey("analyze", []byte(`{"plant":"inverted-pendulum","period":0.006}`))
+	if other == analyze {
+		t.Fatal("distinct plants share a route key")
+	}
+	// Multi-plant requests mix the set of plants, order-independently.
+	ab, _ := RouteKey("analyze_batch", []byte(`{"items":[{"plant":"dc-servo","period":0.004},{"plant":"inverted-pendulum","period":0.008}]}`))
+	ba, _ := RouteKey("analyze_batch", []byte(`{"items":[{"plant":"inverted-pendulum","period":0.008},{"plant":"dc-servo","period":0.004}]}`))
+	if ab != ba {
+		t.Fatal("plant-set routing is order-dependent")
+	}
+	if ab == analyze || ab == other {
+		t.Fatal("multi-plant request collided with a single-plant shard")
+	}
+}
+
+func TestRouteKeyPlantless(t *testing.T) {
+	body := []byte(`{"tasks":[{"bcet":0.05,"wcet":0.1,"period":1}]}`)
+	a, ok := RouteKey("analyze", body)
+	if !ok {
+		t.Fatal("plantless analyze reported no affinity")
+	}
+	b, _ := RouteKey("analyze", body)
+	if a != b {
+		t.Fatal("identical plantless bodies routed differently")
+	}
+	// Whitespace-trimmed bodies agree; different content does not.
+	c, _ := RouteKey("analyze", append([]byte("  "), append(body, '\n')...))
+	if a != c {
+		t.Fatal("surrounding whitespace moved a plantless request's shard")
+	}
+	d, _ := RouteKey("analyze", []byte(`{"tasks":[{"bcet":0.05,"wcet":0.2,"period":1}]}`))
+	if a == d {
+		t.Fatal("distinct plantless bodies share a route key")
+	}
+	// Malformed bodies still get a deterministic key (the replica owns
+	// the rejection).
+	m1, ok := RouteKey("analyze", []byte(`{"tasks":[`))
+	m2, _ := RouteKey("analyze", []byte(`{"tasks":[`))
+	if !ok || m1 != m2 {
+		t.Fatal("malformed body has no stable route key")
+	}
+}
+
+func TestRouteKeyExperimentsSpread(t *testing.T) {
+	if _, ok := RouteKey("table1", []byte(`{}`)); ok {
+		t.Fatal("experiment kind claimed affinity; campaigns spread round-robin")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ctrlsched/internal/admit"
 	"ctrlsched/internal/campaign"
 	"ctrlsched/internal/codesign"
 	"ctrlsched/internal/experiments"
@@ -46,8 +47,24 @@ type Config struct {
 	// executed with; 0 means all CPUs. Results never depend on it.
 	Workers int
 	// MaxConcurrent bounds how many experiment runs execute at once;
-	// further requests queue (FIFO on the semaphore). 0 means 2.
+	// further requests queue (bounded FIFO — see MaxQueue). 0 means 2.
 	MaxConcurrent int
+	// MaxQueue bounds how many pool-scheduled requests may wait for a
+	// slot. A request beyond the bound is shed immediately with a 429
+	// and a Retry-After hint instead of queueing without limit. 0 means
+	// 64; negative means no queueing at all (shed when every slot is
+	// busy).
+	MaxQueue int
+	// PerClient caps one client's running-plus-queued pool requests
+	// (identified by the X-Client header, falling back to the remote
+	// address), so a single chatty client cannot fill the queue and
+	// starve the rest. 0 disables the cap.
+	PerClient int
+	// DrainGrace is how long Shutdown lets in-flight requests finish
+	// before canceling their contexts (which aborts campaigns and
+	// terminates ?stream=1 responses with a typed error event). 0 means
+	// 2s; negative cancels immediately.
+	DrainGrace time.Duration
 	// CacheEntries is the LRU result-cache capacity; 0 means 256.
 	CacheEntries int
 	// CacheBytes bounds the total bytes the result cache retains (large
@@ -98,6 +115,9 @@ func RegisterFlags(fs *flag.FlagSet) *Config {
 	cfg := &Config{}
 	fs.IntVar(&cfg.Workers, "workers", runtime.NumCPU(), "campaign worker goroutines per run (results are worker-count invariant)")
 	fs.IntVar(&cfg.MaxConcurrent, "concurrency", 2, "experiment runs executing at once; further requests queue")
+	fs.IntVar(&cfg.MaxQueue, "max-queue", 64, "pool requests that may wait for a slot; beyond it requests are shed with 429 + Retry-After (negative = no queue)")
+	fs.IntVar(&cfg.PerClient, "per-client", 16, "per-client cap on running+queued pool requests (0 = no cap)")
+	fs.DurationVar(&cfg.DrainGrace, "drain-grace", 2*time.Second, "how long shutdown lets in-flight requests finish before canceling them")
 	fs.IntVar(&cfg.CacheEntries, "cache-entries", 256, "LRU result-cache capacity")
 	fs.Int64Var(&cfg.CacheBytes, "cache-bytes", 256<<20, "total bytes the result cache may retain")
 	fs.IntVar(&cfg.MaxItems, "max-items", 2_000_000, "reject campaigns above this many total items")
@@ -119,6 +139,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 2
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 64
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	if c.DrainGrace == 0 {
+		c.DrainGrace = 2 * time.Second
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
@@ -143,6 +172,9 @@ type Error struct {
 	Code string
 	// allow is the Allow header value a 405 response must carry.
 	allow string
+	// retryAfter is the Retry-After header value (whole seconds) a 429
+	// shed response must carry.
+	retryAfter int
 }
 
 func (e *Error) Error() string { return e.Msg }
@@ -191,6 +223,8 @@ func codeForStatus(status int) string {
 		return "conflict"
 	case http.StatusRequestEntityTooLarge:
 		return "payload_too_large"
+	case http.StatusTooManyRequests:
+		return "saturated"
 	case http.StatusServiceUnavailable:
 		return "unavailable"
 	case http.StatusInternalServerError:
@@ -241,9 +275,14 @@ type Stats struct {
 // Service answers analysis requests. Safe for concurrent use.
 type Service struct {
 	cfg   Config
-	sem   chan struct{}
+	pool  *admit.Controller
 	cache *lruCache
 	start time.Time
+
+	// draining flips once shutdown begins; /readyz reports not-ready
+	// from then on so load balancers stop routing here before the
+	// listener closes.
+	draining atomic.Bool
 
 	// store is the durable content-addressed result store (nil without
 	// JobsDir); jobsEng tracks async jobs over it. storeErr records an
@@ -351,7 +390,7 @@ func New(cfg Config) *Service {
 	}
 	s := &Service{
 		cfg:     c,
-		sem:     make(chan struct{}, c.MaxConcurrent),
+		pool:    admit.New(admit.Options{Slots: c.MaxConcurrent, MaxQueue: c.MaxQueue, PerClient: c.PerClient}),
 		cache:   newLRUCache(c.CacheEntries, c.CacheBytes),
 		gens:    make(map[experiments.GenSpec]*taskgen.Generator),
 		flights: make(map[cacheKey]*flight),
@@ -382,11 +421,20 @@ func (s *Service) snapshotPath() string {
 	return filepath.Join(s.cfg.JobsDir, "kmemo.snap")
 }
 
+// BeginDrain marks the service as shutting down: /readyz reports
+// not-ready from this point on, so rolling deploys stop routing new
+// work here while in-flight requests finish. Idempotent.
+func (s *Service) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether shutdown has begun.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
 // Drain stops accepting job submissions, waits for running jobs
 // (canceling them if ctx expires first), and persists the kernel-cache
 // snapshot so the next process warm-starts. Serve calls it on graceful
 // shutdown.
 func (s *Service) Drain(ctx context.Context) error {
+	s.BeginDrain()
 	s.jobsEng.Drain(ctx)
 	if s.cfg.JobsDir == "" {
 		return nil
@@ -630,16 +678,35 @@ func (s *Service) executeItem(ctx context.Context, key cacheKey, run func() (exp
 	return b, nil
 }
 
+// admitPool performs bounded pool admission for one request: FIFO
+// within the queue bound, shed with a 429 beyond it (or beyond the
+// client's fairness cap), 503 when the caller's context dies while
+// queued.
+func (s *Service) admitPool(ctx context.Context) (release func(), err error) {
+	release, err = s.pool.Acquire(ctx, ClientFrom(ctx))
+	if err == nil {
+		return release, nil
+	}
+	s.errs.Add(1)
+	var sat *admit.SaturatedError
+	if errors.As(err, &sat) {
+		code := "saturated"
+		if sat.PerClient {
+			code = "client_saturated"
+		}
+		return nil, &Error{Status: http.StatusTooManyRequests, Code: code, Msg: sat.Error(), retryAfter: sat.RetryAfter}
+	}
+	return nil, &Error{Status: http.StatusServiceUnavailable, Msg: "canceled while queued: " + err.Error()}
+}
+
 // execute runs one request as the flight leader: pool admission, the
 // campaign itself, canonical encoding, cache and durable-store fill.
 func (s *Service) execute(ctx context.Context, kind string, key cacheKey, progress experiments.ProgressFunc, run runFunc) ([]byte, bool, error) {
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		s.errs.Add(1)
-		return nil, false, &Error{Status: http.StatusServiceUnavailable, Msg: "canceled while queued: " + ctx.Err().Error()}
+	release, err := s.admitPool(ctx)
+	if err != nil {
+		return nil, false, err
 	}
-	defer func() { <-s.sem }()
+	defer release()
 	s.active.Add(1)
 	defer s.active.Add(-1)
 

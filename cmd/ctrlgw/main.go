@@ -7,6 +7,10 @@
 //	       [-affinity=true] [-vnodes 64] [-health-every 2s]
 //	       [-concurrency 64] [-max-queue 256] [-per-client 32]
 //	       [-drain-grace 2s]
+//	       [-breaker-threshold 3] [-breaker-cooldown 5s]
+//	       [-retry-tokens 32] [-retry-refill 1]
+//	       [-deadline-analyze 1m] [-deadline-codesign 10m]
+//	       [-deadline-jobs 15s]
 //
 // Requests that reference plants route by a consistent hash of the
 // plant fingerprints they touch, so repeated work on the same plant
@@ -18,10 +22,16 @@
 //
 // The gateway health-checks replicas via GET /readyz, ejects replicas
 // that fail a proxy attempt, and sheds load with 429 + Retry-After from
-// its own bounded admission queue before replica queues overflow.
-// GET /healthz reports per-replica readiness and admission counters;
-// GET /readyz is the gateway's own readiness (503 while draining or
-// with zero ready replicas).
+// its own bounded admission queue before replica queues overflow. A
+// per-replica circuit breaker makes ejection sticky (an open circuit is
+// not even probed until its cooldown grants one half-open probe), a
+// shared token-bucket retry budget bounds in-request retries during an
+// outage, and per-route-class deadlines (-deadline-analyze /
+// -deadline-codesign / -deadline-jobs; streams exempt) turn a stalled
+// replica into a fast 504 instead of a held connection.
+// GET /healthz reports per-replica readiness, breaker state, admission
+// and retry-budget counters; GET /readyz is the gateway's own readiness
+// (503 while draining or with zero ready replicas).
 package main
 
 import (
@@ -51,18 +61,32 @@ func main() {
 	maxQueue := fs.Int("max-queue", 256, "requests that may wait for a proxy slot; beyond it requests are shed with 429 + Retry-After (negative = no queue)")
 	perClient := fs.Int("per-client", 32, "per-client cap on running+queued requests (0 = no cap)")
 	drainGrace := fs.Duration("drain-grace", 2*time.Second, "how long shutdown lets in-flight proxied requests finish before canceling them")
+	brkThreshold := fs.Int("breaker-threshold", 3, "consecutive probe/transport failures that open a replica's circuit")
+	brkCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "how long an open circuit suppresses probes before one half-open probe may close it")
+	retryTokens := fs.Float64("retry-tokens", 32, "retry budget bucket size; each in-request retry onto another replica spends one token (negative = no retries)")
+	retryRefill := fs.Float64("retry-refill", 1, "retry budget refill rate in tokens/second (negative = no refill)")
+	dlAnalyze := fs.Duration("deadline-analyze", time.Minute, "deadline for /v1/analyze and /v1/analyze/batch requests (0 = none; streams exempt)")
+	dlCodesign := fs.Duration("deadline-codesign", 10*time.Minute, "deadline for /v1/codesign and /v1/experiments requests (0 = none; streams exempt)")
+	dlJobs := fs.Duration("deadline-jobs", 15*time.Second, "deadline for /v1/jobs submissions and lookups (0 = none; streams exempt)")
 	_ = fs.Parse(os.Args[1:])
 
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	if err := run(*addr, gateway.Options{
-		Replicas:      splitReplicas(*replicas),
-		NoAffinity:    !*affinity,
-		Vnodes:        *vnodes,
-		HealthEvery:   *healthEvery,
-		MaxConcurrent: *concurrency,
-		MaxQueue:      *maxQueue,
-		PerClient:     *perClient,
-		DrainGrace:    *drainGrace,
+		Replicas:         splitReplicas(*replicas),
+		NoAffinity:       !*affinity,
+		Vnodes:           *vnodes,
+		HealthEvery:      *healthEvery,
+		MaxConcurrent:    *concurrency,
+		MaxQueue:         *maxQueue,
+		PerClient:        *perClient,
+		DrainGrace:       *drainGrace,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		RetryTokens:      *retryTokens,
+		RetryRefill:      *retryRefill,
+		DeadlineAnalyze:  *dlAnalyze,
+		DeadlineCodesign: *dlCodesign,
+		DeadlineJobs:     *dlJobs,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ctrlgw:", err)
 		os.Exit(1)

@@ -37,12 +37,13 @@ func runJob(args []string) {
 	kind := fs.String("kind", "", "job kind for submit (analyze, analyze_batch, codesign, table1, ...)")
 	poll := fs.Duration("poll", 250*time.Millisecond, "initial status poll interval for wait (doubles up to 5s between polls)")
 	timeout := fs.Duration("timeout", 10*time.Minute, "give up waiting after this long (exit 3; 0 = wait forever)")
+	maxRetries := fs.Int("max-retries", defaultMaxRetries, "resend a 429-shed request this many times, honoring Retry-After")
 	fs.Parse(rest)
 	base := strings.TrimRight(*addr, "/")
 
 	switch sub {
 	case "submit":
-		jobSubmit(base, *kind)
+		jobSubmit(base, *kind, *maxRetries)
 	case "status":
 		jobGet(base+"/v1/jobs/"+requireID(*id), http.MethodGet)
 	case "stream":
@@ -63,7 +64,9 @@ func runJob(args []string) {
 func jobUsage() {
 	fmt.Fprintln(os.Stderr, `usage: ctrlsched job <submit|status|stream|wait|result|cancel> [flags]
 
-  submit -kind K [-addr URL] < request.json   post a job, print its status doc
+  submit -kind K [-addr URL] [-max-retries N] < request.json
+                                              post a job, print its status doc
+                                              (429s resend per Retry-After)
   status -id ID [-addr URL]                   one status snapshot
   stream -id ID [-addr URL]                   follow typed event lines to terminal
   wait   -id ID [-addr URL] [-poll D] [-timeout D]
@@ -97,7 +100,7 @@ func jobFail(status string, body []byte) {
 	os.Exit(1)
 }
 
-func jobSubmit(base, kind string) {
+func jobSubmit(base, kind string, maxRetries int) {
 	if kind == "" {
 		fmt.Fprintln(os.Stderr, "ctrlsched: -kind is required for submit")
 		os.Exit(2)
@@ -116,15 +119,13 @@ func jobSubmit(base, kind string) {
 		fmt.Fprintln(os.Stderr, "ctrlsched: encode request:", err)
 		os.Exit(1)
 	}
-	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	status, body, err := postRetry(base+"/v1/jobs", "application/json", payload, maxRetries)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ctrlsched:", err)
 		os.Exit(1)
 	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusAccepted {
-		jobFail(resp.Status, body)
+	if status != http.StatusAccepted {
+		jobFail(statusLabel(status), body)
 	}
 	os.Stdout.Write(body)
 }
@@ -227,6 +228,25 @@ func jobWait(base, id string, poll, timeout time.Duration) {
 		}
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		// A shed status poll (429) or an incomplete gateway broadcast
+		// (503 + Retry-After) is transient: sleep what the server asked
+		// and keep polling — the -timeout bound still applies.
+		if resp.StatusCode == http.StatusTooManyRequests ||
+			(resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "") {
+			sleep := retryDelay(resp.Header, attempt)
+			if !deadline.IsZero() {
+				remaining := time.Until(deadline)
+				if remaining <= 0 {
+					fmt.Fprintf(os.Stderr, "ctrlsched: job %s still unresolved after %s\n", id, timeout)
+					os.Exit(3)
+				}
+				if sleep > remaining {
+					sleep = remaining
+				}
+			}
+			time.Sleep(sleep)
+			continue
+		}
 		if resp.StatusCode != http.StatusOK {
 			jobFail(resp.Status, body)
 		}

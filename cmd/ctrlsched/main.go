@@ -9,8 +9,8 @@
 //	ctrlsched table1   [-benchmarks N] [-sizes 4,8,12,16,20] [-seed S] [-diagnose] [-workers W] [-csv|-json]
 //	ctrlsched fig5     [-benchmarks N] [-sizes 4,6,...,20] [-seed S] [-workers W] [-csv|-json]
 //	ctrlsched anomalies [-trials N] [-sizes ...] [-seed S] [-workers W] [-csv|-json]
-//	ctrlsched analyze  [-batch] [-workers W] [-csv|-json] < request.json
-//	ctrlsched codesign [-workers W] [-csv|-json] < request.json
+//	ctrlsched analyze  [-batch] [-workers W] [-addr URL] [-max-retries N] [-csv|-json] < request.json
+//	ctrlsched codesign [-workers W] [-addr URL] [-max-retries N] [-csv|-json] < request.json
 //	ctrlsched serve    [-addr :8080] [-workers W] [-concurrency C] ...
 //	ctrlsched job      <submit|status|stream|wait|result|cancel> [-addr URL] ...
 //	ctrlsched all      (quick versions of everything)
@@ -230,14 +230,35 @@ func runCompare(args []string) {
 	}), *csv, *json)
 }
 
+// remotePost sends one canonical request to a daemon or gateway,
+// resending 429-shed attempts (honoring Retry-After) up to maxRetries,
+// and returns the canonical result bytes. Any other non-200 prints the
+// error envelope and exits — the same treatment the job commands give.
+func remotePost(addr, path string, body []byte, maxRetries int) []byte {
+	url := strings.TrimRight(addr, "/") + path
+	status, b, err := postRetry(url, "application/json", body, maxRetries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlsched:", err)
+		os.Exit(1)
+	}
+	if status != 200 {
+		jobFail(statusLabel(status), b)
+	}
+	return b
+}
+
 // runAnalyze answers one /v1/analyze-shaped request from stdin — or,
 // with -batch, one /v1/analyze/batch-shaped request ({"items":[...]})
-// fanned out over the worker pool — through the same service layer the
-// daemon uses.
+// fanned out over the worker pool. By default it computes in-process
+// through the same service layer the daemon uses; -addr sends the
+// request to a running daemon or gateway instead (the result bytes are
+// identical either way), retrying shed 429s per -max-retries.
 func runAnalyze(args []string) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	workers := workersFlag(fs)
 	batch := fs.Bool("batch", false, `treat stdin as a batch request ({"items":[...]}) and fan the items out over the worker pool`)
+	addr := fs.String("addr", "", "daemon or gateway base URL (empty = compute in-process)")
+	maxRetries := fs.Int("max-retries", defaultMaxRetries, "resend a 429-shed remote request this many times, honoring Retry-After")
 	csv, jsonOut := outputFlags(fs)
 	fs.Parse(args)
 	body, err := io.ReadAll(os.Stdin)
@@ -245,17 +266,32 @@ func runAnalyze(args []string) {
 		fmt.Fprintln(os.Stderr, "ctrlsched: read stdin:", err)
 		os.Exit(1)
 	}
-	svc := service.New(service.Config{Workers: *workers})
-	if *batch {
-		b, _, err := svc.AnalyzeBatch(context.Background(), body, nil)
-		if err != nil {
+	var b []byte
+	switch {
+	case *addr != "" && *batch:
+		b = remotePost(*addr, "/v1/analyze/batch", body, *maxRetries)
+	case *addr != "":
+		b = remotePost(*addr, "/v1/analyze", body, *maxRetries)
+	case *batch:
+		svc := service.New(service.Config{Workers: *workers})
+		if b, _, err = svc.AnalyzeBatch(context.Background(), body, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "ctrlsched:", err)
 			os.Exit(1)
 		}
-		if *jsonOut {
-			os.Stdout.Write(b)
-			return
+	default:
+		svc := service.New(service.Config{Workers: *workers})
+		if b, _, err = svc.Analyze(context.Background(), body); err != nil {
+			fmt.Fprintln(os.Stderr, "ctrlsched:", err)
+			os.Exit(1)
 		}
+	}
+	if *jsonOut {
+		os.Stdout.Write(b)
+		return
+	}
+	// The service returns canonical JSON; re-decode into the typed result
+	// for the CSV/ASCII views.
+	if *batch {
 		var res service.BatchResult
 		if err := json.Unmarshal(b, &res); err != nil {
 			fmt.Fprintln(os.Stderr, "ctrlsched: decode result:", err)
@@ -264,17 +300,6 @@ func runAnalyze(args []string) {
 		emit(res, *csv, false)
 		return
 	}
-	b, _, err := svc.Analyze(context.Background(), body)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ctrlsched:", err)
-		os.Exit(1)
-	}
-	if *jsonOut {
-		os.Stdout.Write(b)
-		return
-	}
-	// The service returns canonical JSON; re-decode into the typed result
-	// for the CSV/ASCII views.
 	var res service.AnalyzeResult
 	if err := json.Unmarshal(b, &res); err != nil {
 		fmt.Fprintln(os.Stderr, "ctrlsched: decode result:", err)
@@ -291,6 +316,8 @@ func runAnalyze(args []string) {
 func runCodesign(args []string) {
 	fs := flag.NewFlagSet("codesign", flag.ExitOnError)
 	workers := workersFlag(fs)
+	addr := fs.String("addr", "", "daemon or gateway base URL (empty = compute in-process)")
+	maxRetries := fs.Int("max-retries", defaultMaxRetries, "resend a 429-shed remote request this many times, honoring Retry-After")
 	csv, jsonOut := outputFlags(fs)
 	fs.Parse(args)
 	body, err := io.ReadAll(os.Stdin)
@@ -298,11 +325,15 @@ func runCodesign(args []string) {
 		fmt.Fprintln(os.Stderr, "ctrlsched: read stdin:", err)
 		os.Exit(1)
 	}
-	svc := service.New(service.Config{Workers: *workers})
-	b, _, err := svc.Codesign(context.Background(), body, nil)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ctrlsched:", err)
-		os.Exit(1)
+	var b []byte
+	if *addr != "" {
+		b = remotePost(*addr, "/v1/codesign", body, *maxRetries)
+	} else {
+		svc := service.New(service.Config{Workers: *workers})
+		if b, _, err = svc.Codesign(context.Background(), body, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "ctrlsched:", err)
+			os.Exit(1)
+		}
 	}
 	if *jsonOut {
 		os.Stdout.Write(b)

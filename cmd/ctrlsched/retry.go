@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+)
+
+// Client-side saturation handling, shared by every subcommand that
+// talks to a daemon or gateway: a 429 means the server (or the gateway
+// in front of it) shed the request under load, and the right response
+// is to wait — ideally exactly as long as the server asked via
+// Retry-After — and resend, up to -max-retries times. One backoff
+// helper (waitBackoff, the same curve job wait polls with) serves both
+// the no-header fallback here and the wait loop, so the client has a
+// single saturation story.
+
+// defaultMaxRetries is the -max-retries default: enough to ride out a
+// brief saturation burst, few enough to fail fast when the fleet is
+// genuinely overloaded.
+const defaultMaxRetries = 4
+
+// retryDelayCap bounds how long a single Retry-After can make the
+// client sleep: a server asking for more than this gets polled at the
+// cap instead (its estimate is advice, not a contract).
+const retryDelayCap = 15 * time.Second
+
+// retryDelay returns the sleep before resending after a 429: the parsed
+// Retry-After when present, else the shared exponential backoff curve.
+func retryDelay(h http.Header, attempt int) time.Duration {
+	if s := h.Get("Retry-After"); s != "" {
+		if sec, err := strconv.Atoi(s); err == nil && sec >= 0 {
+			d := time.Duration(sec) * time.Second
+			if d > retryDelayCap {
+				d = retryDelayCap
+			}
+			return d
+		}
+	}
+	return waitBackoff(attempt, 500*time.Millisecond)
+}
+
+// postRetry posts payload to url, resending on 429 (honoring
+// Retry-After, capped exponential backoff otherwise) up to maxRetries
+// times. Returns the final response's status code and body; transport
+// errors are returned as-is and never retried — the gateway already
+// retries unreachable replicas with its own budget, and doubling up
+// client-side would multiply load exactly when the fleet is down.
+func postRetry(url, contentType string, payload []byte, maxRetries int) (int, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, contentType, bytes.NewReader(payload))
+		if err != nil {
+			return 0, nil, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= maxRetries {
+			return resp.StatusCode, body, nil
+		}
+		d := retryDelay(resp.Header, attempt)
+		fmt.Fprintf(os.Stderr, "ctrlsched: saturated (429), retry %d/%d in %s\n", attempt+1, maxRetries, d)
+		time.Sleep(d)
+	}
+}
+
+// statusLabel renders a status code the way jobFail expects ("429 Too
+// Many Requests").
+func statusLabel(code int) string {
+	return fmt.Sprintf("%d %s", code, http.StatusText(code))
+}

@@ -1,7 +1,11 @@
 // Command loadgen replays a deterministic shared-plant analyze workload
 // against a ctrlschedd replica or a ctrlgw gateway and reports latency
-// percentiles and item throughput. Its purpose is comparing deployment
-// shapes: one replica vs a fleet, affinity routing vs round-robin.
+// percentiles, item throughput, and a per-status-class histogram
+// (2xx / 429 / other 4xx / 5xx / transport errors) so chaos and
+// saturation runs are interpretable: shed load, server failures, and
+// dead transport are different problems. Its purpose is comparing
+// deployment shapes: one replica vs a fleet, affinity routing vs
+// round-robin.
 //
 //	loadgen -addr http://localhost:8079 [-kind codesign|analyze]
 //	        [-requests 200] [-clients 8] [-pool 64] [-batch 8]
@@ -126,10 +130,31 @@ func main() {
 	url := base + path
 	httpc := &http.Client{Timeout: 5 * time.Minute}
 
-	run := func(from, to int, record bool) ([]time.Duration, int64, int64) {
+	// classes is the per-status-class histogram: under chaos or
+	// saturation a bare error count cannot distinguish shed load (429,
+	// expected and retryable) from server failures (5xx) or dead
+	// transport, and those ask for different fixes.
+	type classes struct {
+		ok2xx, shed429, other4xx, err5xx, transport int64
+	}
+	classify := func(cl *classes, status int) {
+		switch {
+		case status >= 200 && status < 300:
+			cl.ok2xx++
+		case status == http.StatusTooManyRequests:
+			cl.shed429++
+		case status >= 400 && status < 500:
+			cl.other4xx++
+		default:
+			cl.err5xx++
+		}
+	}
+
+	run := func(from, to int, record bool) ([]time.Duration, int64, classes) {
 		var mu sync.Mutex
 		var lats []time.Duration
-		var items, errs int64
+		var items int64
+		var cl classes
 		next := make(chan int, to-from)
 		for i := from; i < to; i++ {
 			next <- i
@@ -151,7 +176,7 @@ func main() {
 					resp, err := httpc.Do(req)
 					if err != nil {
 						mu.Lock()
-						errs++
+						cl.transport++
 						mu.Unlock()
 						continue
 					}
@@ -159,28 +184,26 @@ func main() {
 					resp.Body.Close()
 					lat := time.Since(start)
 					mu.Lock()
-					if resp.StatusCode == http.StatusOK {
-						if record {
-							lats = append(lats, lat)
-							items += int64(itemsPer)
-						}
-					} else {
-						errs++
+					classify(&cl, resp.StatusCode)
+					if resp.StatusCode == http.StatusOK && record {
+						lats = append(lats, lat)
+						items += int64(itemsPer)
 					}
 					mu.Unlock()
 				}
 			}(c)
 		}
 		wg.Wait()
-		return lats, items, errs
+		return lats, items, cl
 	}
 
 	if *warmup > 0 {
 		run(0, *warmup, false)
 	}
 	start := time.Now()
-	lats, items, errs := run(*warmup, *warmup+*requests, true)
+	lats, items, cl := run(*warmup, *warmup+*requests, true)
 	wall := time.Since(start)
+	errs := cl.other4xx + cl.err5xx + cl.shed429 + cl.transport
 
 	if len(lats) == 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: no successful requests")
@@ -202,6 +225,8 @@ func main() {
 	fmt.Printf("target=%s kind=%s requests=%d clients=%d pool=%s seed=%d\n",
 		base, *kind, *requests, *clients, poolDesc, *seed)
 	fmt.Printf("ok=%d errors=%d wall=%s\n", len(lats), errs, wall.Round(time.Millisecond))
+	fmt.Printf("status 2xx=%d 429=%d 4xx=%d 5xx=%d transport=%d\n",
+		cl.ok2xx, cl.shed429, cl.other4xx, cl.err5xx, cl.transport)
 	fmt.Printf("latency p50=%s p99=%s mean=%s\n",
 		pct(0.50).Round(100*time.Microsecond), pct(0.99).Round(100*time.Microsecond),
 		(total / time.Duration(len(lats))).Round(100*time.Microsecond))

@@ -1,0 +1,365 @@
+// Package faultinject is the deterministic fault layer: a seeded plan
+// that decides, purely from (plan seed, seam, op index), whether each
+// filesystem mutation, replica round-trip, or handler invocation fails
+// — and how. The decision function is the splitmix64 mix the campaign
+// layer already uses for per-item seeds (campaign.ItemSeed), so a fault
+// plan has the same reproducibility contract as a campaign: same seed,
+// same sequence of operations, same faults, on every machine and every
+// run. Chaos tests lean on that to drive a fleet through hostile
+// schedules and then replay the identical schedule to prove the
+// outcome, not just the absence of a crash, is deterministic.
+//
+// Three seams accept a plan:
+//
+//   - FS wraps a jobs.FS: write errors, torn writes (a prefix lands,
+//     success is reported — the content-addressed verify path must
+//     catch it), rename failures, slow fsyncs.
+//   - Transport wraps an http.RoundTripper: connection refused, latency
+//     spikes, mid-body cuts on the gateway→replica path.
+//   - Middleware wraps a replica handler: 503 bursts, hangs held until
+//     the client gives up.
+//
+// A nil *Plan injects nothing everywhere, so production wiring passes
+// nil and pays one pointer compare per seam.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ctrlsched/internal/campaign"
+)
+
+// Op identifies one injectable seam. Each op consumes its own index
+// sequence, so (for example) health probes hitting the handler seam on
+// non-/v1/ paths never shift which /v1/ request the next fault lands on.
+type Op int
+
+const (
+	// OpFSWrite: File.Write on a tmp file (store put, journal compact).
+	OpFSWrite Op = iota
+	// OpFSSync: File.Sync on a tmp file.
+	OpFSSync
+	// OpFSRename: the atomic-commit rename.
+	OpFSRename
+	// OpAppend: Write/Sync on an append file (journal records).
+	OpAppend
+	// OpTransport: one gateway→replica round-trip.
+	OpTransport
+	// OpHandler: one replica /v1/ handler invocation.
+	OpHandler
+	numOps
+)
+
+var opNames = [numOps]string{"fs_write", "fs_sync", "fs_rename", "append", "transport", "handler"}
+
+func (o Op) String() string {
+	if o < 0 || o >= numOps {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// Fault is what the plan injects at one operation.
+type Fault int
+
+const (
+	FaultNone Fault = iota
+	// FaultError fails the operation outright: write/rename error,
+	// connection refused, 503.
+	FaultError
+	// FaultTorn succeeds partially: a prefix of the bytes lands (or the
+	// response body cuts mid-stream) while the operation reports what a
+	// crash would leave behind.
+	FaultTorn
+	// FaultSlow delays the operation by Spec.SlowFor, then proceeds.
+	FaultSlow
+	// FaultHang blocks until the caller's context gives up. Only the
+	// transport and handler seams honor it (a filesystem cannot be
+	// context-canceled).
+	FaultHang
+)
+
+var faultNames = []string{"none", "error", "torn", "slow", "hang"}
+
+func (f Fault) String() string {
+	if f < 0 || int(f) >= len(faultNames) {
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+	return faultNames[f]
+}
+
+// Spec is one op's fault mix in per-mille: out of every 1000 decisions,
+// Error fail, Torn tear, Slow stall for SlowFor, Hang block. The rest
+// pass through. Rates are disjoint bands, so Error+Torn+Slow+Hang must
+// be ≤ 1000.
+type Spec struct {
+	Error   uint32
+	Torn    uint32
+	Slow    uint32
+	Hang    uint32
+	SlowFor time.Duration
+}
+
+// Plan is a seeded fault schedule over all seams. Safe for concurrent
+// use; a nil *Plan decides FaultNone everywhere.
+type Plan struct {
+	seed  int64
+	specs [numOps]Spec
+
+	mu     sync.Mutex
+	next   [numOps]uint64
+	counts [numOps]map[Fault]int64
+}
+
+// New builds a plan: seed fixes the entire fault schedule, specs gives
+// each seam its mix (ops absent from the map never fault).
+func New(seed int64, specs map[Op]Spec) *Plan {
+	p := &Plan{seed: seed}
+	for op, sp := range specs {
+		if op >= 0 && op < numOps {
+			p.specs[op] = sp
+		}
+	}
+	for i := range p.counts {
+		p.counts[i] = make(map[Fault]int64)
+	}
+	return p
+}
+
+// At is the pure decision function: the fault the plan injects at the
+// i'th operation on op. decide() is At plus the index bookkeeping, so
+// tests can predict or replay a schedule without executing it.
+func At(seed int64, spec Spec, op Op, i uint64) Fault {
+	// Two splitmix64 rounds — seed×op picks the op's stream, stream×i
+	// picks the draw — exactly campaign.ItemSeed's per-item idiom.
+	stream := campaign.ItemSeed(seed, int(op))
+	r := uint64(campaign.ItemSeed(stream, int(i))) % 1000
+	switch {
+	case r < uint64(spec.Error):
+		return FaultError
+	case r < uint64(spec.Error+spec.Torn):
+		return FaultTorn
+	case r < uint64(spec.Error+spec.Torn+spec.Slow):
+		return FaultSlow
+	case r < uint64(spec.Error+spec.Torn+spec.Slow+spec.Hang):
+		return FaultHang
+	default:
+		return FaultNone
+	}
+}
+
+// decide consumes op's next index and returns the injected fault.
+func (p *Plan) decide(op Op) (Fault, Spec) {
+	if p == nil {
+		return FaultNone, Spec{}
+	}
+	p.mu.Lock()
+	i := p.next[op]
+	p.next[op]++
+	spec := p.specs[op]
+	p.mu.Unlock()
+	f := At(p.seed, spec, op, i)
+	if f != FaultNone {
+		p.mu.Lock()
+		p.counts[op][f]++
+		p.mu.Unlock()
+	}
+	return f, spec
+}
+
+// Injected reports how many faults the plan has injected, per seam and
+// kind, keyed "op/fault" (e.g. "fs_write/torn"). Chaos tests assert the
+// zero plan stays empty and nonzero plans actually bit.
+func (p *Plan) Injected() map[string]int64 {
+	out := make(map[string]int64)
+	if p == nil {
+		return out
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for op := Op(0); op < numOps; op++ {
+		for f, n := range p.counts[op] {
+			out[op.String()+"/"+f.String()] = n
+		}
+	}
+	return out
+}
+
+// Total reports the total number of injected faults.
+func (p *Plan) Total() int64 {
+	var n int64
+	for _, v := range p.Injected() {
+		n += v
+	}
+	return n
+}
+
+// Summary renders the injected counts as one stable line for test logs.
+func (p *Plan) Summary() string {
+	inj := p.Injected()
+	if len(inj) == 0 {
+		return "no faults injected"
+	}
+	keys := make([]string, 0, len(inj))
+	for k := range inj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, inj[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// ErrInjected is the root of every error this package fabricates, so
+// tests can assert a failure was injected rather than organic.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+func injectedErr(op Op) error {
+	return fmt.Errorf("%w (%s)", ErrInjected, op)
+}
+
+// sleepCtx waits d or until ctx-done, whichever first. A nil done
+// channel (filesystem seams have no context) just sleeps.
+func sleepCtx(done <-chan struct{}, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if done == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}
+
+// cutBody wraps a response body so that only the first half of what the
+// replica sent arrives before the connection "dies" — the mid-body cut.
+type cutBody struct {
+	r      io.ReadCloser
+	remain int
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.remain <= 0 {
+		return 0, fmt.Errorf("%w: connection cut mid-body", ErrInjected)
+	}
+	if len(p) > c.remain {
+		p = p[:c.remain]
+	}
+	n, err := c.r.Read(p)
+	c.remain -= n
+	if err == nil && c.remain <= 0 {
+		err = fmt.Errorf("%w: connection cut mid-body", ErrInjected)
+	}
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.r.Close() }
+
+// injectable reports whether a request path participates in fault
+// decisions. Only the API surface does: health and readiness probes
+// must neither fault nor consume indices, or background probing would
+// make the schedule depend on timing.
+func injectable(path string) bool {
+	return strings.HasPrefix(path, "/v1/")
+}
+
+// Transport wraps base (nil means http.DefaultTransport) so that /v1/
+// round-trips suffer the plan's OpTransport faults: FaultError refuses
+// the connection, FaultSlow delays the dial, FaultTorn cuts the
+// response body mid-stream, FaultHang holds the request until its
+// context cancels. A nil plan returns base untouched.
+func Transport(base http.RoundTripper, p *Plan) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if p == nil {
+		return base
+	}
+	return &transport{base: base, p: p}
+}
+
+type transport struct {
+	base http.RoundTripper
+	p    *Plan
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !injectable(req.URL.Path) {
+		return t.base.RoundTrip(req)
+	}
+	f, spec := t.p.decide(OpTransport)
+	switch f {
+	case FaultError:
+		return nil, fmt.Errorf("%w: connection refused", ErrInjected)
+	case FaultHang:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case FaultSlow:
+		sleepCtx(req.Context().Done(), spec.SlowFor)
+		if err := req.Context().Err(); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || f != FaultTorn {
+		return resp, err
+	}
+	n := int(resp.ContentLength)
+	if n <= 0 {
+		n = 2 // unknown length: let a couple of bytes through, then cut
+	}
+	resp.Body = &cutBody{r: resp.Body, remain: n / 2}
+	return resp, nil
+}
+
+// Middleware wraps a replica handler so /v1/ invocations suffer the
+// plan's OpHandler faults: FaultError (and FaultTorn, which has no
+// half-way at this seam) answer 503 with the standard error envelope,
+// FaultSlow delays the handler, FaultHang holds the request until the
+// client's context cancels. A nil plan returns next untouched.
+func Middleware(next http.Handler, p *Plan) http.Handler {
+	if p == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !injectable(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		f, spec := p.decide(OpHandler)
+		switch f {
+		case FaultError, FaultTorn:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":{"code":"unavailable","message":"injected fault: replica unavailable"}}` + "\n"))
+			return
+		case FaultHang:
+			// Drain the body first: an HTTP/1.1 server only watches for
+			// client disconnect once the request body has been consumed,
+			// and without that watch this context would never cancel.
+			_, _ = io.Copy(io.Discard, r.Body)
+			<-r.Context().Done()
+			return
+		case FaultSlow:
+			sleepCtx(r.Context().Done(), spec.SlowFor)
+			if r.Context().Err() != nil {
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,235 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAtDeterministic pins the decision function's contract: the fault
+// at (seed, spec, op, i) is a pure function — two plans with the same
+// seed produce the identical schedule, and a different seed produces a
+// different one.
+func TestAtDeterministic(t *testing.T) {
+	spec := Spec{Error: 200, Torn: 100, Slow: 50, Hang: 25}
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		for op := Op(0); op < numOps; op++ {
+			if At(42, spec, op, i) != At(42, spec, op, i) {
+				t.Fatalf("At is not pure at op=%s i=%d", op, i)
+			}
+		}
+	}
+	// Distinct seeds must disagree somewhere (else the seed is ignored).
+	diff := 0
+	for i := uint64(0); i < n; i++ {
+		if At(1, spec, OpTransport, i) != At(2, spec, OpTransport, i) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 1 and 2 produced identical transport schedules")
+	}
+	// Distinct ops must draw from distinct streams.
+	diff = 0
+	for i := uint64(0); i < n; i++ {
+		if At(42, spec, OpTransport, i) != At(42, spec, OpHandler, i) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("transport and handler schedules are identical: op streams collapsed")
+	}
+}
+
+// TestAtRatesApproximate sanity-checks the per-mille bands: over many
+// draws each fault lands within a loose tolerance of its configured
+// rate, and an empty spec never faults.
+func TestAtRatesApproximate(t *testing.T) {
+	spec := Spec{Error: 250, Torn: 250, Slow: 0, Hang: 0}
+	const n = 10_000
+	counts := map[Fault]int{}
+	for i := uint64(0); i < n; i++ {
+		counts[At(7, spec, OpFSWrite, i)]++
+	}
+	for _, f := range []Fault{FaultError, FaultTorn} {
+		got := float64(counts[f]) / n
+		if got < 0.20 || got > 0.30 {
+			t.Fatalf("%s rate %.3f, want ~0.25", f, got)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		if f := At(7, Spec{}, OpFSWrite, i); f != FaultNone {
+			t.Fatalf("empty spec injected %s at i=%d", f, i)
+		}
+	}
+}
+
+func TestPlanCountsInjections(t *testing.T) {
+	p := New(3, map[Op]Spec{OpTransport: {Error: 1000}})
+	for i := 0; i < 5; i++ {
+		p.decide(OpTransport)
+	}
+	p.decide(OpHandler) // no spec: never faults
+	if got := p.Injected()["transport/error"]; got != 5 {
+		t.Fatalf("transport/error = %d, want 5", got)
+	}
+	if p.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", p.Total())
+	}
+	if !strings.Contains(p.Summary(), "transport/error=5") {
+		t.Fatalf("Summary = %q", p.Summary())
+	}
+}
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	if f, _ := p.decide(OpTransport); f != FaultNone {
+		t.Fatal("nil plan must decide FaultNone")
+	}
+	if p.Total() != 0 || len(p.Injected()) != 0 {
+		t.Fatal("nil plan must report zero injections")
+	}
+	// Nil plan at each seam returns the wrapped value untouched.
+	base := http.DefaultTransport
+	if Transport(base, nil) != base {
+		t.Fatal("Transport(nil plan) must return base")
+	}
+	h := http.NewServeMux()
+	if Middleware(h, nil) != http.Handler(h) {
+		t.Fatal("Middleware(nil plan) must return next")
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"ok":true,"pad":"0123456789012345678901234567890123456789"}`)
+	}))
+	defer srv.Close()
+
+	get := func(t *testing.T, p *Plan, path string, ctx context.Context) (*http.Response, error) {
+		t.Helper()
+		c := &http.Client{Transport: Transport(nil, p)}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Do(req)
+	}
+
+	t.Run("error refuses the connection", func(t *testing.T) {
+		p := New(1, map[Op]Spec{OpTransport: {Error: 1000}})
+		_, err := get(t, p, "/v1/analyze", context.Background())
+		if err == nil || !errors.Is(err, ErrInjected) {
+			t.Fatalf("err = %v, want ErrInjected", err)
+		}
+	})
+	t.Run("torn cuts the body mid-stream", func(t *testing.T) {
+		p := New(1, map[Op]Spec{OpTransport: {Torn: 1000}})
+		resp, err := get(t, p, "/v1/analyze", context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err == nil {
+			t.Fatal("reading a torn body must error")
+		}
+		if len(b) == 0 {
+			t.Fatal("a torn body should deliver a prefix before cutting")
+		}
+	})
+	t.Run("hang blocks until the context cancels", func(t *testing.T) {
+		p := New(1, map[Op]Spec{OpTransport: {Hang: 1000}})
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		_, err := get(t, p, "/v1/analyze", ctx)
+		if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want DeadlineExceeded", err)
+		}
+	})
+	t.Run("health probes bypass the schedule", func(t *testing.T) {
+		p := New(1, map[Op]Spec{OpTransport: {Error: 1000}})
+		resp, err := get(t, p, "/readyz", context.Background())
+		if err != nil {
+			t.Fatalf("non-/v1/ path must not fault: %v", err)
+		}
+		resp.Body.Close()
+		if p.Total() != 0 {
+			t.Fatal("non-/v1/ path must not consume a fault index")
+		}
+	})
+}
+
+func TestMiddlewareFaults(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+
+	t.Run("error answers 503 with the envelope", func(t *testing.T) {
+		p := New(1, map[Op]Spec{OpHandler: {Error: 1000}})
+		rec := httptest.NewRecorder()
+		Middleware(inner, p).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/analyze", nil))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503", rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), `"code":"unavailable"`) {
+			t.Fatalf("body %q lacks the error envelope", rec.Body.String())
+		}
+	})
+	t.Run("health probes pass through untouched", func(t *testing.T) {
+		p := New(1, map[Op]Spec{OpHandler: {Error: 1000}})
+		rec := httptest.NewRecorder()
+		Middleware(inner, p).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		if rec.Code != http.StatusOK || rec.Body.String() != "ok" {
+			t.Fatalf("probe got %d %q, want the handler's own answer", rec.Code, rec.Body.String())
+		}
+		if p.Total() != 0 {
+			t.Fatal("probe must not consume a fault index")
+		}
+	})
+	t.Run("hang holds until the client gives up", func(t *testing.T) {
+		p := New(1, map[Op]Spec{OpHandler: {Hang: 1000}})
+		srv := httptest.NewServer(Middleware(inner, p))
+		defer srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/analyze", nil)
+		_, err := http.DefaultClient.Do(req)
+		if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want DeadlineExceeded", err)
+		}
+	})
+}
+
+// TestPlanConcurrent is the -race hammer: decide/Injected/Total from
+// many goroutines must be safe, and exactly one decision per call must
+// be recorded.
+func TestPlanConcurrent(t *testing.T) {
+	p := New(9, map[Op]Spec{OpTransport: {Error: 1000}, OpFSWrite: {Torn: 1000}})
+	var wg sync.WaitGroup
+	const perG = 200
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				p.decide(OpTransport)
+				p.decide(OpFSWrite)
+				p.Injected()
+				p.Total()
+			}
+		}()
+	}
+	wg.Wait()
+	inj := p.Injected()
+	if inj["transport/error"] != 8*perG || inj["fs_write/torn"] != 8*perG {
+		t.Fatalf("injected = %v, want %d per seam", inj, 8*perG)
+	}
+}

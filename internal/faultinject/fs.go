@@ -1,0 +1,110 @@
+package faultinject
+
+import (
+	"ctrlsched/internal/jobs"
+)
+
+// FS wraps base (nil means the real filesystem) so the store's and
+// journal's mutations suffer the plan's filesystem faults:
+//
+//   - OpFSWrite on tmp-file writes: FaultError fails the write,
+//     FaultTorn writes a prefix and reports success — the torn bytes
+//     then travel through sync+rename exactly as a crash mid-write
+//     would leave them, and the store's verify-on-read must quarantine
+//     the result.
+//   - OpFSSync on tmp-file fsyncs: FaultError fails, FaultSlow stalls.
+//   - OpFSRename on the atomic commit: FaultError fails it.
+//   - OpAppend on journal appends (write and fsync of append-opened
+//     files): FaultError fails, FaultTorn appends a prefix and reports
+//     success — the next replay must treat the tail as the crash
+//     frontier.
+//
+// A nil plan returns base (or the real FS) untouched.
+func FS(base jobs.FS, p *Plan) jobs.FS {
+	if base == nil {
+		base = jobs.OSFS()
+	}
+	if p == nil {
+		return base
+	}
+	return &fsWrap{base: base, p: p}
+}
+
+type fsWrap struct {
+	base jobs.FS
+	p    *Plan
+}
+
+func (f *fsWrap) CreateTemp(dir, pattern string) (jobs.File, error) {
+	file, err := f.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &fileWrap{base: file, p: f.p, writeOp: OpFSWrite, syncOp: OpFSSync}, nil
+}
+
+func (f *fsWrap) OpenAppend(name string) (jobs.File, error) {
+	file, err := f.base.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &fileWrap{base: file, p: f.p, writeOp: OpAppend, syncOp: OpAppend}, nil
+}
+
+func (f *fsWrap) Rename(oldpath, newpath string) error {
+	fault, spec := f.p.decide(OpFSRename)
+	switch fault {
+	case FaultError, FaultTorn: // a rename has no half-way
+		return injectedErr(OpFSRename)
+	case FaultSlow, FaultHang:
+		sleepCtx(nil, spec.SlowFor)
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+// Remove never faults: it only runs on cleanup paths (quarantine,
+// eviction, tmp abandonment) whose failure the callers already ignore.
+func (f *fsWrap) Remove(name string) error { return f.base.Remove(name) }
+
+type fileWrap struct {
+	base    jobs.File
+	p       *Plan
+	writeOp Op
+	syncOp  Op
+}
+
+func (w *fileWrap) Write(b []byte) (int, error) {
+	fault, spec := w.p.decide(w.writeOp)
+	switch fault {
+	case FaultError, FaultHang:
+		return 0, injectedErr(w.writeOp)
+	case FaultSlow:
+		sleepCtx(nil, spec.SlowFor)
+	case FaultTorn:
+		// A prefix lands and the write lies about it — what the page
+		// cache shows after a crash mid-write. Verification (store) or
+		// the crash-frontier rule (journal) must absorb it.
+		if len(b) > 1 {
+			_, _ = w.base.Write(b[:len(b)/2])
+		}
+		return len(b), nil
+	}
+	return w.base.Write(b)
+}
+
+func (w *fileWrap) Sync() error {
+	fault, spec := w.p.decide(w.syncOp)
+	switch fault {
+	case FaultError, FaultHang:
+		return injectedErr(w.syncOp)
+	case FaultSlow:
+		sleepCtx(nil, spec.SlowFor)
+	case FaultTorn:
+		return nil // sync "succeeds" without having synced: silent
+	}
+	return w.base.Sync()
+}
+
+func (w *fileWrap) Close() error { return w.base.Close() }
+
+func (w *fileWrap) Name() string { return w.base.Name() }

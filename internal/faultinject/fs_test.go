@@ -1,0 +1,157 @@
+package faultinject
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ctrlsched/internal/jobs"
+)
+
+func storeKey(s string) jobs.Key {
+	return jobs.Key(sha256.Sum256([]byte(s)))
+}
+
+// TestStoreTornWrite is the torn-write acceptance path: a fault plan
+// tears every tmp-file write, the store's Put reports success (exactly
+// the lie a crash mid-write leaves), and verify-on-read must refuse to
+// serve the damage — quarantining the file and reporting a miss so the
+// computation re-runs. A restart with a healthy filesystem then
+// repopulates the same key cleanly.
+func TestStoreTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	plan := New(11, map[Op]Spec{OpFSWrite: {Torn: 1000}})
+	store, err := jobs.OpenStore(dir, jobs.StoreOptions{FS: FS(nil, plan)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := storeKey("torn")
+	body := []byte(`{"result":"precious bytes that must never be served torn"}`)
+	if err := store.Put(k, "analyze", body); err != nil {
+		t.Fatalf("a torn write lies about success, but Put returned %v", err)
+	}
+	if plan.Injected()["fs_write/torn"] == 0 {
+		t.Fatal("the plan never bit: test is vacuous")
+	}
+	if b, ok := store.Get(k); ok {
+		t.Fatalf("Get served torn bytes: %q", b)
+	}
+	st := store.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.res.corrupt"))
+	if len(matches) != 1 {
+		t.Fatalf("want exactly one quarantined file, found %v", matches)
+	}
+
+	// Restart on a healthy filesystem: the key must be re-puttable and
+	// then served byte-identical.
+	store2, err := jobs.OpenStore(dir, jobs.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store2.Put(k, "analyze", body); err != nil {
+		t.Fatal(err)
+	}
+	b, ok := store2.Get(k)
+	if !ok || !bytes.Equal(b, body) {
+		t.Fatalf("after recovery Get = (%q, %v), want the original bytes", b, ok)
+	}
+}
+
+func TestStoreWriteError(t *testing.T) {
+	plan := New(12, map[Op]Spec{OpFSWrite: {Error: 1000}})
+	store, err := jobs.OpenStore(t.TempDir(), jobs.StoreOptions{FS: FS(nil, plan)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := storeKey("werr")
+	if err := store.Put(k, "analyze", []byte(`{}`)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put err = %v, want ErrInjected", err)
+	}
+	if _, ok := store.Get(k); ok {
+		t.Fatal("a failed Put must not be gettable")
+	}
+	if st := store.Stats(); st.PutErrors != 1 {
+		t.Fatalf("put_errors = %d, want 1", st.PutErrors)
+	}
+}
+
+func TestStoreRenameFaultLeavesNoTmp(t *testing.T) {
+	dir := t.TempDir()
+	plan := New(13, map[Op]Spec{OpFSRename: {Error: 1000}})
+	store, err := jobs.OpenStore(dir, jobs.StoreOptions{FS: FS(nil, plan)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(storeKey("ren"), "analyze", []byte(`{}`)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put err = %v, want ErrInjected", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("abandoned tmp file %s survived a failed commit", e.Name())
+		}
+	}
+}
+
+// TestJournalTornAppend: a torn journal append reports success but
+// leaves an unterminated line — replay must treat it as the crash
+// frontier, not an intent and not poison.
+func TestJournalTornAppend(t *testing.T) {
+	dir := t.TempDir()
+	plan := New(14, map[Op]Spec{OpAppend: {Torn: 1000}})
+	j, intents, err := jobs.OpenJournal(dir, FS(nil, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(intents) != 0 {
+		t.Fatalf("fresh journal recovered %d intents", len(intents))
+	}
+	if err := j.Begin(jobs.Intent{ID: "torn", Kind: "analyze", Key: storeKey("torn")}); err != nil {
+		t.Fatalf("a torn append lies about success, but Begin returned %v", err)
+	}
+	j.Close()
+	if plan.Injected()["append/torn"] == 0 {
+		t.Fatal("the plan never bit: test is vacuous")
+	}
+
+	j2, intents, err := jobs.OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(intents) != 0 {
+		t.Fatalf("torn append replayed as %d intents, want 0 (crash frontier)", len(intents))
+	}
+}
+
+func TestJournalAppendErrorCounted(t *testing.T) {
+	plan := New(15, map[Op]Spec{OpAppend: {Error: 1000}})
+	j, _, err := jobs.OpenJournal(t.TempDir(), FS(nil, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Begin(jobs.Intent{ID: "x", Kind: "analyze", Key: storeKey("x")}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Begin err = %v, want ErrInjected", err)
+	}
+	if st := j.Stats(); st.AppendErr == 0 {
+		t.Fatal("append errors must be counted for /healthz")
+	}
+}
+
+func TestJournalCompactionRenameFault(t *testing.T) {
+	plan := New(16, map[Op]Spec{OpFSRename: {Error: 1000}})
+	if _, _, err := jobs.OpenJournal(t.TempDir(), FS(nil, plan)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("OpenJournal err = %v, want the injected rename failure surfaced", err)
+	}
+}

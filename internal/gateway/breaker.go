@@ -1,0 +1,129 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// The per-replica circuit breaker closes the gap passive ejection left
+// open: markDown took a replica out of rotation on the first transport
+// error, but the very next health poll could put a flapping replica
+// straight back, and every in-request retry was free — a dying replica
+// could be probed and retried at full rate. The breaker makes failure
+// sticky and recovery deliberate:
+//
+//	closed ──threshold consecutive failures──▶ open
+//	open ──cooldown elapses──▶ half-open (one probe may pass)
+//	half-open ──probe succeeds──▶ closed · probe fails──▶ open
+//
+// Failures feed in from both halves of health checking — failed /readyz
+// probes and passive transport errors — and any success (probe or real
+// request) closes the circuit. While open, CheckReplicas does not even
+// probe the replica, so a dead backend costs nothing per poll until its
+// cooldown expires.
+
+// Breaker states as exported on /healthz.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// breakerOptions tunes one breaker. The zero value means the defaults.
+type breakerOptions struct {
+	// Threshold is how many consecutive failures trip the circuit
+	// (0 means 3).
+	Threshold int
+	// Cooldown is how long an open circuit suppresses probes before one
+	// half-open probe may close it (0 means 5s).
+	Cooldown time.Duration
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+func (o breakerOptions) withDefaults() breakerOptions {
+	if o.Threshold <= 0 {
+		o.Threshold = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 5 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// breaker is one replica's circuit. Safe for concurrent use.
+type breaker struct {
+	opt breakerOptions
+
+	mu       sync.Mutex
+	state    string
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	trips    int64
+}
+
+func newBreaker(opt breakerOptions) *breaker {
+	return &breaker{opt: opt.withDefaults(), state: BreakerClosed}
+}
+
+// Success records a successful probe or proxied request: the circuit
+// closes (from any state) and the consecutive-failure count resets.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+}
+
+// Failure records a failed probe or a transport error. While closed it
+// counts toward the trip threshold; in half-open it reopens immediately
+// (the probe was the one allowed attempt); while open it refreshes the
+// cooldown so a replica failing its probes stays open.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.opt.Threshold {
+			b.trip()
+		}
+	case BreakerHalfOpen, BreakerOpen:
+		b.trip()
+	}
+}
+
+func (b *breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.opt.Now()
+	b.trips++
+}
+
+// ProbeDue reports whether a health probe should reach the replica now.
+// Closed circuits always probe; open circuits suppress probes until the
+// cooldown elapses, at which point the circuit moves to half-open and
+// exactly this probe decides whether it closes or reopens.
+func (b *breaker) ProbeDue() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.opt.Now().Sub(b.openedAt) < b.opt.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		return true
+	default:
+		return true
+	}
+}
+
+// State snapshots the FSM state and consecutive-failure count.
+func (b *breaker) State() (state string, fails int, trips int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.fails, b.trips
+}

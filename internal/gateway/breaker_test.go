@@ -1,0 +1,189 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable Now for breaker tests: cooldown expiry is
+// a pure function of time, so the tests advance it by hand instead of
+// sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	return newBreaker(breakerOptions{Threshold: threshold, Cooldown: cooldown, Now: clk.now}), clk
+}
+
+// TestBreakerFSM walks the full state machine as a table of steps:
+// each step is an input (success, failure, or a clock advance) and the
+// state the breaker must be in afterwards.
+func TestBreakerFSM(t *testing.T) {
+	const (
+		opFail    = "fail"
+		opSuccess = "success"
+		opAdvance = "advance" // move the clock past the cooldown
+		opProbe   = "probe"   // call ProbeDue, check the returned bool
+	)
+	type step struct {
+		op        string
+		wantState string
+		wantProbe bool // only for opProbe
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"trips at threshold, not before", []step{
+			{op: opFail, wantState: BreakerClosed},
+			{op: opFail, wantState: BreakerClosed},
+			{op: opFail, wantState: BreakerOpen},
+		}},
+		{"success resets the failure count", []step{
+			{op: opFail, wantState: BreakerClosed},
+			{op: opFail, wantState: BreakerClosed},
+			{op: opSuccess, wantState: BreakerClosed},
+			{op: opFail, wantState: BreakerClosed},
+			{op: opFail, wantState: BreakerClosed},
+			{op: opFail, wantState: BreakerOpen},
+		}},
+		{"open suppresses probes until cooldown", []step{
+			{op: opFail, wantState: BreakerClosed},
+			{op: opFail, wantState: BreakerClosed},
+			{op: opFail, wantState: BreakerOpen},
+			{op: opProbe, wantState: BreakerOpen, wantProbe: false},
+			{op: opProbe, wantState: BreakerOpen, wantProbe: false},
+			{op: opAdvance, wantState: BreakerOpen},
+			{op: opProbe, wantState: BreakerHalfOpen, wantProbe: true},
+		}},
+		{"half-open probe success closes", []step{
+			{op: opFail, wantState: BreakerClosed},
+			{op: opFail, wantState: BreakerClosed},
+			{op: opFail, wantState: BreakerOpen},
+			{op: opAdvance, wantState: BreakerOpen},
+			{op: opProbe, wantState: BreakerHalfOpen, wantProbe: true},
+			{op: opSuccess, wantState: BreakerClosed},
+			{op: opProbe, wantState: BreakerClosed, wantProbe: true},
+		}},
+		{"half-open probe failure reopens with fresh cooldown", []step{
+			{op: opFail, wantState: BreakerClosed},
+			{op: opFail, wantState: BreakerClosed},
+			{op: opFail, wantState: BreakerOpen},
+			{op: opAdvance, wantState: BreakerOpen},
+			{op: opProbe, wantState: BreakerHalfOpen, wantProbe: true},
+			{op: opFail, wantState: BreakerOpen},
+			{op: opProbe, wantState: BreakerOpen, wantProbe: false},
+			{op: opAdvance, wantState: BreakerOpen},
+			{op: opProbe, wantState: BreakerHalfOpen, wantProbe: true},
+		}},
+		{"failure while open refreshes the cooldown", []step{
+			{op: opFail, wantState: BreakerClosed},
+			{op: opFail, wantState: BreakerClosed},
+			{op: opFail, wantState: BreakerOpen},
+			{op: opAdvance, wantState: BreakerOpen},
+			// A passive transport failure lands before the probe fires:
+			// the cooldown restarts, so the probe is suppressed again.
+			{op: opFail, wantState: BreakerOpen},
+			{op: opProbe, wantState: BreakerOpen, wantProbe: false},
+			{op: opAdvance, wantState: BreakerOpen},
+			{op: opProbe, wantState: BreakerHalfOpen, wantProbe: true},
+		}},
+	}
+	const cooldown = 5 * time.Second
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, clk := newTestBreaker(3, cooldown)
+			for i, s := range tc.steps {
+				switch s.op {
+				case opFail:
+					b.Failure()
+				case opSuccess:
+					b.Success()
+				case opAdvance:
+					clk.advance(cooldown + time.Millisecond)
+				case opProbe:
+					if got := b.ProbeDue(); got != s.wantProbe {
+						t.Fatalf("step %d: ProbeDue() = %v, want %v", i, got, s.wantProbe)
+					}
+				}
+				if st, _, _ := b.State(); st != s.wantState {
+					t.Fatalf("step %d (%s): state = %s, want %s", i, s.op, st, s.wantState)
+				}
+			}
+		})
+	}
+}
+
+func TestBreakerCountsTrips(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure() // trip 1
+	clk.advance(2 * time.Second)
+	if !b.ProbeDue() {
+		t.Fatal("probe should be due after cooldown")
+	}
+	b.Failure() // half-open probe failed: trip 2
+	if _, _, trips := b.State(); trips != 2 {
+		t.Fatalf("trips = %d, want 2", trips)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(breakerOptions{})
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if st, _, _ := b.State(); st != BreakerClosed {
+			t.Fatalf("after %d failures state = %s, want closed (default threshold 3)", i+1, st)
+		}
+	}
+	b.Failure()
+	if st, _, _ := b.State(); st != BreakerOpen {
+		t.Fatal("default threshold should trip at 3 consecutive failures")
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	t.Run("spends down to zero then denies", func(t *testing.T) {
+		b := newRetryBudget(2, -1, clk.now) // no refill
+		if !b.allow() || !b.allow() {
+			t.Fatal("first two retries should be allowed")
+		}
+		if b.allow() {
+			t.Fatal("third retry should be denied: bucket empty, no refill")
+		}
+		st := b.stats()
+		if st.Spent != 2 || st.Denied != 1 {
+			t.Fatalf("stats = %+v, want spent=2 denied=1", st)
+		}
+	})
+	t.Run("refills with elapsed time, capped at max", func(t *testing.T) {
+		b := newRetryBudget(2, 1, clk.now) // 1 token/s, max 2
+		b.allow()
+		b.allow()
+		if b.allow() {
+			t.Fatal("bucket should be empty")
+		}
+		clk.advance(1500 * time.Millisecond)
+		if !b.allow() {
+			t.Fatal("1.5s at 1 token/s should afford one retry")
+		}
+		if b.allow() {
+			t.Fatal("only one token should have accrued")
+		}
+		clk.advance(time.Hour)
+		b.allow()
+		b.allow()
+		if b.allow() {
+			t.Fatal("refill must cap at max=2, not accrue an hour of tokens")
+		}
+	})
+	t.Run("zero max denies everything", func(t *testing.T) {
+		b := newRetryBudget(0, -1, clk.now)
+		if b.allow() {
+			t.Fatal("zero-size bucket must deny all retries")
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// The retry budget bounds the fleet-wide cost of in-request retries.
+// Without it, every request that found its replica unreachable would
+// re-pick and re-send for free — during an outage that multiplies
+// offered load by the replica count exactly when capacity is lowest
+// (the classic retry storm). The budget is one token bucket shared by
+// all requests: first attempts are always free, each retry spends one
+// token, and when the bucket is empty retries are refused — the request
+// fails fast with a 503 the client can back off on, instead of piling
+// onto the survivors.
+
+// budgetStats is the /healthz snapshot of the retry budget.
+type budgetStats struct {
+	Tokens float64 `json:"tokens"`
+	Max    float64 `json:"max"`
+	Rate   float64 `json:"refill_per_sec"`
+	Spent  int64   `json:"spent"`
+	Denied int64   `json:"denied"`
+}
+
+// retryBudget is a token bucket. Safe for concurrent use. Rate < 0
+// disables refill entirely — chaos tests use that to keep the number of
+// retries a seeded schedule performs independent of wall-clock time.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	rate   float64 // tokens per second
+	last   time.Time
+	now    func() time.Time
+	spent  int64
+	denied int64
+}
+
+func newRetryBudget(max, rate float64, now func() time.Time) *retryBudget {
+	if now == nil {
+		now = time.Now
+	}
+	return &retryBudget{tokens: max, max: max, rate: rate, last: now(), now: now}
+}
+
+// allow spends one retry token, refilling first. Reports false — and
+// counts the denial — when the bucket is empty.
+func (b *retryBudget) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate > 0 {
+		t := b.now()
+		b.tokens += t.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.max {
+			b.tokens = b.max
+		}
+		b.last = t
+	}
+	if b.tokens < 1 {
+		b.denied++
+		return false
+	}
+	b.tokens--
+	b.spent++
+	return true
+}
+
+func (b *retryBudget) stats() budgetStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return budgetStats{Tokens: b.tokens, Max: b.max, Rate: b.rate, Spent: b.spent, Denied: b.denied}
+}

@@ -65,14 +65,40 @@ type Options struct {
 	// DrainGrace is how long in-flight requests get after Shutdown
 	// begins before their contexts cancel (0 means 2s).
 	DrainGrace time.Duration
+	// BreakerThreshold is how many consecutive failures (failed /readyz
+	// probes or transport errors) open a replica's circuit (0 means 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit suppresses probes
+	// before one half-open probe may close it again (0 means 5s).
+	BreakerCooldown time.Duration
+	// RetryTokens sizes the shared retry budget: first attempts are
+	// free, each in-request retry onto another replica spends one token
+	// (0 means 32; negative disables retries entirely).
+	RetryTokens float64
+	// RetryRefill is the budget's refill rate in tokens/second (0 means
+	// 1; negative disables refill — deterministic chaos runs use that).
+	RetryRefill float64
+	// DeadlineAnalyze / DeadlineCodesign / DeadlineJobs bound one
+	// proxied request per route class: analyze and batch; codesign and
+	// experiments; the jobs surface. 0 means no bound. Streaming
+	// (?stream=1) requests are exempt — they are open-ended by design.
+	DeadlineAnalyze  time.Duration
+	DeadlineCodesign time.Duration
+	DeadlineJobs     time.Duration
 	// Client overrides the proxy HTTP client (tests).
 	Client *http.Client
+	// now overrides the breaker/budget clock (tests).
+	now func() time.Time
 }
 
-// replica is one backend and its health flag.
+// replica is one backend, its health flag, and its circuit breaker. A
+// replica is in rotation only while up; up can only return to true
+// through a successful probe, and the breaker decides when the replica
+// deserves one.
 type replica struct {
 	url string
 	up  atomic.Bool
+	brk *breaker
 }
 
 // Gateway proxies one fleet. Safe for concurrent use.
@@ -83,6 +109,7 @@ type Gateway struct {
 	pool   *admit.Controller
 	rr     atomic.Uint64
 	client *http.Client
+	budget *retryBudget
 
 	draining atomic.Bool
 	proxied  atomic.Int64
@@ -109,10 +136,23 @@ func New(opt Options) (*Gateway, error) {
 	if opt.DrainGrace <= 0 {
 		opt.DrainGrace = 2 * time.Second
 	}
+	switch {
+	case opt.RetryTokens == 0:
+		opt.RetryTokens = 32
+	case opt.RetryTokens < 0:
+		opt.RetryTokens = 0
+	}
+	if opt.RetryRefill == 0 {
+		opt.RetryRefill = 1
+	}
+	if opt.now == nil {
+		opt.now = time.Now
+	}
 	g := &Gateway{
 		opt:    opt,
 		pool:   admit.New(admit.Options{Slots: opt.MaxConcurrent, MaxQueue: opt.MaxQueue, PerClient: opt.PerClient}),
 		client: opt.Client,
+		budget: newRetryBudget(opt.RetryTokens, opt.RetryRefill, opt.now),
 	}
 	if g.client == nil {
 		g.client = &http.Client{} // streams forbid a whole-request timeout
@@ -130,7 +170,11 @@ func New(opt Options) (*Gateway, error) {
 			return nil, fmt.Errorf("gateway: duplicate replica %s", u)
 		}
 		seen[u] = true
-		rep := &replica{url: u}
+		rep := &replica{url: u, brk: newBreaker(breakerOptions{
+			Threshold: opt.BreakerThreshold,
+			Cooldown:  opt.BreakerCooldown,
+			Now:       opt.now,
+		})}
 		rep.up.Store(true)
 		g.reps = append(g.reps, rep)
 	}
@@ -154,8 +198,11 @@ func (g *Gateway) rebuild() {
 
 // markDown takes a replica out of rotation until the next successful
 // probe (the passive half of health checking: a transport error is
-// fresher evidence than the last poll).
+// fresher evidence than the last poll) and feeds its breaker, so a
+// replica that keeps failing in-request transitions to open and stops
+// being probed at all.
 func (g *Gateway) markDown(rep *replica) {
+	rep.brk.Failure()
 	if rep.up.CompareAndSwap(true, false) {
 		g.rebuild()
 	}
@@ -163,10 +210,19 @@ func (g *Gateway) markDown(rep *replica) {
 
 // CheckReplicas probes every replica's /readyz once and swaps the ring
 // if the ready set changed. A replica is ready only on a 200: draining
-// and store-degraded replicas answer 503 and leave rotation.
+// and store-degraded replicas answer 503 and leave rotation. Replicas
+// whose circuit is open are not probed — they stay down for free until
+// the breaker's cooldown grants one half-open probe, and only that
+// probe's success returns them to rotation.
 func (g *Gateway) CheckReplicas(ctx context.Context) {
 	changed := false
 	for _, rep := range g.reps {
+		if !rep.brk.ProbeDue() {
+			if rep.up.Swap(false) {
+				changed = true
+			}
+			continue
+		}
 		probeCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
 		up := false
 		req, err := http.NewRequestWithContext(probeCtx, http.MethodGet, rep.url+"/readyz", nil)
@@ -178,6 +234,11 @@ func (g *Gateway) CheckReplicas(ctx context.Context) {
 			}
 		}
 		cancel()
+		if up {
+			rep.brk.Success()
+		} else {
+			rep.brk.Failure()
+		}
 		if rep.up.Swap(up) != up {
 			changed = true
 		}
@@ -268,9 +329,31 @@ func (g *Gateway) Handler() http.Handler {
 	return g.withAdmission(mux)
 }
 
+// routeDeadline maps one request to its route class's deadline: analyze
+// (single + batch), codesign (plus experiment campaigns, which share
+// its cost profile), and the jobs surface (submissions and lookups are
+// registry operations that must answer fast). Streaming requests are
+// exempt — they are open-ended by design and terminate through drain or
+// client disconnect.
+func (g *Gateway) routeDeadline(r *http.Request) time.Duration {
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+		return 0
+	}
+	path := r.URL.Path
+	switch {
+	case path == "/v1/analyze" || path == "/v1/analyze/batch":
+		return g.opt.DeadlineAnalyze
+	case path == "/v1/codesign" || strings.HasPrefix(path, "/v1/experiments/"):
+		return g.opt.DeadlineCodesign
+	case strings.HasPrefix(path, "/v1/jobs"):
+		return g.opt.DeadlineJobs
+	}
+	return 0
+}
+
 // withAdmission gates every proxied request through the gateway's own
-// bounded pool; probes stay un-gated (a saturated gateway must still
-// answer its own health checks).
+// bounded pool and arms its route-class deadline; probes stay un-gated
+// (a saturated gateway must still answer its own health checks).
 func (g *Gateway) withAdmission(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !strings.HasPrefix(r.URL.Path, "/v1/") {
@@ -293,7 +376,13 @@ func (g *Gateway) withAdmission(h http.Handler) http.Handler {
 		}
 		defer release()
 		g.proxied.Add(1)
-		h.ServeHTTP(w, r.WithContext(service.WithClient(r.Context(), service.ClientID(r))))
+		ctx := service.WithClient(r.Context(), service.ClientID(r))
+		if d := g.routeDeadline(r); d > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		h.ServeHTTP(w, r.WithContext(ctx))
 	})
 }
 
@@ -329,8 +418,16 @@ func relay(w http.ResponseWriter, resp *http.Response) {
 				flusher.Flush()
 			}
 		}
-		if err != nil {
+		if err == io.EOF {
 			return
+		}
+		if err != nil {
+			// The replica's body died mid-relay. Ending the response
+			// normally would hand the client a cleanly-terminated prefix
+			// indistinguishable from a complete answer — abort the
+			// connection instead so the client sees a transport error.
+			resp.Body.Close()
+			panic(http.ErrAbortHandler)
 		}
 	}
 }
@@ -354,11 +451,14 @@ func (g *Gateway) send(ctx context.Context, rep *replica, method, uri string, he
 	resp, err := g.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
+			// The client gave up (or a route deadline fired): no verdict
+			// on the replica, so neither markDown nor the breaker moves.
 			return nil, ctx.Err()
 		}
 		g.markDown(rep)
 		return nil, nil
 	}
+	rep.brk.Success()
 	return resp, nil
 }
 
@@ -374,13 +474,31 @@ func clientHeader(r *http.Request) http.Header {
 	return h
 }
 
+// writeCtxErr maps a proxied request's context error onto the wire: a
+// route deadline firing is a 504 the client should not blindly retry
+// (the work may still be running — resubmit as a job or raise the
+// deadline), anything else is the familiar 503.
+func writeCtxErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeErr(w, http.StatusGatewayTimeout, "deadline", "route deadline exceeded: "+err.Error(), 0)
+		return
+	}
+	writeErr(w, http.StatusServiceUnavailable, "unavailable", "canceled: "+err.Error(), 0)
+}
+
 // proxy forwards one request, retrying on the next ready replica while
 // the target is unreachable (the ring was rebuilt by markDown, so a
-// re-pick lands elsewhere). Nothing is written to the client until a
-// replica answers.
+// re-pick lands elsewhere). The first attempt is free; every retry
+// spends one token from the shared budget, so an outage degrades into
+// fast 503s instead of a retry storm. Nothing is written to the client
+// until a replica answers.
 func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, pick func() *replica, body []byte) {
 	header := clientHeader(r)
 	for attempt := 0; attempt <= len(g.reps); attempt++ {
+		if attempt > 0 && !g.budget.allow() {
+			writeErr(w, http.StatusServiceUnavailable, "retry_budget", "gateway: retry budget exhausted", 1)
+			return
+		}
 		rep := pick()
 		if rep == nil {
 			writeNoReplica(w)
@@ -388,7 +506,7 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, pick func() *rep
 		}
 		resp, err := g.send(r.Context(), rep, r.Method, r.URL.RequestURI(), header, body)
 		if err != nil {
-			writeErr(w, http.StatusServiceUnavailable, "unavailable", "canceled: "+err.Error(), 0)
+			writeCtxErr(w, err)
 			return
 		}
 		if resp == nil {
@@ -448,64 +566,87 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // handleJob resolves /v1/jobs/{id} requests by broadcast: job IDs are
 // random handles minted by whichever replica ran the submission, so the
-// gateway asks each ready replica in turn and relays the first answer
-// that is not a 404. When every replica disowns the ID, the buffered
-// 404 is relayed — replicas produce identical not-found envelopes, so
-// the response stays byte-identical to a direct miss.
+// gateway asks every replica in turn and relays the first answer that
+// is not a 404. A miss is only provable when every replica answered —
+// if any replica was down or unreachable during the sweep, the job may
+// live exactly there, so the gateway answers 503 + Retry-After instead
+// of fabricating a 404 the client would trust. Only when all replicas
+// disowned the ID is the buffered 404 relayed (replicas produce
+// identical not-found envelopes, so the response stays byte-identical
+// to a direct miss).
 func (g *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
 	body, err := readCapped(r, maxBodyBytes)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad_request", "read body: "+err.Error(), 0)
 		return
 	}
-	ready := g.ready()
-	if len(ready) == 0 {
-		writeNoReplica(w)
-		return
-	}
 	header := clientHeader(r)
-	var notFound *http.Response
+	var notFoundHdr http.Header
 	var notFoundBody []byte
-	for _, rep := range ready {
+	incomplete := 0
+	for _, rep := range g.reps {
+		if !rep.up.Load() {
+			// Down replicas are not asked (their breaker may be open and
+			// a send would just burn its cooldown), but their silence
+			// still poisons the 404.
+			incomplete++
+			continue
+		}
 		resp, err := g.send(r.Context(), rep, r.Method, r.URL.RequestURI(), header, body)
 		if err != nil {
-			writeErr(w, http.StatusServiceUnavailable, "unavailable", "canceled: "+err.Error(), 0)
+			writeCtxErr(w, err)
 			return
 		}
 		if resp == nil {
+			incomplete++
 			continue
 		}
 		if resp.StatusCode == http.StatusNotFound {
 			b, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+			notFoundHdr = resp.Header
+			notFoundBody = b
 			resp.Body.Close()
-			notFound, notFoundBody = resp, b
 			continue
 		}
 		relay(w, resp)
 		resp.Body.Close()
 		return
 	}
-	if notFound == nil {
+	if incomplete > 0 {
+		retryAfter := int(g.opt.HealthEvery / time.Second)
+		if retryAfter < 1 {
+			retryAfter = 1
+		}
+		writeErr(w, http.StatusServiceUnavailable, "unavailable",
+			fmt.Sprintf("job lookup incomplete: %d of %d replicas unreachable; the job may live there", incomplete, len(g.reps)),
+			retryAfter)
+		return
+	}
+	if notFoundBody == nil {
 		writeNoReplica(w)
 		return
 	}
 	for _, h := range relayHeaders {
-		if v := notFound.Header.Get(h); v != "" {
+		if v := notFoundHdr.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
 	}
-	w.WriteHeader(notFound.StatusCode)
+	w.WriteHeader(http.StatusNotFound)
 	_, _ = w.Write(notFoundBody)
 }
 
 // replicaStatus is one backend's row in the gateway health document.
 type replicaStatus struct {
-	URL   string `json:"url"`
-	Ready bool   `json:"ready"`
+	URL      string `json:"url"`
+	Ready    bool   `json:"ready"`
+	Breaker  string `json:"breaker"`
+	Failures int    `json:"consecutive_failures"`
+	Trips    int64  `json:"breaker_trips"`
 }
 
 // handleHealth is the gateway's own liveness document: per-replica
-// readiness, admission stats, and the routing mode.
+// readiness and breaker state, admission and retry-budget stats, and
+// the routing mode.
 func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
@@ -514,19 +655,21 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	reps := make([]replicaStatus, len(g.reps))
 	for i, rep := range g.reps {
-		reps[i] = replicaStatus{URL: rep.url, Ready: rep.up.Load()}
+		state, fails, trips := rep.brk.State()
+		reps[i] = replicaStatus{URL: rep.url, Ready: rep.up.Load(), Breaker: state, Failures: fails, Trips: trips}
 	}
 	status := "ok"
 	if len(g.ready()) == 0 {
 		status = "degraded"
 	}
 	doc := map[string]any{
-		"status":    status,
-		"draining":  g.draining.Load(),
-		"affinity":  !g.opt.NoAffinity,
-		"replicas":  reps,
-		"admission": g.pool.Stats(),
-		"proxied":   g.proxied.Load(),
+		"status":       status,
+		"draining":     g.draining.Load(),
+		"affinity":     !g.opt.NoAffinity,
+		"replicas":     reps,
+		"admission":    g.pool.Stats(),
+		"retry_budget": g.budget.stats(),
+		"proxied":      g.proxied.Load(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(doc)

@@ -1,0 +1,61 @@
+package jobs
+
+import (
+	"io"
+	"os"
+)
+
+// FS abstracts the filesystem mutations of the durable store and the
+// job journal — exactly the operations whose failure modes matter for
+// crash safety (writes, fsyncs, renames). Production code always runs
+// on the real filesystem (OSFS); tests inject deterministic faults
+// through internal/faultinject, which wraps an FS with a seeded fault
+// plan. Reads are deliberately not abstracted: a damaged read is
+// already handled by content verification, so faulting the write side
+// is what exercises every recovery path.
+type FS interface {
+	// CreateTemp creates a new unique file in dir for a tmp+rename
+	// atomic write (os.CreateTemp semantics).
+	CreateTemp(dir, pattern string) (File, error)
+	// OpenAppend opens name for appending, creating it if needed.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+}
+
+// File is the writable handle an FS hands out.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OSFS returns the production FS. A nil FS anywhere in this package
+// means OSFS.
+func OSFS() FS { return osFS{} }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) OpenAppend(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }

@@ -12,17 +12,21 @@ import (
 
 // State is a job's lifecycle phase. The FSM is tiny and strict:
 //
-//	running → done | failed | canceled
+//	running → done | failed | canceled | interrupted
 //
-// done/failed/canceled are terminal. A job whose key is already in the
-// durable store is born done (FromStore true) without running at all.
+// done/failed/canceled/interrupted are terminal. A job whose key is
+// already in the durable store is born done (FromStore true) without
+// running at all. Interrupted is reached only through crash recovery:
+// a journaled job the restarted process could not (or was told not to)
+// re-run surfaces in this state instead of vanishing.
 type State string
 
 const (
-	StateRunning  State = "running"
-	StateDone     State = "done"
-	StateFailed   State = "failed"
-	StateCanceled State = "canceled"
+	StateRunning     State = "running"
+	StateDone        State = "done"
+	StateFailed      State = "failed"
+	StateCanceled    State = "canceled"
+	StateInterrupted State = "interrupted"
 )
 
 // Terminal reports whether the state is final.
@@ -219,22 +223,44 @@ func (j *Job) finishErr(fail *ErrorInfo) {
 	close(j.finishCh)
 }
 
-// EngineStats is the /healthz job counters snapshot.
-type EngineStats struct {
-	Submitted int64 `json:"submitted"`
-	Running   int64 `json:"running"`
-	Done      int64 `json:"done"`
-	Failed    int64 `json:"failed"`
-	Canceled  int64 `json:"canceled"`
-	FromStore int64 `json:"from_store"`
-	Tracked   int   `json:"tracked"`
-	Draining  bool  `json:"draining"`
+// interrupt parks a recovered-but-unrunnable job in the typed
+// interrupted terminal state: the crash is surfaced, not swallowed.
+func (j *Job) interrupt() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = StateInterrupted
+	j.errInfo = &ErrorInfo{
+		Code:    "interrupted",
+		Message: "job was interrupted by a crash or restart before completing; resubmit the request",
+	}
+	j.finished = time.Now()
+	j.events = append(j.events, ErrorEvent(*j.errInfo))
+	j.broadcastLocked()
+	close(j.finishCh)
 }
 
-// Engine tracks jobs and owns the durable store. Safe for concurrent
-// use.
+// EngineStats is the /healthz job counters snapshot.
+type EngineStats struct {
+	Submitted   int64 `json:"submitted"`
+	Running     int64 `json:"running"`
+	Done        int64 `json:"done"`
+	Failed      int64 `json:"failed"`
+	Canceled    int64 `json:"canceled"`
+	Interrupted int64 `json:"interrupted"`
+	Recovered   int64 `json:"recovered"`
+	FromStore   int64 `json:"from_store"`
+	Tracked     int   `json:"tracked"`
+	Draining    bool  `json:"draining"`
+}
+
+// Engine tracks jobs and owns the durable store plus the crash-recovery
+// journal. Safe for concurrent use.
 type Engine struct {
 	store   *Store
+	journal *Journal
 	maxJobs int
 
 	mu       sync.Mutex
@@ -243,22 +269,28 @@ type Engine struct {
 	draining bool
 
 	submitted, running, doneN, failedN, canceledN, fromStore int64
+	interruptedN, recoveredN                                 int64
 
 	wg sync.WaitGroup
 }
 
 // NewEngine builds an engine over store (nil disables persistence —
-// jobs still run, results just die with the process). maxJobs bounds
-// the registry; 0 means DefaultMaxJobs.
-func NewEngine(store *Store, maxJobs int) *Engine {
+// jobs still run, results just die with the process) and jrn (nil
+// disables crash recovery — a hard crash then loses in-flight jobs, as
+// before the journal existed). maxJobs bounds the registry; 0 means
+// DefaultMaxJobs.
+func NewEngine(store *Store, maxJobs int, jrn *Journal) *Engine {
 	if maxJobs <= 0 {
 		maxJobs = DefaultMaxJobs
 	}
-	return &Engine{store: store, maxJobs: maxJobs, jobs: make(map[string]*Job)}
+	return &Engine{store: store, journal: jrn, maxJobs: maxJobs, jobs: make(map[string]*Job)}
 }
 
 // Store returns the engine's durable store (nil when disabled).
 func (e *Engine) Store() *Store { return e.store }
+
+// Journal returns the engine's intent journal (nil when disabled).
+func (e *Engine) Journal() *Journal { return e.journal }
 
 func newJobID() string {
 	var b [8]byte
@@ -268,11 +300,25 @@ func newJobID() string {
 	return hex.EncodeToString(b[:])
 }
 
+func newJob(id, kind string, key Key) *Job {
+	return &Job{
+		ID:       id,
+		Kind:     kind,
+		Key:      key,
+		state:    StateRunning,
+		created:  time.Now(),
+		updated:  make(chan struct{}),
+		finishCh: make(chan struct{}),
+	}
+}
+
 // Submit registers and starts one job. When the durable store already
 // holds the key's result the job is born done without running — that
 // is the restart path: a resubmitted request after a daemon restart is
-// served from disk, byte-identical, with no recompute.
-func (e *Engine) Submit(kind string, key Key, run Runner) (*Job, error) {
+// served from disk, byte-identical, with no recompute. raw is the
+// job's canonical request body, journaled alongside the intent so a
+// crashed submission can be re-enqueued verbatim on the next start.
+func (e *Engine) Submit(kind string, key Key, raw []byte, run Runner) (*Job, error) {
 	e.mu.Lock()
 	if e.draining {
 		e.mu.Unlock()
@@ -282,32 +328,46 @@ func (e *Engine) Submit(kind string, key Key, run Runner) (*Job, error) {
 		e.mu.Unlock()
 		return nil, ErrRegistryFull
 	}
-	j := &Job{
-		ID:       newJobID(),
-		Kind:     kind,
-		Key:      key,
-		state:    StateRunning,
-		created:  time.Now(),
-		updated:  make(chan struct{}),
-		finishCh: make(chan struct{}),
-	}
+	j := newJob(newJobID(), kind, key)
 	e.jobs[j.ID] = j
 	e.order = append(e.order, j.ID)
 	e.submitted++
 	e.mu.Unlock()
 
-	if b, ok := e.store.Get(key); ok {
-		j.mu.Lock()
-		j.fromStore = true
-		j.mu.Unlock()
-		j.finishOK(b, true)
-		e.mu.Lock()
-		e.doneN++
-		e.fromStore++
-		e.mu.Unlock()
+	if e.finishFromStore(j, key) {
 		return j, nil
 	}
 
+	// The intent must be on disk (fsynced) before the runner starts:
+	// from here a hard crash leaves a begin without an end, which the
+	// next OpenJournal surfaces for recovery. A failing journal append
+	// degrades crash recovery only — the job still runs.
+	_ = e.journal.Begin(Intent{ID: j.ID, Kind: kind, Key: key, Request: raw})
+	e.start(j, kind, key, run)
+	return j, nil
+}
+
+// finishFromStore completes j straight from the durable store when the
+// key's result is already persisted.
+func (e *Engine) finishFromStore(j *Job, key Key) bool {
+	b, ok := e.store.Get(key)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	j.fromStore = true
+	j.mu.Unlock()
+	j.finishOK(b, true)
+	e.mu.Lock()
+	e.doneN++
+	e.fromStore++
+	e.mu.Unlock()
+	return true
+}
+
+// start launches j's runner on an engine goroutine and journals the end
+// record once the job reaches a terminal state.
+func (e *Engine) start(j *Job, kind string, key Key, run Runner) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j.cancel = cancel
 	e.mu.Lock()
@@ -324,6 +384,7 @@ func (e *Engine) Submit(kind string, key Key, run Runner) (*Job, error) {
 			_ = e.store.Put(key, kind, b)
 			j.finishOK(b, hit)
 		}
+		_ = e.journal.End(j.ID)
 		e.mu.Lock()
 		e.running--
 		j.mu.Lock()
@@ -338,7 +399,53 @@ func (e *Engine) Submit(kind string, key Key, run Runner) (*Job, error) {
 		j.mu.Unlock()
 		e.mu.Unlock()
 	}()
-	return j, nil
+}
+
+// Recover resolves the journal's live intents — jobs that were accepted
+// but not terminal when the previous process died. Call once at
+// startup, before the engine takes traffic. Each intent lands in
+// exactly one of three places, so accepted work is never silently
+// dropped:
+//
+//  1. The store already holds the key's result (the crash happened
+//     after persist, or an identical request completed since): the job
+//     is born done from disk, byte-identical.
+//  2. resubmit is true and prepare can rebuild a runner from the
+//     journaled request: the job re-runs under its original ID.
+//  3. Otherwise the job surfaces as the typed `interrupted` terminal
+//     state.
+func (e *Engine) Recover(intents []Intent, resubmit bool, prepare func(kind string, raw []byte) (Runner, error)) {
+	for _, in := range intents {
+		e.mu.Lock()
+		if _, dup := e.jobs[in.ID]; dup {
+			e.mu.Unlock()
+			continue
+		}
+		for len(e.jobs) >= e.maxJobs && e.evictLocked() {
+		}
+		j := newJob(in.ID, in.Kind, in.Key)
+		e.jobs[j.ID] = j
+		e.order = append(e.order, j.ID)
+		e.submitted++
+		e.recoveredN++
+		e.mu.Unlock()
+
+		if e.finishFromStore(j, in.Key) {
+			_ = e.journal.End(j.ID)
+			continue
+		}
+		if resubmit && prepare != nil {
+			if run, err := prepare(in.Kind, in.Request); err == nil {
+				e.start(j, in.Kind, in.Key, run)
+				continue
+			}
+		}
+		j.interrupt()
+		e.mu.Lock()
+		e.interruptedN++
+		e.mu.Unlock()
+		_ = e.journal.End(j.ID)
+	}
 }
 
 // evictLocked forgets the oldest finished job; reports false when every
@@ -393,7 +500,10 @@ func (e *Engine) Cancel(id string) (*Job, bool) {
 
 // Drain stops accepting submissions and waits for running jobs. If ctx
 // expires first, the remaining jobs are canceled and waited out (their
-// campaigns abort promptly). Always returns with no jobs running.
+// campaigns abort promptly). Always returns with no jobs running and
+// the journal closed — a drained process leaves no live intents behind
+// except for jobs it had to cancel, whose end records still land
+// because cancellation drives them to a terminal state first.
 func (e *Engine) Drain(ctx context.Context) {
 	e.mu.Lock()
 	e.draining = true
@@ -407,13 +517,13 @@ func (e *Engine) Drain(ctx context.Context) {
 	go func() { e.wg.Wait(); close(done) }()
 	select {
 	case <-done:
-		return
 	case <-ctx.Done():
+		for _, id := range ids {
+			e.Cancel(id)
+		}
+		<-done
 	}
-	for _, id := range ids {
-		e.Cancel(id)
-	}
-	<-done
+	_ = e.journal.Close()
 }
 
 // Stats snapshots the engine counters.
@@ -421,13 +531,15 @@ func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return EngineStats{
-		Submitted: e.submitted,
-		Running:   e.running,
-		Done:      e.doneN,
-		Failed:    e.failedN,
-		Canceled:  e.canceledN,
-		FromStore: e.fromStore,
-		Tracked:   len(e.jobs),
-		Draining:  e.draining,
+		Submitted:   e.submitted,
+		Running:     e.running,
+		Done:        e.doneN,
+		Failed:      e.failedN,
+		Canceled:    e.canceledN,
+		Interrupted: e.interruptedN,
+		Recovered:   e.recoveredN,
+		FromStore:   e.fromStore,
+		Tracked:     len(e.jobs),
+		Draining:    e.draining,
 	}
 }

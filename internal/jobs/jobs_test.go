@@ -25,9 +25,9 @@ func waitTerminal(t *testing.T, j *Job) {
 }
 
 func TestJobDoneFSM(t *testing.T) {
-	e := NewEngine(nil, 0)
+	e := NewEngine(nil, 0, nil)
 	body := []byte(`{"v":1}`)
-	j, err := e.Submit("analyze", testKey("done"), immediateRunner(body))
+	j, err := e.Submit("analyze", testKey("done"), nil, immediateRunner(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,9 +47,9 @@ func TestJobDoneFSM(t *testing.T) {
 }
 
 func TestJobFailedKeepsClassifiedError(t *testing.T) {
-	e := NewEngine(nil, 0)
+	e := NewEngine(nil, 0, nil)
 	info := &ErrorInfo{Code: "bad_request", Message: "loop 0: empty grid"}
-	j, err := e.Submit("codesign", testKey("fail"), func(ctx context.Context, emit func(Event)) ([]byte, bool, *ErrorInfo) {
+	j, err := e.Submit("codesign", testKey("fail"), nil, func(ctx context.Context, emit func(Event)) ([]byte, bool, *ErrorInfo) {
 		return nil, false, info
 	})
 	if err != nil {
@@ -66,9 +66,9 @@ func TestJobFailedKeepsClassifiedError(t *testing.T) {
 }
 
 func TestJobCancel(t *testing.T) {
-	e := NewEngine(nil, 0)
+	e := NewEngine(nil, 0, nil)
 	started := make(chan struct{})
-	j, err := e.Submit("table1", testKey("cancel"), func(ctx context.Context, emit func(Event)) ([]byte, bool, *ErrorInfo) {
+	j, err := e.Submit("table1", testKey("cancel"), nil, func(ctx context.Context, emit func(Event)) ([]byte, bool, *ErrorInfo) {
 		close(started)
 		<-ctx.Done()
 		return nil, false, &ErrorInfo{Code: "unavailable", Message: "canceled during table1: " + ctx.Err().Error()}
@@ -103,9 +103,9 @@ func TestJobBornDoneFromStore(t *testing.T) {
 	if err := store.Put(k, "codesign", body); err != nil {
 		t.Fatal(err)
 	}
-	e := NewEngine(store, 0)
+	e := NewEngine(store, 0, nil)
 	ran := false
-	j, err := e.Submit("codesign", k, func(ctx context.Context, emit func(Event)) ([]byte, bool, *ErrorInfo) {
+	j, err := e.Submit("codesign", k, nil, func(ctx context.Context, emit func(Event)) ([]byte, bool, *ErrorInfo) {
 		ran = true
 		return nil, false, &ErrorInfo{Code: "internal", Message: "should not run"}
 	})
@@ -133,10 +133,10 @@ func TestJobBornDoneFromStore(t *testing.T) {
 // item events replay in order, and the stream ends with the terminal
 // event set.
 func TestJobWatchReplaysAndCoalesces(t *testing.T) {
-	e := NewEngine(nil, 0)
+	e := NewEngine(nil, 0, nil)
 	release := make(chan struct{})
 	emitted := make(chan struct{})
-	j, err := e.Submit("analyze_batch", testKey("watch"), func(ctx context.Context, emit func(Event)) ([]byte, bool, *ErrorInfo) {
+	j, err := e.Submit("analyze_batch", testKey("watch"), nil, func(ctx context.Context, emit func(Event)) ([]byte, bool, *ErrorInfo) {
 		for i := 0; i < 100; i++ {
 			emit(ProgressEvent(i+1, 100))
 		}
@@ -207,8 +207,8 @@ func TestJobWatchReplaysAndCoalesces(t *testing.T) {
 }
 
 func TestJobWatchSingleResultAppendsCacheAndResult(t *testing.T) {
-	e := NewEngine(nil, 0)
-	j, err := e.Submit("analyze", testKey("single"), immediateRunner([]byte(`{"x":1}`+"\n")))
+	e := NewEngine(nil, 0, nil)
+	j, err := e.Submit("analyze", testKey("single"), nil, immediateRunner([]byte(`{"x":1}`+"\n")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,9 +228,9 @@ func TestJobWatchSingleResultAppendsCacheAndResult(t *testing.T) {
 }
 
 func TestEngineDrain(t *testing.T) {
-	e := NewEngine(nil, 0)
+	e := NewEngine(nil, 0, nil)
 	blocked := make(chan struct{})
-	j, err := e.Submit("table1", testKey("drain"), func(ctx context.Context, emit func(Event)) ([]byte, bool, *ErrorInfo) {
+	j, err := e.Submit("table1", testKey("drain"), nil, func(ctx context.Context, emit func(Event)) ([]byte, bool, *ErrorInfo) {
 		close(blocked)
 		<-ctx.Done()
 		return nil, false, &ErrorInfo{Code: "unavailable", Message: "canceled during table1"}
@@ -251,18 +251,18 @@ func TestEngineDrain(t *testing.T) {
 	if _, state, _, _ := j.Result(); state != StateCanceled {
 		t.Fatalf("drained job state %v", state)
 	}
-	if _, err := e.Submit("analyze", testKey("late"), immediateRunner(nil)); !errors.Is(err, ErrDraining) {
+	if _, err := e.Submit("analyze", testKey("late"), nil, immediateRunner(nil)); !errors.Is(err, ErrDraining) {
 		t.Fatalf("post-drain submit err = %v", err)
 	}
 }
 
 func TestEngineRegistryEviction(t *testing.T) {
-	e := NewEngine(nil, 2)
-	j1, _ := e.Submit("analyze", testKey("1"), immediateRunner([]byte("{}")))
+	e := NewEngine(nil, 2, nil)
+	j1, _ := e.Submit("analyze", testKey("1"), nil, immediateRunner([]byte("{}")))
 	waitTerminal(t, j1)
-	j2, _ := e.Submit("analyze", testKey("2"), immediateRunner([]byte("{}")))
+	j2, _ := e.Submit("analyze", testKey("2"), nil, immediateRunner([]byte("{}")))
 	waitTerminal(t, j2)
-	j3, err := e.Submit("analyze", testKey("3"), immediateRunner([]byte("{}")))
+	j3, err := e.Submit("analyze", testKey("3"), nil, immediateRunner([]byte("{}")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,10 +275,10 @@ func TestEngineRegistryEviction(t *testing.T) {
 	}
 
 	// Registry full of running jobs refuses new submissions.
-	e2 := NewEngine(nil, 1)
+	e2 := NewEngine(nil, 1, nil)
 	hold := make(chan struct{})
 	started := make(chan struct{})
-	_, err = e2.Submit("analyze", testKey("hold"), func(ctx context.Context, emit func(Event)) ([]byte, bool, *ErrorInfo) {
+	_, err = e2.Submit("analyze", testKey("hold"), nil, func(ctx context.Context, emit func(Event)) ([]byte, bool, *ErrorInfo) {
 		close(started)
 		<-hold
 		return []byte("{}"), false, nil
@@ -287,7 +287,7 @@ func TestEngineRegistryEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-started
-	if _, err := e2.Submit("analyze", testKey("overflow"), immediateRunner(nil)); !errors.Is(err, ErrRegistryFull) {
+	if _, err := e2.Submit("analyze", testKey("overflow"), nil, immediateRunner(nil)); !errors.Is(err, ErrRegistryFull) {
 		t.Fatalf("overflow submit err = %v", err)
 	}
 	close(hold)

@@ -1,0 +1,285 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The job intent journal is what makes hard crashes explicit instead of
+// silent: every accepted submission appends a fsynced "begin" record —
+// the job's ID, kind, canonical key, and raw request — before its
+// runner starts, and an "end" record once it reaches a terminal state.
+// A process that dies between the two leaves an unmatched begin behind,
+// and the next OpenJournal surfaces it as an Intent: the service then
+// either re-enqueues it (idempotent — if the content-addressed store
+// already holds the key's result the job is born done from disk) or
+// parks it in the typed `interrupted` terminal state. Either way, work
+// that was accepted is never silently dropped.
+//
+// Format: one JSON record per '\n'-terminated line,
+//
+//	{"schema":1,"op":"begin","id":"…","kind":"…","key":"<hex>","request":{…}}
+//	{"schema":1,"op":"end","id":"…"}
+//
+// A crash can tear the final append; a trailing line without its
+// newline terminator (or that fails to parse) is the crash frontier and
+// is ignored on replay. OpenJournal compacts: live intents are
+// rewritten into a fresh journal atomically (tmp + fsync + rename), so
+// the file stays bounded by the number of in-flight jobs rather than
+// growing with history, and a crash anywhere during compaction loses
+// nothing — both the old and the new file contain every live intent.
+
+// journalSchema versions the record format.
+const journalSchema = 1
+
+// JournalName is the journal's filename inside the jobs directory.
+const JournalName = "jobs.journal"
+
+// Intent is one journaled submission that had not reached a terminal
+// state when the journal was written: the unit of crash recovery.
+type Intent struct {
+	ID      string
+	Kind    string
+	Key     Key
+	Request json.RawMessage
+}
+
+// journalRecord is the on-disk line shape of both record types.
+type journalRecord struct {
+	Schema  int             `json:"schema"`
+	Op      string          `json:"op"`
+	ID      string          `json:"id"`
+	Kind    string          `json:"kind,omitempty"`
+	Key     string          `json:"key,omitempty"`
+	Request json.RawMessage `json:"request,omitempty"`
+}
+
+// JournalStats is the /healthz journal counters snapshot.
+type JournalStats struct {
+	Enabled   bool  `json:"enabled"`
+	Appends   int64 `json:"appends"`
+	AppendErr int64 `json:"append_errors"`
+	Recovered int   `json:"recovered_intents"`
+}
+
+// Journal is the fsynced job intent log. Safe for concurrent use. A nil
+// *Journal is a valid disabled journal: every append is a no-op.
+type Journal struct {
+	path string
+	fs   FS
+
+	mu        sync.Mutex
+	f         File
+	appends   int64
+	appendErr int64
+	recovered int
+}
+
+// OpenJournal opens (creating if needed) the journal in dir, replays it,
+// and returns the live intents — begins without a matching end, in
+// submission order — alongside the compacted, append-ready journal.
+// fs nil means the real filesystem. Replaying the same directory twice
+// yields the same intents: compaction rewrites exactly the live set, so
+// recovery is idempotent until the intents are resolved with End.
+func OpenJournal(dir string, fs FS) (*Journal, []Intent, error) {
+	if fs == nil {
+		fs = OSFS()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobs: open journal: %w", err)
+	}
+	path := filepath.Join(dir, JournalName)
+	intents, err := replayJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := compactJournal(path, fs, intents); err != nil {
+		return nil, nil, fmt.Errorf("jobs: compact journal: %w", err)
+	}
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: open journal: %w", err)
+	}
+	return &Journal{path: path, fs: fs, f: f, recovered: len(intents)}, intents, nil
+}
+
+// replayJournal parses the journal into its live intents. A missing
+// file is an empty journal; an unterminated or unparseable final line
+// is the crash frontier and is skipped.
+func replayJournal(path string) ([]Intent, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("jobs: replay journal: %w", err)
+	}
+	live := make(map[string]int) // id → index into order
+	var order []Intent
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn final append: ignore the frontier
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		var rec journalRecord
+		if json.Unmarshal(line, &rec) != nil || rec.Schema != journalSchema || rec.ID == "" {
+			continue // damaged line: skip, keys around it are unaffected
+		}
+		switch rec.Op {
+		case "begin":
+			raw, err := hex.DecodeString(rec.Key)
+			if err != nil || len(raw) != len(Key{}) {
+				continue
+			}
+			if _, dup := live[rec.ID]; dup {
+				continue // duplicate begin: first wins
+			}
+			var k Key
+			copy(k[:], raw)
+			live[rec.ID] = len(order)
+			order = append(order, Intent{ID: rec.ID, Kind: rec.Kind, Key: k, Request: rec.Request})
+		case "end":
+			if i, ok := live[rec.ID]; ok {
+				order[i].ID = "" // tombstone
+				delete(live, rec.ID)
+			}
+		}
+	}
+	out := order[:0]
+	for _, in := range order {
+		if in.ID != "" {
+			out = append(out, in)
+		}
+	}
+	return out, nil
+}
+
+// compactJournal atomically rewrites the journal to exactly the live
+// intents. The rename is the commit point: a crash before it leaves the
+// old journal (same intents plus history), after it the compact one.
+func compactJournal(path string, fs FS, intents []Intent) error {
+	f, err := fs.CreateTemp(filepath.Dir(path), ".journal-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	var buf bytes.Buffer
+	for _, in := range intents {
+		if err := encodeRecord(&buf, beginRecord(in)); err != nil {
+			f.Close()
+			fs.Remove(tmp)
+			return err
+		}
+	}
+	_, err = f.Write(buf.Bytes())
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = fs.Rename(tmp, path)
+	}
+	if err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func beginRecord(in Intent) journalRecord {
+	return journalRecord{
+		Schema:  journalSchema,
+		Op:      "begin",
+		ID:      in.ID,
+		Kind:    in.Kind,
+		Key:     in.Key.String(),
+		Request: in.Request,
+	}
+}
+
+func encodeRecord(buf *bytes.Buffer, rec journalRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	buf.Write(b)
+	buf.WriteByte('\n')
+	return nil
+}
+
+// append writes one record and fsyncs it. Errors are counted and
+// returned for observability, but callers proceed: a journal that
+// cannot record degrades crash *recovery*, not correctness — the
+// content-addressed store remains the source of truth for results.
+func (j *Journal) append(rec journalRecord) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil // closed
+	}
+	var buf bytes.Buffer
+	if err := encodeRecord(&buf, rec); err != nil {
+		j.appendErr++
+		return err
+	}
+	_, err := j.f.Write(buf.Bytes())
+	if err == nil {
+		err = j.f.Sync()
+	}
+	if err != nil {
+		j.appendErr++
+		return err
+	}
+	j.appends++
+	return nil
+}
+
+// Begin journals one accepted submission. Must land (fsynced) before
+// the job's runner starts, or a crash in the gap would lose the intent.
+func (j *Journal) Begin(in Intent) error { return j.append(beginRecord(in)) }
+
+// End journals a job's arrival at a terminal state; its begin stops
+// being a live intent.
+func (j *Journal) End(id string) error {
+	return j.append(journalRecord{Schema: journalSchema, Op: "end", ID: id})
+}
+
+// Close flushes and closes the journal; later appends are no-ops.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// Stats snapshots the journal counters.
+func (j *Journal) Stats() JournalStats {
+	if j == nil {
+		return JournalStats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{Enabled: true, Appends: j.appends, AppendErr: j.appendErr, Recovered: j.recovered}
+}

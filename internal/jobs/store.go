@@ -57,6 +57,10 @@ type StoreOptions struct {
 	MaxEntries int
 	MaxBytes   int64
 	MaxAge     time.Duration
+	// FS overrides the filesystem the store mutates through (nil means
+	// the real one). Tests inject deterministic write/sync/rename
+	// faults here via internal/faultinject.
+	FS FS
 }
 
 // StoreStats is a snapshot of the store counters.
@@ -67,6 +71,7 @@ type StoreStats struct {
 	Hits          int64   `json:"hits"`
 	Misses        int64   `json:"misses"`
 	Puts          int64   `json:"puts"`
+	PutErrors     int64   `json:"put_errors"`
 	Evictions     int64   `json:"evictions"`
 	Quarantined   int64   `json:"quarantined"`
 	EntryCap      int     `json:"entry_cap"`
@@ -84,11 +89,12 @@ type storeEntry struct {
 type Store struct {
 	dir string
 	opt StoreOptions
+	fs  FS
 
 	mu    sync.Mutex
 	index map[Key]storeEntry
 
-	hits, misses, puts, evicts, quarantined int64
+	hits, misses, puts, putErrs, evicts, quarantined int64
 }
 
 type storeHeader struct {
@@ -113,7 +119,11 @@ func OpenStore(dir string, opt StoreOptions) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: open store: %w", err)
 	}
-	s := &Store{dir: dir, opt: opt, index: make(map[Key]storeEntry)}
+	fs := opt.FS
+	if fs == nil {
+		fs = OSFS()
+	}
+	s := &Store{dir: dir, opt: opt, fs: fs, index: make(map[Key]storeEntry)}
 	des, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: open store: %w", err)
@@ -212,8 +222,8 @@ func verify(k Key, data []byte) ([]byte, bool) {
 // re-runs. A file that vanished entirely just drops from the index.
 func (s *Store) quarantine(k Key) {
 	path := s.path(k)
-	os.Remove(path + corruptExt)
-	err := os.Rename(path, path+corruptExt)
+	s.fs.Remove(path + corruptExt)
+	err := s.fs.Rename(path, path+corruptExt)
 	s.mu.Lock()
 	delete(s.index, k)
 	s.misses++
@@ -248,8 +258,11 @@ func (s *Store) Put(k Key, kind string, body []byte) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.CreateTemp(s.dir, ".tmp-*")
+	f, err := s.fs.CreateTemp(s.dir, ".tmp-*")
 	if err != nil {
+		s.mu.Lock()
+		s.putErrs++
+		s.mu.Unlock()
 		return err
 	}
 	tmp := f.Name()
@@ -261,10 +274,13 @@ func (s *Store) Put(k Key, kind string, body []byte) error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, s.path(k))
+		err = s.fs.Rename(tmp, s.path(k))
 	}
 	if err != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
+		s.mu.Lock()
+		s.putErrs++
+		s.mu.Unlock()
 		return err
 	}
 	s.mu.Lock()
@@ -326,7 +342,7 @@ func (s *Store) gcLocked() {
 }
 
 func (s *Store) evictLocked(k Key) {
-	os.Remove(s.path(k))
+	s.fs.Remove(s.path(k))
 	delete(s.index, k)
 	s.evicts++
 }
@@ -354,6 +370,7 @@ func (s *Store) Stats() StoreStats {
 		Hits:          s.hits,
 		Misses:        s.misses,
 		Puts:          s.puts,
+		PutErrors:     s.putErrs,
 		Evictions:     s.evicts,
 		Quarantined:   s.quarantined,
 		EntryCap:      s.opt.MaxEntries,

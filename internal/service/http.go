@@ -176,7 +176,7 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	status := "ok"
-	if s.storeErr != "" {
+	if s.storeErr != "" || s.journalErr != "" {
 		status = "degraded"
 	}
 	doc := map[string]any{
@@ -197,9 +197,13 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"result_cache": s.cache.stats(),
 		"result_store": s.store.Stats(),
 		"jobs":         s.jobsEng.Stats(),
+		"journal":      s.jobsEng.Journal().Stats(),
 	}
 	if s.storeErr != "" {
 		doc["result_store_error"] = s.storeErr
+	}
+	if s.journalErr != "" {
+		doc["journal_error"] = s.journalErr
 	}
 	writeJSON(w, doc)
 }
@@ -220,6 +224,8 @@ func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &Error{Status: http.StatusServiceUnavailable, Code: "draining", Msg: "draining: not accepting new work"})
 	case s.storeErr != "":
 		writeError(w, &Error{Status: http.StatusServiceUnavailable, Code: "degraded", Msg: "durable store unavailable: " + s.storeErr})
+	case s.journalErr != "":
+		writeError(w, &Error{Status: http.StatusServiceUnavailable, Code: "degraded", Msg: "job journal unavailable: " + s.journalErr})
 	default:
 		writeJSON(w, map[string]any{"status": "ready"})
 	}

@@ -51,7 +51,7 @@ func (s *Service) SubmitJob(kind string, raw []byte) (*jobs.Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	j, err := s.jobsEng.Submit(kind, jobs.Key(key), runner)
+	j, err := s.jobsEng.Submit(kind, jobs.Key(key), raw, runner)
 	if err != nil {
 		return nil, &Error{Status: http.StatusServiceUnavailable, Msg: err.Error()}
 	}
@@ -288,6 +288,8 @@ func (s *Service) handleJobResult(w http.ResponseWriter, id string) {
 		writeError(w, &Error{Status: http.StatusConflict, Code: "pending", Msg: fmt.Sprintf("job %s still running", id)})
 	case state == jobs.StateCanceled:
 		writeError(w, &Error{Status: http.StatusConflict, Code: "canceled", Msg: fmt.Sprintf("job %s was canceled", id)})
+	case state == jobs.StateInterrupted:
+		writeError(w, &Error{Status: http.StatusConflict, Code: "interrupted", Msg: fmt.Sprintf("job %s was interrupted by a restart before completing; resubmit the request", id)})
 	case state == jobs.StateFailed:
 		writeError(w, &Error{Status: statusForCode(fail.Code), Code: fail.Code, Msg: fail.Message})
 	default:
@@ -305,7 +307,7 @@ func statusForCode(code string) int {
 		return http.StatusNotFound
 	case "method_not_allowed":
 		return http.StatusMethodNotAllowed
-	case "conflict", "pending", "canceled":
+	case "conflict", "pending", "canceled", "interrupted":
 		return http.StatusConflict
 	case "payload_too_large":
 		return http.StatusRequestEntityTooLarge

@@ -106,7 +106,25 @@ type Config struct {
 	// finished jobs are forgotten (their results stay in the store).
 	// 0 means jobs.DefaultMaxJobs.
 	MaxJobs int
+	// RecoverPolicy decides what happens to journaled-but-unfinished
+	// jobs found at startup (a hard crash left them behind):
+	// "resubmit" (the default) re-enqueues each under its original ID —
+	// idempotent, since a result already in the store is served from
+	// disk without recompute — while "interrupt" parks them in the typed
+	// `interrupted` terminal state for the client to resubmit.
+	RecoverPolicy string
+	// StoreFS overrides the filesystem the durable store and job
+	// journal mutate through. Not a flag: production always runs on the
+	// real filesystem; chaos tests inject deterministic write/sync/
+	// rename faults here via internal/faultinject.
+	StoreFS jobs.FS
 }
+
+// Recovery policies for journaled-but-unfinished jobs found at startup.
+const (
+	RecoverResubmit  = "resubmit"
+	RecoverInterrupt = "interrupt"
+)
 
 // RegisterFlags registers the shared daemon tuning flags on fs and
 // returns the Config they populate. cmd/ctrlschedd and `ctrlsched
@@ -130,6 +148,7 @@ func RegisterFlags(fs *flag.FlagSet) *Config {
 	fs.Int64Var(&cfg.StoreBytes, "store-bytes", jobs.DefaultStoreBytes, "total bytes the durable store may retain")
 	fs.DurationVar(&cfg.StoreMaxAge, "store-max-age", 0, "drop stored results older than this (0 = no age bound)")
 	fs.IntVar(&cfg.MaxJobs, "max-jobs", jobs.DefaultMaxJobs, "max async jobs tracked in the registry")
+	fs.StringVar(&cfg.RecoverPolicy, "job-recovery", RecoverResubmit, "what to do with journaled jobs a crash left unfinished: resubmit (re-run, idempotent) or interrupt (surface typed interrupted status)")
 	return cfg
 }
 
@@ -288,9 +307,10 @@ type Service struct {
 	// JobsDir); jobsEng tracks async jobs over it. storeErr records an
 	// open failure for /healthz — a daemon that cannot persist still
 	// serves (the store is a cache, not the source of truth).
-	store    *jobs.Store
-	jobsEng  *jobs.Engine
-	storeErr string
+	store      *jobs.Store
+	jobsEng    *jobs.Engine
+	storeErr   string
+	journalErr string
 
 	genMu sync.Mutex
 	gens  map[experiments.GenSpec]*taskgen.Generator
@@ -396,23 +416,40 @@ func New(cfg Config) *Service {
 		flights: make(map[cacheKey]*flight),
 		start:   time.Now(),
 	}
+	var jrn *jobs.Journal
+	var intents []jobs.Intent
 	if c.JobsDir != "" {
 		store, err := jobs.OpenStore(c.JobsDir, jobs.StoreOptions{
 			MaxEntries: c.StoreEntries,
 			MaxBytes:   c.StoreBytes,
 			MaxAge:     c.StoreMaxAge,
+			FS:         c.StoreFS,
 		})
 		if err != nil {
 			s.storeErr = err.Error()
 		} else {
 			s.store = store
 		}
+		jrn, intents, err = jobs.OpenJournal(c.JobsDir, c.StoreFS)
+		if err != nil {
+			// A journal that cannot open degrades crash recovery, not
+			// serving: jobs still run, their results still persist.
+			s.journalErr = err.Error()
+			jrn, intents = nil, nil
+		}
 		// Warm-start the kernel cache from the snapshot the previous
 		// process wrote at drain; a missing or corrupt snapshot restores
 		// nothing and costs nothing (cold solves are always correct).
 		_, _ = kmemo.LoadSnapshot(s.snapshotPath())
 	}
-	s.jobsEng = jobs.NewEngine(s.store, c.MaxJobs)
+	s.jobsEng = jobs.NewEngine(s.store, c.MaxJobs, jrn)
+	// Resolve what the previous process left behind before taking
+	// traffic: every journaled-but-unfinished job completes from the
+	// store, re-runs, or surfaces as interrupted — never vanishes.
+	s.jobsEng.Recover(intents, c.RecoverPolicy != RecoverInterrupt, func(kind string, raw []byte) (jobs.Runner, error) {
+		_, run, err := s.prepareJob(kind, raw)
+		return run, err
+	})
 	return s
 }
 
